@@ -1,0 +1,316 @@
+// Benchmarks regenerating every evaluation artifact of the paper (Figures
+// 1–3) and every derived table (T1–T5 of DESIGN.md), plus ablations over the
+// design parameters the paper discusses (interconnect bandwidth, guest
+// context count). Run with:
+//
+//	go test -bench=. -benchmem
+package repro_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dircc"
+	"repro/internal/geom"
+	"repro/internal/isa"
+	"repro/internal/machine"
+	"repro/internal/oracle"
+	"repro/internal/placement"
+	"repro/internal/sim"
+	"repro/internal/stackm"
+	"repro/internal/workload"
+)
+
+// BenchmarkFigure1EM2AccessFlow drives the Figure 1 access flow (local hit,
+// migration, migration-with-eviction) on the 64-core platform.
+func BenchmarkFigure1EM2AccessFlow(b *testing.B) {
+	p := sim.DefaultPlatform()
+	for i := 0; i < b.N; i++ {
+		tbl := sim.Figure1(p)
+		if tbl.NumRows() != 3 {
+			b.Fatal("figure 1 incomplete")
+		}
+	}
+}
+
+// BenchmarkFigure2OceanRunLength regenerates the Figure 2 run-length
+// histogram: OCEAN, 64 cores/64 threads, first-touch placement.
+func BenchmarkFigure2OceanRunLength(b *testing.B) {
+	p := sim.DefaultPlatform()
+	for i := 0; i < b.N; i++ {
+		_, h := sim.Figure2(p, 256, 2)
+		f1, fl := sim.Figure2Shape(h)
+		if f1 < 0.2 || fl < 0.15 {
+			b.Fatalf("figure 2 shape off: %.2f/%.2f", f1, fl)
+		}
+	}
+}
+
+// BenchmarkFigure3EM2RAAccessFlow drives the Figure 3 hybrid flow
+// (decision → migrate or remote round trip).
+func BenchmarkFigure3EM2RAAccessFlow(b *testing.B) {
+	p := sim.DefaultPlatform()
+	for i := 0; i < b.N; i++ {
+		tbl := sim.Figure3(p)
+		if tbl.NumRows() != 3 {
+			b.Fatal("figure 3 incomplete")
+		}
+	}
+}
+
+// BenchmarkTableT1OracleDP measures the §3 dynamic program itself — the
+// paper's O(N·P²) bound against the dense and sparse implementations and
+// the O(N) scheme evaluation, across trace lengths and core counts.
+func BenchmarkTableT1OracleDP(b *testing.B) {
+	for _, cores := range []int{16, 64, 256} {
+		cfg := core.DefaultConfig()
+		cfg.Mesh = geom.SquareMesh(cores)
+		cfg.GuestContexts = 0
+		for _, n := range []int{1024, 8192} {
+			steps := syntheticSteps(n, cores)
+			b.Run(fmt.Sprintf("dense/P=%d/N=%d", cores, n), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					oracle.OptimalDense(cfg, steps, 0)
+				}
+			})
+			b.Run(fmt.Sprintf("sparse/P=%d/N=%d", cores, n), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					oracle.OptimalSparse(cfg, steps, 0)
+				}
+			})
+			b.Run(fmt.Sprintf("eval/P=%d/N=%d", cores, n), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					oracle.EvaluateScheme(cfg, steps, 0, core.AlwaysMigrate{}, 0)
+				}
+			})
+		}
+	}
+}
+
+func syntheticSteps(n, cores int) []oracle.Step {
+	steps := make([]oracle.Step, 0, n)
+	state := uint64(2011)
+	rnd := func(m int) int {
+		state = state*6364136223846793005 + 1442695040888963407
+		return int((state >> 33) % uint64(m))
+	}
+	for len(steps) < n {
+		home := geom.CoreID(rnd(cores))
+		run := 1
+		if rnd(2) == 1 {
+			run = 2 + rnd(16)
+		}
+		for j := 0; j < run && len(steps) < n; j++ {
+			steps = append(steps, oracle.Step{Home: home, Write: j%3 == 0})
+		}
+	}
+	return steps
+}
+
+// BenchmarkTableT2DecisionSchemes runs each decision scheme (and the
+// oracle) over the OCEAN workload on the 64-core platform.
+func BenchmarkTableT2DecisionSchemes(b *testing.B) {
+	cfg := core.DefaultConfig()
+	cfg.GuestContexts = 0
+	tr := workload.Ocean(workload.Config{Threads: 64, Scale: 128, Iters: 1, Seed: 2011})
+	schemes := map[string]func() core.Scheme{
+		"always-migrate": func() core.Scheme { return core.AlwaysMigrate{} },
+		"always-remote":  func() core.Scheme { return core.AlwaysRemote{} },
+		"distance3":      func() core.Scheme { return core.NewDistance(cfg.Mesh, 3) },
+		"history2":       func() core.Scheme { return core.NewHistory(2) },
+	}
+	for name, mk := range schemes {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				eng, err := core.NewEngine(cfg, placement.NewFirstTouch(4096), mk())
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := eng.Run(tr, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	b.Run("oracle-dp", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			oracle.OptimalForTrace(cfg, tr, placement.NewFirstTouch(4096))
+		}
+	})
+}
+
+// BenchmarkTableT3StackDepth runs the §4 depth schemes and the depth DP.
+func BenchmarkTableT3StackDepth(b *testing.B) {
+	ccfg := core.DefaultConfig()
+	ccfg.GuestContexts = 0
+	scfg := stackm.DefaultConfig()
+	tr := workload.WithStackDeltas(
+		workload.Ocean(workload.Config{Threads: 64, Scale: 128, Iters: 1, Seed: 2011}), 1)
+	steps := stackm.StepsForTrace(tr, placement.NewFirstTouch(4096), ccfg.Mesh.Cores())
+	b.Run("fixed-4", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			stackm.SchemeCostForTrace(ccfg, scfg, steps, ccfg.Mesh.Cores(),
+				func() stackm.DepthScheme { return stackm.FixedDepth{K: 4} })
+		}
+	})
+	b.Run("depth-dp", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			stackm.OptimalDepthCostForTrace(ccfg, scfg, steps, ccfg.Mesh.Cores())
+		}
+	})
+}
+
+// BenchmarkTableT4EM2vsCC runs the EM² engine and the directory-coherence
+// baseline over the same sharing-heavy workload.
+func BenchmarkTableT4EM2vsCC(b *testing.B) {
+	tr := workload.PingPong(workload.Config{Threads: 64, Scale: 128, Iters: 1, Seed: 2011})
+	b.Run("em2", func(b *testing.B) {
+		cfg := core.DefaultConfig()
+		cfg.GuestContexts = 0
+		for i := 0; i < b.N; i++ {
+			eng, err := core.NewEngine(cfg, placement.NewFirstTouch(4096), core.AlwaysMigrate{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := eng.Run(tr, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("dircc", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			eng, err := dircc.NewEngine(dircc.DefaultConfig(), placement.NewFirstTouch(4096))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := eng.Run(tr); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkTableT5ContextSize measures context serialization cost: the
+// migration latency computation across context sizes (register file vs
+// stack depths), the quantity Table T5 tabulates.
+func BenchmarkTableT5ContextSize(b *testing.B) {
+	cfg := core.DefaultConfig()
+	scfg := stackm.DefaultConfig()
+	sizes := map[string]int{
+		"register-1056b": cfg.ContextBits,
+		"register-2048b": 2048,
+		"stack-d1":       scfg.CtxBits(1),
+		"stack-d4":       scfg.CtxBits(4),
+		"stack-d16":      scfg.CtxBits(16),
+	}
+	for name, bits := range sizes {
+		b.Run(name, func(b *testing.B) {
+			var sink int64
+			for i := 0; i < b.N; i++ {
+				sink += cfg.MigrationCost(0, 63, bits)
+			}
+			_ = sink
+		})
+	}
+}
+
+// BenchmarkAblationFlitWidth sweeps interconnect bandwidth — the paper
+// argues context-size reduction matters "especially on low-bandwidth
+// interconnects"; narrower flits inflate migration serialization.
+func BenchmarkAblationFlitWidth(b *testing.B) {
+	tr := workload.Ocean(workload.Config{Threads: 64, Scale: 96, Iters: 1, Seed: 2011})
+	for _, flit := range []int{32, 64, 128, 256} {
+		b.Run(fmt.Sprintf("flit%d", flit), func(b *testing.B) {
+			cfg := core.DefaultConfig()
+			cfg.NoC.FlitBits = flit
+			cfg.GuestContexts = 0
+			var cycles int64
+			for i := 0; i < b.N; i++ {
+				eng, err := core.NewEngine(cfg, placement.NewFirstTouch(4096), core.AlwaysMigrate{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := eng.Run(tr, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles = res.Cycles
+			}
+			b.ReportMetric(float64(cycles), "model-cycles")
+		})
+	}
+}
+
+// BenchmarkAblationGuestContexts sweeps the guest-context pool size, the
+// knob behind Figure 1's eviction path.
+func BenchmarkAblationGuestContexts(b *testing.B) {
+	tr := workload.Hotspot(workload.Config{Threads: 64, Scale: 128, Iters: 1, Seed: 2011})
+	for _, g := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("guests%d", g), func(b *testing.B) {
+			cfg := core.DefaultConfig()
+			cfg.GuestContexts = g
+			var evictions int64
+			for i := 0; i < b.N; i++ {
+				eng, err := core.NewEngine(cfg, placement.NewFirstTouch(4096), core.AlwaysMigrate{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := eng.Run(tr, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				evictions = res.Evictions
+			}
+			b.ReportMetric(float64(evictions), "evictions")
+		})
+	}
+}
+
+// BenchmarkNetworkReplayOcean replays OCEAN's EM² traffic through the
+// event-driven mesh network (wormhole serialization + per-VN link
+// contention) instead of the zero-load cost model.
+func BenchmarkNetworkReplayOcean(b *testing.B) {
+	cfg := core.DefaultConfig()
+	cfg.GuestContexts = 0
+	tr := workload.Ocean(workload.Config{Threads: 64, Scale: 96, Iters: 1, Seed: 2011})
+	for i := 0; i < b.N; i++ {
+		res, err := core.NetworkReplay(cfg, tr, placement.NewFirstTouch(4096), core.AlwaysMigrate{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Makespan), "makespan-cycles")
+	}
+}
+
+// BenchmarkConcurrentRuntime measures the goroutine-based EM² executing a
+// contended atomic-counter program with real context migration.
+func BenchmarkConcurrentRuntime(b *testing.B) {
+	prog := isa.MustAssemble(`
+		addi r2, r0, 50
+		addi r3, r0, 1
+	loop:
+		faa  r4, 0(r0), r3
+		addi r2, r2, -1
+		bne  r2, r0, loop
+		halt
+	`)
+	for i := 0; i < b.N; i++ {
+		cfg := machine.Config{
+			Mesh:          geom.SquareMesh(16),
+			GuestContexts: 2,
+			Placement:     placement.NewStriped(64, 16),
+		}
+		threads := make([]machine.ThreadSpec, 16)
+		for t := range threads {
+			threads[t] = machine.ThreadSpec{Program: prog}
+		}
+		m, err := machine.New(cfg, len(threads))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.Run(threads); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

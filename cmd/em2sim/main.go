@@ -1,0 +1,120 @@
+// Command em2sim runs one EM² configuration over a synthetic workload and
+// prints the result: migrations, evictions, remote accesses, cycle and
+// traffic totals, and the run-length histogram.
+//
+// Usage:
+//
+//	em2sim -workload ocean -scheme always-migrate -cores 64 -threads 64
+//	em2sim -workload pingpong -scheme distance:3 -mem
+//	em2sim -workload radix -scheme oracle
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/oracle"
+	"repro/internal/placement"
+	"repro/internal/workload"
+)
+
+func main() {
+	wl := flag.String("workload", "ocean", "workload: "+strings.Join(workload.Names(), " "))
+	schemeName := flag.String("scheme", "always-migrate", "decision scheme: always-migrate, always-remote, distance:N, history:N, oracle")
+	placeName := flag.String("placement", "first-touch", "placement: first-touch, striped, page-striped")
+	cores := flag.Int("cores", 64, "core count (square mesh)")
+	threads := flag.Int("threads", 64, "thread count")
+	scale := flag.Int("scale", 128, "workload scale")
+	iters := flag.Int("iters", 2, "workload iterations")
+	seed := flag.Uint64("seed", 2011, "workload seed")
+	guests := flag.Int("guests", 0, "guest contexts per core (0 = unlimited/model)")
+	mem := flag.Bool("mem", false, "charge cache/DRAM latencies (full fidelity)")
+	hist := flag.Bool("hist", false, "print the run-length histogram")
+	flag.Parse()
+
+	gen, err := workload.Get(*wl)
+	if err != nil {
+		fail(err)
+	}
+	tr := gen(workload.Config{Threads: *threads, Scale: *scale, Iters: *iters, Seed: *seed})
+
+	cfg := core.DefaultConfig()
+	cfg.Mesh = geom.SquareMesh(*cores)
+	cfg.GuestContexts = *guests
+	cfg.ChargeMemory = *mem
+
+	newPlace := func() placement.Policy {
+		switch *placeName {
+		case "first-touch":
+			return placement.NewFirstTouch(workload.PageBytes)
+		case "striped":
+			return placement.NewStriped(64, cfg.Mesh.Cores())
+		case "page-striped":
+			return placement.NewPageStriped(workload.PageBytes, cfg.Mesh.Cores())
+		default:
+			fail(fmt.Errorf("unknown placement %q", *placeName))
+			return nil
+		}
+	}
+
+	var scheme core.Scheme
+	switch {
+	case *schemeName == "always-migrate":
+		scheme = core.AlwaysMigrate{}
+	case *schemeName == "always-remote":
+		scheme = core.AlwaysRemote{}
+	case strings.HasPrefix(*schemeName, "distance:"):
+		n, err := strconv.Atoi(strings.TrimPrefix(*schemeName, "distance:"))
+		if err != nil {
+			fail(err)
+		}
+		scheme = core.NewDistance(cfg.Mesh, n)
+	case strings.HasPrefix(*schemeName, "history:"):
+		n, err := strconv.Atoi(strings.TrimPrefix(*schemeName, "history:"))
+		if err != nil {
+			fail(err)
+		}
+		scheme = core.NewHistory(n)
+	case *schemeName == "oracle":
+		opt := oracle.OptimalForTrace(cfg, tr, newPlace())
+		scheme = core.NewFixed("oracle", opt.Decisions)
+	default:
+		fail(fmt.Errorf("unknown scheme %q", *schemeName))
+	}
+
+	eng, err := core.NewEngine(cfg, newPlace(), scheme)
+	if err != nil {
+		fail(err)
+	}
+	res, err := eng.Run(tr, nil)
+	if err != nil {
+		fail(err)
+	}
+
+	sum := tr.Summarize()
+	fmt.Printf("workload : %s (%s)\n", tr.Name, sum)
+	fmt.Printf("platform : %v, %d guest contexts, scheme %s, placement %s\n",
+		cfg.Mesh, cfg.GuestContexts, scheme.Name(), *placeName)
+	fmt.Printf("result   : %s\n", res)
+	fmt.Printf("cycles   : network=%d memory=%d total=%d\n", res.Cycles, res.MemoryCycles, res.TotalCycles())
+	fmt.Printf("traffic  : %d flit-hops, %d context/request bits moved\n", res.Traffic, res.BitsMoved)
+	fmt.Printf("counters :\n%s", indent(res.Counters.String()))
+	if *hist {
+		fmt.Printf("run-length histogram:\n%s", res.RunLengths.Render(60))
+	}
+}
+
+func indent(s string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	return "  " + strings.Join(lines, "\n  ") + "\n"
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "em2sim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,78 @@
+// Command figures regenerates every figure and table of the reproduction:
+// the paper's Figure 1/2/3 and the derived tables T1–T5 of DESIGN.md.
+//
+// Usage:
+//
+//	figures [-platform paper|small] [-csv] [fig1 fig2 fig3 t1 t2 t3 t4 t5 | all]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+func main() {
+	platform := flag.String("platform", "paper", "platform: paper (64 cores) or small (16 cores)")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
+	flag.Parse()
+
+	var p sim.Platform
+	switch *platform {
+	case "paper":
+		p = sim.DefaultPlatform()
+	case "small":
+		p = sim.SmallPlatform()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown platform %q\n", *platform)
+		os.Exit(2)
+	}
+
+	targets := flag.Args()
+	if len(targets) == 0 || (len(targets) == 1 && targets[0] == "all") {
+		targets = []string{"fig1", "fig2", "fig3", "t1", "t2", "t3", "t4", "t5"}
+	}
+
+	emit := func(t *stats.Table) {
+		if *csv {
+			fmt.Printf("# %s\n%s\n", t.Title(), t.CSV())
+		} else {
+			fmt.Println(t.String())
+		}
+	}
+
+	for _, target := range targets {
+		switch target {
+		case "fig1":
+			emit(sim.Figure1(p))
+		case "fig2":
+			tbl, h := sim.Figure2(p, 256, 2)
+			emit(tbl)
+			f1, fl := sim.Figure2Shape(h)
+			fmt.Printf("shape: %.1f%% of non-native accesses at run length 1, %.1f%% in runs >= 8\n", 100*f1, 100*fl)
+			fmt.Printf("(paper: \"about half of the accesses migrate after one memory reference,\n while the other half keep accessing memory at the core where they have migrated\")\n\n")
+			if !*csv {
+				fmt.Println("run-length histogram (runs per length):")
+				fmt.Println(h.Render(60))
+			}
+		case "fig3":
+			emit(sim.Figure3(p))
+		case "t1":
+			emit(sim.TableT1(p, []int{1000, 4000, 16000, 64000}))
+		case "t2":
+			emit(sim.TableT2(p, []string{"ocean", "fft", "lu", "radix", "barnes", "pingpong", "uniform", "private"}, 64, 1))
+		case "t3":
+			emit(sim.TableT3(p, 64, 1))
+		case "t4":
+			emit(sim.TableT4(p, []string{"ocean", "pingpong", "radix", "private"}, 64, 1))
+		case "t5":
+			emit(sim.TableT5(p))
+		default:
+			fmt.Fprintf(os.Stderr, "unknown target %q (want fig1 fig2 fig3 t1..t5 or all)\n", target)
+			os.Exit(2)
+		}
+	}
+}

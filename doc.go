@@ -1,0 +1,11 @@
+// Package repro is a Go reproduction of "Brief Announcement: Distributed
+// Shared Memory based on Computation Migration" (Lis et al., SPAA 2011): the
+// Execution Migration Machine (EM²), its EM²-RA remote-cache-access hybrid,
+// the stack-machine EM² variant, and the paper's analytical model with its
+// dynamic-programming decision oracles.
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.
+// The root-level benchmarks in bench_test.go regenerate every figure and
+// table; `go run ./cmd/figures all` prints them.
+package repro

@@ -1,0 +1,50 @@
+// Decision evaluates the EM²-RA migrate-vs-remote-access decision problem
+// of §3: it runs every decision scheme over several workloads and compares
+// each against the dynamic-programming oracle, printing how close to
+// optimal each hardware-implementable scheme lands.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/oracle"
+	"repro/internal/placement"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func main() {
+	p := sim.SmallPlatform() // 16 cores for a fast demo; use DefaultPlatform for the paper's 64
+	cfg := p.Core
+	cfg.GuestContexts = 0
+	cfg.ChargeMemory = false
+
+	table := stats.NewTable("EM2-RA decision schemes: cost relative to the DP oracle (1.00 = optimal)",
+		"workload", "always-migrate", "always-remote", "distance<=3", "history>=2")
+	for _, name := range []string{"ocean", "fft", "radix", "pingpong", "uniform"} {
+		gen, err := workload.Get(name)
+		if err != nil {
+			panic(err)
+		}
+		tr := gen(workload.Config{Threads: p.Threads, Scale: 48, Iters: 1, Seed: 7})
+		opt := oracle.OptimalForTrace(cfg, tr, placement.NewFirstTouch(4096)).Cost
+
+		ratio := func(mk func() core.Scheme) string {
+			c := oracle.SchemeCostForTrace(cfg, tr, placement.NewFirstTouch(4096), mk)
+			if opt == 0 {
+				return "-"
+			}
+			return fmt.Sprintf("%.2fx", float64(c)/float64(opt))
+		}
+		table.AddRow(name,
+			ratio(func() core.Scheme { return core.AlwaysMigrate{} }),
+			ratio(func() core.Scheme { return core.AlwaysRemote{} }),
+			ratio(func() core.Scheme { return core.NewDistance(cfg.Mesh, 3) }),
+			ratio(func() core.Scheme { return core.NewHistory(2) }),
+		)
+	}
+	fmt.Println(table)
+	fmt.Println("The oracle is the §3 dynamic program: O(N·P²) worst case, O(N·U) sparse.")
+}

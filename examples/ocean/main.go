@@ -1,0 +1,26 @@
+// Ocean reproduces the paper's Figure 2 end to end: run the OCEAN workload
+// on a 64-core/64-thread EM² with 16 KB L1 + 64 KB L2 and first-touch
+// placement, and print the histogram of accesses to memory cached at
+// non-native cores, binned by run length.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+func main() {
+	p := sim.DefaultPlatform() // the paper's 64/64 setup
+	table, hist := sim.Figure2(p, 256, 2)
+	fmt.Println(table)
+
+	frac1, fracLong := sim.Figure2Shape(hist)
+	fmt.Printf("shape: %.1f%% of non-native accesses at run length 1, %.1f%% in long runs\n\n", 100*frac1, 100*fracLong)
+	fmt.Println(`paper (Figure 2 caption): "About half of the accesses migrate after one
+memory reference, while the other half keep accessing memory at the core
+where they have migrated."`)
+	fmt.Println()
+	fmt.Println("runs per length:")
+	fmt.Print(hist.Render(60))
+}

@@ -1,0 +1,48 @@
+// Quickstart: build an EM² machine, run a workload under pure migration and
+// under the EM²-RA hybrid, and compare against the DP oracle — the whole
+// public API in ~50 lines.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/oracle"
+	"repro/internal/placement"
+	"repro/internal/workload"
+)
+
+func main() {
+	// A 16-core EM² with the paper's default link and context parameters.
+	cfg := core.DefaultConfig()
+	cfg.Mesh = geom.SquareMesh(16)
+	cfg.GuestContexts = 0 // unlimited: the §3 analytical model
+	cfg.ChargeMemory = false
+
+	// A small OCEAN-like workload: 16 threads relaxing a 64×64 grid.
+	tr := workload.Ocean(workload.Config{Threads: 16, Scale: 64, Iters: 2, Seed: 1})
+	fmt.Printf("workload: %s\n\n", tr.Summarize())
+
+	// Run it under three decision schemes plus the optimal (DP) plan.
+	for _, scheme := range []core.Scheme{
+		core.AlwaysMigrate{},          // pure EM² (§2)
+		core.AlwaysRemote{},           // remote-access-only baseline [15]
+		core.NewDistance(cfg.Mesh, 3), // a hardware-plausible hybrid (§3)
+	} {
+		eng, err := core.NewEngine(cfg, placement.NewFirstTouch(4096), scheme)
+		if err != nil {
+			panic(err)
+		}
+		res, err := eng.Run(tr, nil)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%-16s cycles=%-10d migrations=%-7d remote=%-7d traffic=%d\n",
+			scheme.Name(), res.Cycles, res.Migrations, res.RemoteAccesses, res.Traffic)
+	}
+
+	// The §3 dynamic program: a lower bound no decision scheme can beat.
+	opt := oracle.OptimalForTrace(cfg, tr, placement.NewFirstTouch(4096))
+	fmt.Printf("%-16s cycles=%d\n", "oracle (DP)", opt.Cost)
+}

@@ -1,0 +1,62 @@
+// Runtime demonstrates the concurrent EM² runtime: real programs (in the
+// repository's mini-ISA) executing on goroutine cores, with contexts
+// migrating between cores whenever they touch remotely-homed memory — and
+// sequential consistency verified on the recorded execution.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/isa"
+	"repro/internal/machine"
+	"repro/internal/placement"
+)
+
+func main() {
+	cfg := machine.Config{
+		Mesh:          geom.SquareMesh(16),
+		GuestContexts: 2,
+		Placement:     placement.NewStriped(64, 16),
+		LogEvents:     true,
+	}
+
+	// Eight threads atomically increment three counters homed at three
+	// different cores; under EM² each FAA executes at the counter's home.
+	prog := isa.MustAssemble(`
+		addi r2, r0, 100   ; iterations
+		addi r3, r0, 1     ; increment
+	loop:
+		faa  r4, 0(r0), r3    ; counter A, homed at core 0
+		faa  r4, 256(r0), r3  ; counter B, homed at core 4
+		faa  r4, 512(r0), r3  ; counter C, homed at core 8
+		addi r2, r2, -1
+		bne  r2, r0, loop
+		halt
+	`)
+	fmt.Println("program:")
+	fmt.Print(isa.Disassemble(prog))
+
+	threads := make([]machine.ThreadSpec, 8)
+	for i := range threads {
+		threads[i] = machine.ThreadSpec{Program: prog}
+	}
+	m, err := machine.New(cfg, len(threads))
+	if err != nil {
+		panic(err)
+	}
+	res, err := m.Run(threads)
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Printf("\ninstructions=%d migrations=%d evictions=%d local-ops=%d\n",
+		res.Instructions, res.Migrations, res.Evictions, res.LocalOps)
+	for _, addr := range []uint32{0, 256, 512} {
+		fmt.Printf("counter @%-4d = %d (want %d)\n", addr, m.Read(addr), 8*100)
+	}
+	if err := machine.CheckSC(res.Events); err != nil {
+		panic(err)
+	}
+	fmt.Printf("sequential consistency: OK (%d events checked)\n", len(res.Events))
+}

@@ -1,0 +1,50 @@
+// Stackdepth explores the §4 stack-machine EM²: how much of the stack should
+// a migration carry? It compares fixed and adaptive depth schemes against
+// the optimal depth sequence computed by the depth dynamic program, and
+// prints the context-size savings over the register-file machine.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/placement"
+	"repro/internal/sim"
+	"repro/internal/stackm"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func main() {
+	p := sim.SmallPlatform()
+	ccfg := p.Core
+	ccfg.GuestContexts = 0
+	ccfg.ChargeMemory = false
+	scfg := p.Stack
+
+	base := workload.Ocean(workload.Config{Threads: p.Threads, Scale: 48, Iters: 1, Seed: 7})
+	tr := workload.WithStackDeltas(base, 8)
+	steps := stackm.StepsForTrace(tr, placement.NewFirstTouch(4096), ccfg.Mesh.Cores())
+
+	table := stats.NewTable("stack-EM2 depth schemes (ocean with stack deltas)",
+		"scheme", "cycles", "migrations", "forced returns", "mean depth", "bits moved")
+	for _, mk := range []func() stackm.DepthScheme{
+		func() stackm.DepthScheme { return stackm.MinimalDepth{} },
+		func() stackm.DepthScheme { return stackm.FixedDepth{K: 2} },
+		func() stackm.DepthScheme { return stackm.FixedDepth{K: 4} },
+		func() stackm.DepthScheme { return stackm.HalfDepth{Capacity: scfg.Capacity} },
+		func() stackm.DepthScheme { return stackm.FullDepth{} },
+	} {
+		c := stackm.SchemeCostForTrace(ccfg, scfg, steps, ccfg.Mesh.Cores(), mk)
+		table.AddRow(mk().Name(), c.Cycles, c.Migrations, c.ForcedReturns,
+			fmt.Sprintf("%.2f", c.MeanDepth()), c.BitsMoved)
+	}
+	opt := stackm.OptimalDepthCostForTrace(ccfg, scfg, steps, ccfg.Mesh.Cores())
+	table.AddRow("ORACLE (depth DP)", opt, "-", "-", "-", "-")
+	fmt.Println(table)
+
+	fmt.Println("context sizes (bits):")
+	fmt.Printf("  register-file EM²: %d\n", ccfg.ContextBits)
+	for _, d := range []int{1, 2, 4, 8, 16} {
+		fmt.Printf("  stack-EM², depth %-2d: %d\n", d, scfg.CtxBits(d))
+	}
+}

@@ -1,0 +1,261 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+func TestConfigValidate(t *testing.T) {
+	if err := L1Default().Validate(); err != nil {
+		t.Errorf("L1 default invalid: %v", err)
+	}
+	if err := L2Default().Validate(); err != nil {
+		t.Errorf("L2 default invalid: %v", err)
+	}
+	bad := []Config{
+		{SizeBytes: 0, LineBytes: 64, Ways: 2},
+		{SizeBytes: 1024, LineBytes: 0, Ways: 2},
+		{SizeBytes: 1024, LineBytes: 64, Ways: 0},
+		{SizeBytes: 1024, LineBytes: 48, Ways: 2}, // not power of two
+		{SizeBytes: 1000, LineBytes: 64, Ways: 2}, // not divisible
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d validated: %+v", i, c)
+		}
+	}
+}
+
+func TestPaperConfiguration(t *testing.T) {
+	// Figure 2 platform: 16KB L1 + 64KB L2.
+	if L1Default().SizeBytes != 16*KB {
+		t.Errorf("L1 size = %d", L1Default().SizeBytes)
+	}
+	if L2Default().SizeBytes != 64*KB {
+		t.Errorf("L2 size = %d", L2Default().SizeBytes)
+	}
+	if L1Default().Sets() != 16*KB/(64*2) {
+		t.Errorf("L1 sets = %d", L1Default().Sets())
+	}
+}
+
+func TestLineOf(t *testing.T) {
+	c := Config{SizeBytes: 1024, LineBytes: 64, Ways: 2}
+	if got := c.LineOf(0x7F); got != 0x40 {
+		t.Errorf("LineOf(0x7F) = %#x, want 0x40", got)
+	}
+	if got := c.LineOf(0x40); got != 0x40 {
+		t.Errorf("LineOf(0x40) = %#x", got)
+	}
+}
+
+func TestHitMiss(t *testing.T) {
+	c := New(Config{SizeBytes: 1024, LineBytes: 64, Ways: 2})
+	if r := c.Access(0x100, false); r.Hit {
+		t.Error("cold access hit")
+	}
+	if r := c.Access(0x100, false); !r.Hit {
+		t.Error("second access missed")
+	}
+	if r := c.Access(0x104, false); !r.Hit {
+		t.Error("same-line access missed")
+	}
+	if c.Hits != 2 || c.Misses != 1 {
+		t.Errorf("hits=%d misses=%d", c.Hits, c.Misses)
+	}
+	if c.HitRate() != 2.0/3.0 {
+		t.Errorf("hit rate = %v", c.HitRate())
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// 2-way, direct-mapped otherwise: force 3 lines into one set.
+	cfg := Config{SizeBytes: 256, LineBytes: 64, Ways: 2} // 2 sets
+	c := New(cfg)
+	setStride := Addr(cfg.LineBytes * cfg.Sets()) // same-set stride = 128
+	a, b, d := Addr(0), setStride, 2*setStride
+	c.Access(a, false)
+	c.Access(b, false)
+	c.Access(a, false) // a is now MRU; b is LRU
+	r := c.Access(d, false)
+	if !r.Evicted || r.EvictedAddr != b {
+		t.Errorf("expected eviction of %#x, got %+v", b, r)
+	}
+	if !c.Probe(a) || c.Probe(b) || !c.Probe(d) {
+		t.Errorf("residency after eviction: a=%v b=%v d=%v", c.Probe(a), c.Probe(b), c.Probe(d))
+	}
+}
+
+func TestDirtyWriteback(t *testing.T) {
+	cfg := Config{SizeBytes: 128, LineBytes: 64, Ways: 1} // 2 sets, direct-mapped
+	c := New(cfg)
+	c.Access(0, true) // dirty
+	r := c.Access(128, false)
+	if !r.Evicted || !r.Writeback {
+		t.Errorf("dirty eviction not reported: %+v", r)
+	}
+	if c.Writebacks != 1 {
+		t.Errorf("writebacks = %d", c.Writebacks)
+	}
+	// Clean line evicts without writeback.
+	c.Access(256, false)
+	r = c.Access(0, false)
+	if !r.Evicted || r.Writeback {
+		t.Errorf("clean eviction reported writeback: %+v", r)
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := New(Config{SizeBytes: 1024, LineBytes: 64, Ways: 2})
+	c.Access(0x40, true)
+	present, dirty := c.Invalidate(0x40)
+	if !present || !dirty {
+		t.Errorf("invalidate = %v,%v", present, dirty)
+	}
+	if c.Probe(0x40) {
+		t.Error("line still present after invalidate")
+	}
+	present, _ = c.Invalidate(0x40)
+	if present {
+		t.Error("double invalidate reported present")
+	}
+}
+
+func TestCleanLine(t *testing.T) {
+	cfg := Config{SizeBytes: 128, LineBytes: 64, Ways: 1}
+	c := New(cfg)
+	c.Access(0, true)
+	c.CleanLine(0)
+	r := c.Access(128, false) // evicts line 0
+	if r.Writeback {
+		t.Error("cleaned line still wrote back")
+	}
+	c.CleanLine(0x1000) // absent line: no-op, must not panic
+}
+
+func TestOccupancyBounded(t *testing.T) {
+	cfg := Config{SizeBytes: 512, LineBytes: 64, Ways: 2}
+	c := New(cfg)
+	f := func(addrs []uint16) bool {
+		for _, a := range addrs {
+			c.Access(Addr(a), a%3 == 0)
+		}
+		return c.Occupancy() <= cfg.Lines()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProbeDoesNotPerturb(t *testing.T) {
+	cfg := Config{SizeBytes: 128, LineBytes: 64, Ways: 2} // 1 set, 2 ways
+	c := New(cfg)
+	c.Access(0, false)
+	c.Access(64, false)
+	// Probing 0 must NOT refresh its LRU position.
+	c.Probe(0)
+	r := c.Access(128, false)
+	if r.EvictedAddr != 0 {
+		t.Errorf("probe perturbed LRU: evicted %#x, want 0", r.EvictedAddr)
+	}
+	if h, m := c.Hits, c.Misses; h != 0 || m != 3 {
+		t.Errorf("probe affected stats: hits=%d misses=%d", h, m)
+	}
+}
+
+func TestValidLinesAndReset(t *testing.T) {
+	c := New(Config{SizeBytes: 512, LineBytes: 64, Ways: 2})
+	c.Access(0, false)
+	c.Access(64, true)
+	lines := c.ValidLines()
+	if len(lines) != 2 {
+		t.Errorf("ValidLines = %v", lines)
+	}
+	c.Reset()
+	if c.Occupancy() != 0 || c.Hits != 0 || c.Misses != 0 {
+		t.Error("reset incomplete")
+	}
+	if c.HitRate() != 0 {
+		t.Error("hit rate after reset should be 0")
+	}
+}
+
+func TestHierarchyLevels(t *testing.T) {
+	h := NewHierarchy(
+		Config{SizeBytes: 128, LineBytes: 64, Ways: 1}, // tiny L1: 2 lines
+		Config{SizeBytes: 512, LineBytes: 64, Ways: 2},
+	)
+	if lv := h.Access(0, false); lv != LevelMemory {
+		t.Errorf("cold access = %v", lv)
+	}
+	if lv := h.Access(0, false); lv != LevelL1 {
+		t.Errorf("hot access = %v", lv)
+	}
+	// Evict 0 from L1 (same set: stride 128) but it stays in L2.
+	h.Access(128, false)
+	h.Access(256, false)
+	if h.L1.Probe(0) {
+		t.Skip("L1 still holds 0; config did not force eviction")
+	}
+	if lv := h.Access(0, false); lv != LevelL2 {
+		t.Errorf("L2 access = %v", lv)
+	}
+}
+
+func TestHierarchyProbeResetStats(t *testing.T) {
+	h := NewHierarchy(L1Default(), L2Default())
+	h.Access(0x1000, true)
+	if !h.Probe(0x1000) {
+		t.Error("probe missed resident line")
+	}
+	var c stats.Counters
+	h.Stats("em2", &c)
+	if c.Get("em2.l1.misses") != 1 {
+		t.Errorf("stats: %s", c.String())
+	}
+	h.Reset()
+	if h.Probe(0x1000) {
+		t.Error("probe hit after reset")
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	if LevelL1.String() != "L1" || LevelMemory.String() != "memory" {
+		t.Error("level strings")
+	}
+	if Level(9).String() != "level(9)" {
+		t.Error("unknown level string")
+	}
+}
+
+func TestNewPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(bad) did not panic")
+		}
+	}()
+	New(Config{SizeBytes: 100, LineBytes: 3, Ways: 1})
+}
+
+// Property: after accessing a working set no larger than one set's ways with
+// a single-set cache, everything still hits (no spurious evictions).
+func TestNoSpuriousEvictions(t *testing.T) {
+	cfg := Config{SizeBytes: 4 * 64, LineBytes: 64, Ways: 4} // 1 set, 4 ways
+	c := New(cfg)
+	addrs := []Addr{0, 64, 128, 192}
+	for _, a := range addrs {
+		c.Access(a, false)
+	}
+	for round := 0; round < 3; round++ {
+		for _, a := range addrs {
+			if r := c.Access(a, false); !r.Hit {
+				t.Fatalf("round %d: %#x missed in fitting working set", round, a)
+			}
+		}
+	}
+	if c.Evictions != 0 {
+		t.Errorf("evictions = %d, want 0", c.Evictions)
+	}
+}

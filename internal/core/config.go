@@ -1,0 +1,170 @@
+// Package core implements the paper's primary contribution: the Execution
+// Migration Machine (EM²) and its EM²-RA hybrid. It provides
+//
+//   - the cost model of §3 (migration vs remote-access network costs),
+//   - the per-access flows of Figure 1 (EM²: migrate to the home core,
+//     evicting a guest context if the destination is full) and Figure 3
+//     (EM²-RA: a per-access decision between migrating and performing a
+//     word-granular remote cache access),
+//   - the migrate-vs-remote-access decision schemes the paper says must be
+//     made "core-locally for every memory access", and
+//   - a trace-driven engine that executes a multithreaded memory trace
+//     against a data placement and reports costs, migration statistics and
+//     the run-length histogram of Figure 2.
+//
+// The engine has two fidelity levels. Model fidelity reproduces the §3
+// analytical model exactly (one thread at a time, no eviction costs, local
+// accesses free) so that the DP oracle in internal/oracle is a true lower
+// bound. Full fidelity adds finite guest contexts, eviction traffic and
+// cache/DRAM latencies for the system-level experiments.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/geom"
+	"repro/internal/noc"
+)
+
+// Config describes an EM² machine.
+type Config struct {
+	Mesh geom.Mesh  // core topology
+	NoC  noc.Config // link parameters
+
+	// ContextBits is the architectural context transferred by a migration:
+	// PC + register file (+ optional TLB state). The paper cites 1–2 Kbit
+	// for a 32-bit Atom-like core; the default models 32 32-bit registers
+	// plus a 32-bit PC = 1056 bits.
+	ContextBits int
+
+	// MigOverheadCycles is the fixed cost of stopping a thread, unloading
+	// its context into the network interface, and restarting it at the
+	// destination ("the delays involved in stopping, migrating, and
+	// restarting threads").
+	MigOverheadCycles int
+
+	// RemoteOverheadCycles is the fixed cost of assembling a remote-access
+	// request and consuming its reply at the requester.
+	RemoteOverheadCycles int
+
+	// AddrBits and WordBits size the remote-access request/reply payloads.
+	AddrBits, WordBits int
+
+	// GuestContexts is the number of guest execution contexts per core, on
+	// top of the native contexts reserved for the core's own threads.
+	// 0 means unlimited (model fidelity).
+	GuestContexts int
+
+	// L1 and L2 configure the per-core data caches (used at full fidelity).
+	L1, L2 cache.Config
+
+	// MemCycles is the DRAM access latency charged on an L2 miss at full
+	// fidelity.
+	MemCycles int
+
+	// ChargeMemory selects full fidelity: cache hit/miss and DRAM latencies
+	// are added to the cost. Model fidelity (false) reproduces the paper's
+	// analytical model, which "ignores local memory access delays".
+	ChargeMemory bool
+}
+
+// DefaultConfig mirrors the paper's evaluation platform: a 64-core mesh
+// (8×8), 1-Kbit contexts, two guest contexts per core, and the Figure 2
+// cache sizes (16 KB L1 + 64 KB L2).
+func DefaultConfig() Config {
+	return Config{
+		Mesh:                 geom.SquareMesh(64),
+		NoC:                  noc.DefaultConfig(),
+		ContextBits:          1056,
+		MigOverheadCycles:    4,
+		RemoteOverheadCycles: 2,
+		AddrBits:             32,
+		WordBits:             32,
+		GuestContexts:        2,
+		L1:                   cache.L1Default(),
+		L2:                   cache.L2Default(),
+		MemCycles:            100,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.Mesh.Cores() <= 0 {
+		return fmt.Errorf("core: empty mesh")
+	}
+	if err := c.NoC.Validate(); err != nil {
+		return err
+	}
+	if c.ContextBits <= 0 {
+		return fmt.Errorf("core: ContextBits must be positive, got %d", c.ContextBits)
+	}
+	if c.MigOverheadCycles < 0 || c.RemoteOverheadCycles < 0 {
+		return fmt.Errorf("core: negative overhead cycles")
+	}
+	if c.AddrBits <= 0 || c.WordBits <= 0 {
+		return fmt.Errorf("core: AddrBits/WordBits must be positive")
+	}
+	if c.GuestContexts < 0 {
+		return fmt.Errorf("core: negative GuestContexts")
+	}
+	if c.ChargeMemory {
+		if err := c.L1.Validate(); err != nil {
+			return err
+		}
+		if err := c.L2.Validate(); err != nil {
+			return err
+		}
+		if c.MemCycles < 0 {
+			return fmt.Errorf("core: negative MemCycles")
+		}
+	}
+	return nil
+}
+
+// MigrationCost returns the cycles to migrate a context of ctxBits from src
+// to dst: network latency (dominated by context serialization) plus the
+// fixed stop/unload/reload overhead. Migrating to the current core is free.
+func (c Config) MigrationCost(src, dst geom.CoreID, ctxBits int) int64 {
+	if src == dst {
+		return 0
+	}
+	hops := c.Mesh.Hops(src, dst)
+	return c.NoC.Latency(hops, ctxBits) + int64(c.MigOverheadCycles)
+}
+
+// RemoteAccessCost returns the cycles for a word-granular remote cache
+// access from cur to home: a request carrying the address (plus the word,
+// for writes) and a reply carrying the word (for reads) or an acknowledgment
+// (for writes). A "remote" access to the current core degenerates to a local
+// access and costs nothing in the model.
+func (c Config) RemoteAccessCost(cur, home geom.CoreID, write bool) int64 {
+	if cur == home {
+		return 0
+	}
+	hops := c.Mesh.Hops(cur, home)
+	reqBits := c.AddrBits
+	repBits := c.WordBits
+	if write {
+		reqBits += c.WordBits
+		repBits = 0 // ack carries no data
+	}
+	return c.NoC.Latency(hops, reqBits) + c.NoC.Latency(hops, repBits) + int64(c.RemoteOverheadCycles)
+}
+
+// MigrationTraffic returns the flit·hops of one migration (energy proxy).
+func (c Config) MigrationTraffic(src, dst geom.CoreID, ctxBits int) int64 {
+	return c.NoC.Traffic(c.Mesh.Hops(src, dst), ctxBits)
+}
+
+// RemoteAccessTraffic returns the flit·hops of one remote access round trip.
+func (c Config) RemoteAccessTraffic(cur, home geom.CoreID, write bool) int64 {
+	hops := c.Mesh.Hops(cur, home)
+	reqBits := c.AddrBits
+	repBits := c.WordBits
+	if write {
+		reqBits += c.WordBits
+		repBits = 0
+	}
+	return c.NoC.Traffic(hops, reqBits) + c.NoC.Traffic(hops, repBits)
+}

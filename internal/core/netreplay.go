@@ -1,0 +1,164 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/noc"
+	"repro/internal/placement"
+	"repro/internal/trace"
+)
+
+// NetReplayResult summarizes a network-level replay.
+type NetReplayResult struct {
+	Makespan  int64 // cycle at which the last thread finishes its traffic
+	Messages  int64
+	Traffic   int64 // flit·hops measured by the event network
+	PerThread []int64
+	// VNCounts[vn] = messages delivered per virtual network, for checking
+	// the six-channel layout under real traffic.
+	VNCounts [noc.NumVNets]int64
+}
+
+// transaction is one unit of network work for a thread: a one-way migration
+// or a remote-access round trip.
+type transaction struct {
+	migrate  bool
+	src, dst geom.CoreID
+	write    bool
+}
+
+// NetworkReplay replays a trace's EM² traffic through the event-driven mesh
+// network, so that migrations, remote requests and replies experience
+// wormhole serialization and per-link, per-virtual-network contention
+// instead of the analytical zero-load formula. Threads genuinely overlap:
+// each thread's next transaction is injected the moment its previous one
+// completes, from inside the network's delivery handler.
+//
+// This is the integration point between the paper's cost model (§3, used by
+// the oracle) and the network substrate: per-thread completion times are
+// lower-bounded by the zero-load arithmetic the Engine computes, and grow
+// under contention (tested).
+func NetworkReplay(cfg Config, tr *trace.Trace, pl placement.Policy, scheme Scheme) (*NetReplayResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+
+	// Phase 1: resolve every access's decision in trace order (placement and
+	// scheme state must see the global order), producing per-thread
+	// transaction lists.
+	cores := cfg.Mesh.Cores()
+	loc := make([]geom.CoreID, tr.NumThreads)
+	native := make([]geom.CoreID, tr.NumThreads)
+	for t := range loc {
+		native[t] = geom.CoreID(t % cores)
+		loc[t] = native[t]
+	}
+	txs := make([][]transaction, tr.NumThreads)
+	perThreadIdx := make([]int, tr.NumThreads)
+	for _, a := range tr.Accesses {
+		t := a.Thread
+		home := pl.Touch(a.Addr, native[t])
+		if obs, ok := scheme.(observer); ok {
+			obs.NoteAccess(t, home, a.Addr)
+		}
+		if home == loc[t] {
+			continue
+		}
+		info := AccessInfo{
+			Thread: t, Index: perThreadIdx[t], Cur: loc[t], Home: home,
+			Native: native[t], Access: a,
+		}
+		perThreadIdx[t]++
+		switch scheme.Decide(info) {
+		case Migrate:
+			txs[t] = append(txs[t], transaction{migrate: true, src: loc[t], dst: home})
+			loc[t] = home
+		case RemoteAccess:
+			txs[t] = append(txs[t], transaction{src: loc[t], dst: home, write: a.Write})
+		default:
+			return nil, fmt.Errorf("core: scheme %q returned invalid decision", scheme.Name())
+		}
+	}
+
+	// Phase 2: event-driven execution with true overlap.
+	net := noc.NewNetwork(cfg.Mesh, cfg.NoC)
+	res := &NetReplayResult{PerThread: make([]int64, tr.NumThreads)}
+
+	type progress struct {
+		thread int
+		next   int  // index into txs[thread] to issue on completion
+		reply  bool // this message is a request whose reply must be issued
+	}
+	var inject func(now int64, t, idx int)
+	inject = func(now int64, t, idx int) {
+		if idx >= len(txs[t]) {
+			res.PerThread[t] = now
+			return
+		}
+		tx := txs[t][idx]
+		if tx.migrate {
+			res.Messages++
+			net.Send(now, &noc.Message{
+				Kind: noc.KindMigration, Src: tx.src, Dst: tx.dst,
+				PayloadBits: cfg.ContextBits, Thread: t,
+				Data: &progress{thread: t, next: idx + 1},
+			})
+			return
+		}
+		reqBits := cfg.AddrBits
+		reqKind := noc.KindRemoteRead
+		if tx.write {
+			reqBits += cfg.WordBits
+			reqKind = noc.KindRemoteWrite
+		}
+		res.Messages++
+		net.Send(now, &noc.Message{
+			Kind: reqKind, Src: tx.src, Dst: tx.dst, PayloadBits: reqBits,
+			Thread: t, Data: &progress{thread: t, next: idx, reply: true},
+		})
+	}
+	for c := geom.CoreID(0); int(c) < cores; c++ {
+		net.SetHandler(c, func(now int64, m *noc.Message) {
+			p, ok := m.Data.(*progress)
+			if !ok || p == nil {
+				panic(fmt.Sprintf("core: network message without progress data: %v", m.Kind))
+			}
+			if p.reply {
+				// Request reached the home core: answer it.
+				tx := txs[p.thread][p.next]
+				repBits := cfg.WordBits
+				repKind := noc.KindRemoteReadRep
+				if tx.write {
+					repBits = 0
+					repKind = noc.KindRemoteWriteAck
+				}
+				res.Messages++
+				net.Send(now, &noc.Message{
+					Kind: repKind, Src: tx.dst, Dst: tx.src, PayloadBits: repBits,
+					Thread: p.thread, Data: &progress{thread: p.thread, next: p.next + 1},
+				})
+				return
+			}
+			inject(now, p.thread, p.next)
+		})
+	}
+	for t := 0; t < tr.NumThreads; t++ {
+		inject(0, t, 0)
+	}
+	net.Run()
+
+	for t := range res.PerThread {
+		if res.PerThread[t] > res.Makespan {
+			res.Makespan = res.PerThread[t]
+		}
+	}
+	res.Traffic = net.Traffic()
+	for vn := noc.VNet(0); vn < noc.NumVNets; vn++ {
+		res.VNCounts[vn] = net.Counters.Get("deliver." + vn.String())
+	}
+	return res, nil
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/noc"
+	"repro/internal/placement"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func TestNetworkReplaySingleMigration(t *testing.T) {
+	cfg := testConfig()
+	tr := trace.New("one", 4)
+	tr.Append(trace.Access{Thread: 0, Addr: 0x1000}) // homed at core 1
+	res, err := NetworkReplay(cfg, tr, testPlacement(), AlwaysMigrate{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Uncontended: makespan equals the zero-load migration latency.
+	want := cfg.NoC.Latency(cfg.Mesh.Hops(0, 1), cfg.ContextBits)
+	if res.Makespan != want {
+		t.Errorf("makespan = %d, want %d", res.Makespan, want)
+	}
+	if res.Messages != 1 {
+		t.Errorf("messages = %d", res.Messages)
+	}
+	if res.VNCounts[noc.VNMigration] != 1 {
+		t.Errorf("migration VN count = %d", res.VNCounts[noc.VNMigration])
+	}
+}
+
+func TestNetworkReplayRemoteRoundTrip(t *testing.T) {
+	cfg := testConfig()
+	tr := trace.New("ra", 4)
+	tr.Append(trace.Access{Thread: 0, Addr: 0x1000})              // remote read
+	tr.Append(trace.Access{Thread: 0, Addr: 0x1004, Write: true}) // remote write
+	res, err := NetworkReplay(cfg, tr, testPlacement(), AlwaysRemote{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Messages != 4 { // two requests, two replies
+		t.Errorf("messages = %d, want 4", res.Messages)
+	}
+	if res.VNCounts[noc.VNRemoteReq] != 2 || res.VNCounts[noc.VNRemoteRep] != 2 {
+		t.Errorf("VN counts = %v", res.VNCounts)
+	}
+	hops := cfg.Mesh.Hops(0, 1)
+	read := cfg.NoC.Latency(hops, cfg.AddrBits) + cfg.NoC.Latency(hops, cfg.WordBits)
+	write := cfg.NoC.Latency(hops, cfg.AddrBits+cfg.WordBits) + cfg.NoC.Latency(hops, 0)
+	if res.Makespan != read+write {
+		t.Errorf("makespan = %d, want %d", res.Makespan, read+write)
+	}
+}
+
+// TestNetworkReplayLowerBoundedByZeroLoad: with contention the event network
+// can only be slower than zero-load arithmetic, never faster.
+func TestNetworkReplayLowerBoundedByZeroLoad(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Mesh = geom.NewMesh(4, 4)
+	cfg.GuestContexts = 0
+	cfg.MigOverheadCycles = 0 // the network model carries no fixed overheads
+	cfg.RemoteOverheadCycles = 0
+	tr := workload.Ocean(workload.Config{Threads: 16, Scale: 32, Iters: 1, Seed: 4})
+
+	net, err := NetworkReplay(cfg, tr, placement.NewFirstTouch(4096), AlwaysMigrate{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Analytical per-thread cost (same cost definition, zero-load).
+	eng, err := NewEngine(cfg, placement.NewFirstTouch(4096), AlwaysMigrate{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ana, err := eng.Run(tr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for th := 0; th < tr.NumThreads; th++ {
+		if net.PerThread[th] < ana.PerThreadCycles[th] {
+			t.Errorf("thread %d: event network (%d) beat zero-load model (%d)",
+				th, net.PerThread[th], ana.PerThreadCycles[th])
+		}
+	}
+	if net.Traffic != ana.Traffic {
+		t.Errorf("event traffic %d != analytical traffic %d", net.Traffic, ana.Traffic)
+	}
+}
+
+func TestNetworkReplayValidation(t *testing.T) {
+	if _, err := NetworkReplay(Config{}, trace.New("x", 1), testPlacement(), AlwaysMigrate{}); err == nil {
+		t.Error("zero config accepted")
+	}
+	bad := trace.New("bad", 1)
+	bad.Accesses = append(bad.Accesses, trace.Access{Thread: 3})
+	if _, err := NetworkReplay(testConfig(), bad, testPlacement(), AlwaysMigrate{}); err == nil {
+		t.Error("invalid trace accepted")
+	}
+}
+
+func TestNetworkReplayHybridUsesAllVNs(t *testing.T) {
+	cfg := testConfig()
+	tr := workload.Ocean(workload.Config{Threads: 4, Scale: 32, Iters: 1, Seed: 4})
+	res, err := NetworkReplay(cfg, tr, placement.NewFirstTouch(4096), NewDistance(cfg.Mesh, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.VNCounts[noc.VNMigration] == 0 {
+		t.Error("hybrid replay used no migrations")
+	}
+	if res.VNCounts[noc.VNRemoteReq] == 0 || res.VNCounts[noc.VNRemoteRep] == 0 {
+		t.Error("hybrid replay used no remote accesses")
+	}
+	if res.VNCounts[noc.VNRemoteReq] != res.VNCounts[noc.VNRemoteRep] {
+		t.Errorf("unmatched request/reply counts: %v", res.VNCounts)
+	}
+}

@@ -1,0 +1,202 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/trace"
+)
+
+// Decision is the per-access choice of Figure 3: migrate the execution
+// context to the home core, or keep the context in place and perform a
+// word-granular remote cache access.
+type Decision int
+
+// The two decisions.
+const (
+	Migrate Decision = iota
+	RemoteAccess
+)
+
+// String implements fmt.Stringer.
+func (d Decision) String() string {
+	switch d {
+	case Migrate:
+		return "migrate"
+	case RemoteAccess:
+		return "remote-access"
+	}
+	return fmt.Sprintf("decision(%d)", int(d))
+}
+
+// AccessInfo is everything a hardware decision unit would see when an access
+// misses the current core: who is asking, where execution currently is,
+// where the data lives, and the access itself.
+type AccessInfo struct {
+	Thread int
+	Index  int // position in the thread's access stream
+	Cur    geom.CoreID
+	Home   geom.CoreID
+	Native geom.CoreID
+	Access trace.Access
+}
+
+// Scheme is a migrate-vs-remote-access decision scheme. Decide is consulted
+// only for non-local accesses (Cur != Home); the engine handles local hits
+// itself, as in Figure 3's flow chart.
+//
+// Schemes may carry state (the history predictor does); the engine calls
+// Decide in trace order, and Observe-style feedback is folded into Decide's
+// return because the decision and the outcome are known at the same moment
+// in a trace-driven simulation.
+type Scheme interface {
+	Name() string
+	Decide(info AccessInfo) Decision
+}
+
+// AlwaysMigrate is the pure EM² of §2: every non-local access migrates.
+type AlwaysMigrate struct{}
+
+// Name implements Scheme.
+func (AlwaysMigrate) Name() string { return "always-migrate" }
+
+// Decide implements Scheme.
+func (AlwaysMigrate) Decide(AccessInfo) Decision { return Migrate }
+
+// AlwaysRemote is the remote-access-only baseline the paper contrasts with
+// (Fensch & Cintra [15]): every non-local access is a round trip and
+// execution never moves.
+type AlwaysRemote struct{}
+
+// Name implements Scheme.
+func (AlwaysRemote) Name() string { return "always-remote" }
+
+// Decide implements Scheme.
+func (AlwaysRemote) Decide(AccessInfo) Decision { return RemoteAccess }
+
+// distanceScheme migrates only when the home is within a threshold hop
+// count: nearby migrations are cheap (little serialization advantage for
+// RA), while a remote access avoids dragging the context across the die. A
+// plausible hardware scheme — the decision needs only the home coordinates,
+// which the address carries.
+type distanceScheme struct {
+	mesh      geom.Mesh
+	threshold int
+}
+
+// NewDistance returns a scheme that migrates when hops(cur,home) <= thresh.
+func NewDistance(mesh geom.Mesh, thresh int) Scheme {
+	return &distanceScheme{mesh: mesh, threshold: thresh}
+}
+
+// Name implements Scheme.
+func (d *distanceScheme) Name() string { return fmt.Sprintf("distance<=%d", d.threshold) }
+
+// Decide implements Scheme.
+func (d *distanceScheme) Decide(info AccessInfo) Decision {
+	if d.mesh.Hops(info.Cur, info.Home) <= d.threshold {
+		return Migrate
+	}
+	return RemoteAccess
+}
+
+// History is a per-(thread, home-page) run-length predictor: if past visits
+// to this page's home produced runs of at least MinRun consecutive accesses,
+// the thread migrates (it will likely stay and amortize the context
+// transfer); otherwise it performs a remote access. This is the kind of
+// "hardware-implementable scheme" the paper wants to evaluate against the
+// DP upper bound.
+type History struct {
+	MinRun    int
+	PageBytes int
+
+	// lastRun[(thread,page)] = length of the most recent run at that page's
+	// home core.
+	lastRun map[historyKey]int
+	// live run tracking, updated by the engine via NoteAccess.
+	curHome map[int]geom.CoreID
+	curLen  map[int]int
+	curPage map[int]trace.Addr
+}
+
+type historyKey struct {
+	thread int
+	page   trace.Addr
+}
+
+// NewHistory returns a history predictor with the given run threshold.
+func NewHistory(minRun int) *History {
+	return &History{
+		MinRun:    minRun,
+		PageBytes: 4096,
+		lastRun:   make(map[historyKey]int),
+		curHome:   make(map[int]geom.CoreID),
+		curLen:    make(map[int]int),
+		curPage:   make(map[int]trace.Addr),
+	}
+}
+
+// Name implements Scheme.
+func (h *History) Name() string { return fmt.Sprintf("history>=%d", h.MinRun) }
+
+// Decide implements Scheme.
+func (h *History) Decide(info AccessInfo) Decision {
+	page := info.Access.Addr / trace.Addr(h.PageBytes)
+	if run, ok := h.lastRun[historyKey{info.Thread, page}]; ok && run >= h.MinRun {
+		return Migrate
+	}
+	// Unknown pages default to remote access: the cheap, low-risk choice
+	// for an isolated reference.
+	return RemoteAccess
+}
+
+// NoteAccess feeds the engine's ground truth back into the predictor: every
+// access (local or not) updates the live run of its thread, and a run ends
+// when the thread accesses a different core's memory.
+func (h *History) NoteAccess(thread int, home geom.CoreID, addr trace.Addr) {
+	if cur, ok := h.curHome[thread]; ok && cur == home {
+		h.curLen[thread]++
+		return
+	}
+	// Run ended: record it against the page that started it.
+	if l, ok := h.curLen[thread]; ok && l > 0 {
+		h.lastRun[historyKey{thread, h.curPage[thread]}] = l
+	}
+	h.curHome[thread] = home
+	h.curLen[thread] = 1
+	h.curPage[thread] = addr / trace.Addr(h.PageBytes)
+}
+
+// observer is implemented by schemes that want ground-truth feedback.
+type observer interface {
+	NoteAccess(thread int, home geom.CoreID, addr trace.Addr)
+}
+
+// Fixed replays a precomputed decision sequence per thread — the vehicle for
+// the DP oracle's output. Decisions are consumed in order per thread, for
+// non-local accesses only (matching how the oracle emits them).
+type Fixed struct {
+	name      string
+	decisions map[int][]Decision
+	next      map[int]int
+}
+
+// NewFixed wraps per-thread decision sequences. The engine consults entry
+// next[thread] on each non-local access by that thread.
+func NewFixed(name string, decisions map[int][]Decision) *Fixed {
+	return &Fixed{name: name, decisions: decisions, next: make(map[int]int)}
+}
+
+// Name implements Scheme.
+func (f *Fixed) Name() string { return f.name }
+
+// Decide implements Scheme.
+func (f *Fixed) Decide(info AccessInfo) Decision {
+	seq := f.decisions[info.Thread]
+	i := f.next[info.Thread]
+	if i >= len(seq) {
+		panic(fmt.Sprintf("core: fixed scheme %q exhausted for thread %d", f.name, info.Thread))
+	}
+	f.next[info.Thread] = i + 1
+	return seq[i]
+}

@@ -1,0 +1,238 @@
+package dircc
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/placement"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Mesh = geom.NewMesh(2, 2)
+	return cfg
+}
+
+func striped() placement.Policy { return placement.NewStriped(64, 4) }
+
+func mustRun(t *testing.T, cfg Config, tr *trace.Trace) (*Engine, *Result) {
+	t.Helper()
+	e, err := NewEngine(cfg, striped())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, res
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := NewEngine(Config{}, striped()); err == nil {
+		t.Error("zero config accepted")
+	}
+	if _, err := NewEngine(testConfig(), nil); err == nil {
+		t.Error("nil placement accepted")
+	}
+	e, _ := NewEngine(testConfig(), striped())
+	bad := trace.New("bad", 1)
+	bad.Accesses = append(bad.Accesses, trace.Access{Thread: 5})
+	if _, err := e.Run(bad); err == nil {
+		t.Error("invalid trace accepted")
+	}
+}
+
+func TestColdReadMissThenHit(t *testing.T) {
+	tr := trace.New("rd", 4)
+	// Line 0x140 is homed at core 1 under 64-byte striping over 4 cores, so
+	// the miss from core 0 crosses the network.
+	tr.Append(trace.Access{Thread: 0, Addr: 0x140})
+	tr.Append(trace.Access{Thread: 0, Addr: 0x140})
+	_, res := mustRun(t, testConfig(), tr)
+	if res.ReadMisses != 1 || res.LocalHits != 1 {
+		t.Errorf("rdMiss=%d hits=%d", res.ReadMisses, res.LocalHits)
+	}
+	if res.MemFetches != 1 {
+		t.Errorf("mem fetches = %d", res.MemFetches)
+	}
+	if res.Cycles <= 0 || res.Traffic <= 0 {
+		t.Errorf("cycles=%d traffic=%d", res.Cycles, res.Traffic)
+	}
+}
+
+func TestWriteInvalidatesSharers(t *testing.T) {
+	tr := trace.New("inv", 4)
+	// Three readers then one writer: the writer must invalidate the two
+	// *other* sharers.
+	tr.Append(trace.Access{Thread: 0, Addr: 0x100})
+	tr.Append(trace.Access{Thread: 1, Addr: 0x100})
+	tr.Append(trace.Access{Thread: 2, Addr: 0x100})
+	tr.Append(trace.Access{Thread: 0, Addr: 0x100, Write: true})
+	eng, res := mustRun(t, testConfig(), tr)
+	if res.Invalidations != 2 {
+		t.Errorf("invalidations = %d, want 2", res.Invalidations)
+	}
+	sharers, modified := eng.DirectoryState(0x100)
+	if sharers != 0 || !modified {
+		t.Errorf("directory after write: sharers=%d modified=%v", sharers, modified)
+	}
+	// Invalidated caches must no longer hold the line.
+	if eng.CacheOf(1).Probe(0x100) || eng.CacheOf(2).Probe(0x100) {
+		t.Error("invalidated caches still hold the line")
+	}
+}
+
+func TestReadAfterModifiedForwards(t *testing.T) {
+	tr := trace.New("fwd", 4)
+	tr.Append(trace.Access{Thread: 0, Addr: 0x100, Write: true}) // M at core 0
+	tr.Append(trace.Access{Thread: 1, Addr: 0x100})              // 3-hop read
+	eng, res := mustRun(t, testConfig(), tr)
+	if res.Forwards != 1 {
+		t.Errorf("forwards = %d, want 1", res.Forwards)
+	}
+	if res.Writebacks != 1 {
+		t.Errorf("writebacks = %d, want 1", res.Writebacks)
+	}
+	sharers, modified := eng.DirectoryState(0x100)
+	if modified || sharers != 2 {
+		t.Errorf("directory after downgrade: sharers=%d modified=%v", sharers, modified)
+	}
+}
+
+func TestWriteAfterModifiedElsewhere(t *testing.T) {
+	tr := trace.New("wm", 4)
+	tr.Append(trace.Access{Thread: 0, Addr: 0x100, Write: true})
+	tr.Append(trace.Access{Thread: 1, Addr: 0x100, Write: true})
+	eng, res := mustRun(t, testConfig(), tr)
+	if res.Forwards != 1 {
+		t.Errorf("forwards = %d", res.Forwards)
+	}
+	if eng.CacheOf(0).Probe(0x100) {
+		t.Error("previous owner still holds the line after M->M transfer")
+	}
+	_, modified := eng.DirectoryState(0x100)
+	if !modified {
+		t.Error("line not modified after write")
+	}
+}
+
+func TestReplicationFactor(t *testing.T) {
+	tr := trace.New("repl", 4)
+	// All four cores read the same line: 4 copies of 1 unique line.
+	for th := 0; th < 4; th++ {
+		tr.Append(trace.Access{Thread: th, Addr: 0x100})
+	}
+	_, res := mustRun(t, testConfig(), tr)
+	if res.ReplicationFactor != 4 {
+		t.Errorf("replication = %v, want 4", res.ReplicationFactor)
+	}
+	// EM² by construction has replication factor 1 (single home per line) —
+	// this asymmetry is the §2 capacity argument.
+}
+
+func TestCapacityEvictionNotifiesDirectory(t *testing.T) {
+	cfg := testConfig()
+	cfg.CacheCfg = cache.Config{SizeBytes: 128, LineBytes: 64, Ways: 1} // 2 lines
+	tr := trace.New("cap", 4)
+	// Fill core 0's two sets, then evict line 0 with a conflicting line.
+	tr.Append(trace.Access{Thread: 0, Addr: 0x000, Write: true})
+	tr.Append(trace.Access{Thread: 0, Addr: 0x080}) // same set as 0x000
+	eng, res := mustRun(t, cfg, tr)
+	if res.Writebacks < 1 {
+		t.Errorf("dirty eviction produced no writeback (wb=%d)", res.Writebacks)
+	}
+	sharers, modified := eng.DirectoryState(0x000)
+	if sharers != 0 || modified {
+		t.Errorf("directory kept evicted line: sharers=%d modified=%v", sharers, modified)
+	}
+}
+
+// TestEM2BeatsCCOnShardedWrites reproduces the qualitative §2/T4 claim on a
+// write-shared workload: directory coherence pays invalidations and line
+// transfers where EM² pays migrations, and EM² never replicates data.
+func TestEM2BeatsCCOnShardedWrites(t *testing.T) {
+	mesh := geom.NewMesh(4, 4)
+	tr := workload.PingPong(workload.Config{Threads: 16, Scale: 64, Iters: 2, Seed: 1})
+
+	ccCfg := DefaultConfig()
+	ccCfg.Mesh = mesh
+	cc, err := NewEngine(ccCfg, placement.NewFirstTouch(4096))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ccRes, err := cc.Run(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	emCfg := core.DefaultConfig()
+	emCfg.Mesh = mesh
+	emCfg.GuestContexts = 0
+	eng, err := core.NewEngine(emCfg, placement.NewFirstTouch(4096), core.AlwaysMigrate{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	emRes, err := eng.Run(tr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The paper's claim is directional, not absolute: on a write-shared
+	// ping-pong workload CC pays invalidations/forwards that EM² does not
+	// have, and only CC replicates. We assert the structural facts.
+	if ccRes.Invalidations+ccRes.Forwards == 0 {
+		t.Error("CC baseline saw no coherence traffic on a write-shared workload")
+	}
+	if ccRes.ReplicationFactor < 1 {
+		t.Errorf("replication = %v", ccRes.ReplicationFactor)
+	}
+	if emRes.Migrations == 0 {
+		t.Error("EM² performed no migrations on ping-pong")
+	}
+	t.Logf("pingpong: CC cycles=%d traffic=%d repl=%.2f | EM2 cycles=%d traffic=%d",
+		ccRes.Cycles, ccRes.Traffic, ccRes.ReplicationFactor, emRes.Cycles, emRes.Traffic)
+}
+
+func TestPrivateWorkloadIsAllHitsAfterWarmup(t *testing.T) {
+	cfg := testConfig()
+	tr := workload.Private(workload.Config{Threads: 4, Scale: 16, Iters: 4, Seed: 1})
+	_, res := mustRun(t, cfg, tr)
+	// After the first touch of each line, everything hits locally: private
+	// data is where CC is at its best (and EM² equally never migrates).
+	if res.Invalidations != 0 || res.Forwards != 0 {
+		t.Errorf("private workload caused coherence traffic: inv=%d fwd=%d", res.Invalidations, res.Forwards)
+	}
+	if res.LocalHits == 0 {
+		t.Error("no local hits")
+	}
+	if res.ReplicationFactor > 1.001 {
+		t.Errorf("private data replicated: %v", res.ReplicationFactor)
+	}
+}
+
+func TestResultString(t *testing.T) {
+	tr := trace.New("s", 1)
+	tr.Append(trace.Access{Thread: 0, Addr: 0})
+	_, res := mustRun(t, testConfig(), tr)
+	if res.String() == "" {
+		t.Error("empty string")
+	}
+}
+
+func TestConfigValidateRejectsBad(t *testing.T) {
+	bad := DefaultConfig()
+	bad.CtrlBits = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("CtrlBits=0 validated")
+	}
+	bad2 := DefaultConfig()
+	bad2.MemCycles = -1
+	if err := bad2.Validate(); err == nil {
+		t.Error("MemCycles=-1 validated")
+	}
+}

@@ -1,0 +1,294 @@
+package isa
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble translates assembler text into instructions. Syntax, one
+// instruction per line:
+//
+//	; comment (also #)
+//	label:
+//	    addi r1, r0, 42
+//	    lw   r2, 8(r1)
+//	    faa  r3, 0(r4), r5
+//	    beq  r1, r2, done
+//	    jmp  loop
+//	done:
+//	    halt
+//
+// Branch targets may be labels (resolved to PC-relative offsets) or literal
+// integers; jump targets resolve to absolute instruction indices.
+func Assemble(src string) ([]Instr, error) {
+	type pending struct {
+		line  int
+		instr Instr
+		label string // unresolved target, "" if already numeric
+	}
+	labels := make(map[string]int)
+	var prog []pending
+
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexAny(line, ";#"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		// Labels, possibly followed by an instruction on the same line.
+		for {
+			i := strings.Index(line, ":")
+			if i < 0 {
+				break
+			}
+			label := strings.TrimSpace(line[:i])
+			if !isIdent(label) {
+				return nil, fmt.Errorf("line %d: bad label %q", lineNo+1, label)
+			}
+			if _, dup := labels[label]; dup {
+				return nil, fmt.Errorf("line %d: duplicate label %q", lineNo+1, label)
+			}
+			labels[label] = len(prog)
+			line = strings.TrimSpace(line[i+1:])
+		}
+		if line == "" {
+			continue
+		}
+		in, labelRef, err := parseInstr(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", lineNo+1, err)
+		}
+		prog = append(prog, pending{line: lineNo + 1, instr: in, label: labelRef})
+	}
+
+	out := make([]Instr, len(prog))
+	for pc, p := range prog {
+		in := p.instr
+		if p.label != "" {
+			target, ok := labels[p.label]
+			if !ok {
+				return nil, fmt.Errorf("line %d: undefined label %q", p.line, p.label)
+			}
+			switch in.Op {
+			case JMP, JAL:
+				in.Imm = int32(target)
+			default: // branches are relative to the next instruction
+				in.Imm = int32(target - (pc + 1))
+			}
+		}
+		out[pc] = in
+	}
+	return out, nil
+}
+
+// MustAssemble is Assemble for tests and examples with known-good sources.
+func MustAssemble(src string) []Instr {
+	p, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Disassemble renders a program as assembler text, one instruction per line.
+func Disassemble(prog []Instr) string {
+	var b strings.Builder
+	for pc, in := range prog {
+		fmt.Fprintf(&b, "%4d: %s\n", pc, in)
+	}
+	return b.String()
+}
+
+func parseInstr(line string) (Instr, string, error) {
+	fields := strings.Fields(line)
+	mnemonic := strings.ToLower(fields[0])
+	args := strings.Join(fields[1:], " ")
+	parts := splitArgs(args)
+
+	var op Op = numOps
+	for o := Op(0); o < numOps; o++ {
+		if opNames[o] == mnemonic {
+			op = o
+			break
+		}
+	}
+	if op == numOps {
+		return Instr{}, "", fmt.Errorf("unknown mnemonic %q", mnemonic)
+	}
+
+	in := Instr{Op: op}
+	need := func(n int) error {
+		if len(parts) != n {
+			return fmt.Errorf("%s wants %d operands, got %d", mnemonic, n, len(parts))
+		}
+		return nil
+	}
+	switch op {
+	case NOP, HALT:
+		return in, "", need(0)
+	case ADD, SUB, MUL, AND, OR, XOR, SLT, SLL, SRL:
+		if err := need(3); err != nil {
+			return in, "", err
+		}
+		var err error
+		if in.Rd, err = reg(parts[0]); err != nil {
+			return in, "", err
+		}
+		if in.Rs, err = reg(parts[1]); err != nil {
+			return in, "", err
+		}
+		in.Rt, err = reg(parts[2])
+		return in, "", err
+	case ADDI:
+		if err := need(3); err != nil {
+			return in, "", err
+		}
+		var err error
+		if in.Rd, err = reg(parts[0]); err != nil {
+			return in, "", err
+		}
+		if in.Rs, err = reg(parts[1]); err != nil {
+			return in, "", err
+		}
+		in.Imm, err = imm(parts[2])
+		return in, "", err
+	case LUI:
+		if err := need(2); err != nil {
+			return in, "", err
+		}
+		var err error
+		if in.Rd, err = reg(parts[0]); err != nil {
+			return in, "", err
+		}
+		in.Imm, err = imm(parts[1])
+		return in, "", err
+	case LW, SW:
+		if err := need(2); err != nil {
+			return in, "", err
+		}
+		var err error
+		if in.Rd, err = reg(parts[0]); err != nil {
+			return in, "", err
+		}
+		in.Imm, in.Rs, err = memOperand(parts[1])
+		return in, "", err
+	case FAA, SWAP:
+		if err := need(3); err != nil {
+			return in, "", err
+		}
+		var err error
+		if in.Rd, err = reg(parts[0]); err != nil {
+			return in, "", err
+		}
+		if in.Imm, in.Rs, err = memOperand(parts[1]); err != nil {
+			return in, "", err
+		}
+		in.Rt, err = reg(parts[2])
+		return in, "", err
+	case BEQ, BNE, BLT:
+		if err := need(3); err != nil {
+			return in, "", err
+		}
+		var err error
+		if in.Rd, err = reg(parts[0]); err != nil {
+			return in, "", err
+		}
+		if in.Rs, err = reg(parts[1]); err != nil {
+			return in, "", err
+		}
+		if v, e := imm(parts[2]); e == nil {
+			in.Imm = v
+			return in, "", nil
+		}
+		return in, parts[2], nil // label reference
+	case JMP, JAL:
+		if err := need(1); err != nil {
+			return in, "", err
+		}
+		if v, e := imm(parts[0]); e == nil {
+			in.Imm = v
+			return in, "", nil
+		}
+		return in, parts[0], nil
+	case JR:
+		if err := need(1); err != nil {
+			return in, "", err
+		}
+		var err error
+		in.Rd, err = reg(parts[0])
+		return in, "", err
+	}
+	return in, "", fmt.Errorf("unhandled mnemonic %q", mnemonic)
+}
+
+func splitArgs(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+func reg(s string) (uint8, error) {
+	if len(s) < 2 || (s[0] != 'r' && s[0] != 'R') {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= NumRegs {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	return uint8(n), nil
+}
+
+func imm(s string) (int32, error) {
+	v, err := strconv.ParseInt(s, 0, 32)
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate %q", s)
+	}
+	return int32(v), nil
+}
+
+// memOperand parses "imm(rN)".
+func memOperand(s string) (int32, uint8, error) {
+	open := strings.Index(s, "(")
+	close := strings.LastIndex(s, ")")
+	if open < 0 || close < open {
+		return 0, 0, fmt.Errorf("bad memory operand %q", s)
+	}
+	offStr := strings.TrimSpace(s[:open])
+	var off int32
+	if offStr != "" {
+		v, err := imm(offStr)
+		if err != nil {
+			return 0, 0, err
+		}
+		off = v
+	}
+	r, err := reg(strings.TrimSpace(s[open+1 : close]))
+	return off, r, err
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

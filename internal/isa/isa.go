@@ -1,0 +1,176 @@
+// Package isa defines the 32-bit register-file instruction set interpreted
+// by the concurrent EM² runtime in internal/machine. It is deliberately
+// Atom-like in the only respect that matters to the paper: the architectural
+// context is a 32-entry register file plus a program counter, ≈1 Kbit, which
+// is what every migration must carry (§2). The package provides instruction
+// encoding/decoding, a two-pass assembler and a disassembler.
+package isa
+
+import (
+	"fmt"
+)
+
+// Op is an opcode.
+type Op uint8
+
+// The instruction set. Arithmetic is register-register; memory ops use
+// base+offset addressing; branches are PC-relative; FAA and SWAP are the
+// atomic read-modify-write primitives (executed at the address's home core,
+// where EM²'s single-home invariant makes them trivially atomic).
+const (
+	NOP Op = iota
+	HALT
+	ADD  // rd = rs + rt
+	SUB  // rd = rs - rt
+	MUL  // rd = rs * rt
+	AND  // rd = rs & rt
+	OR   // rd = rs | rt
+	XOR  // rd = rs ^ rt
+	SLT  // rd = 1 if rs < rt (signed) else 0
+	SLL  // rd = rs << (rt & 31)
+	SRL  // rd = rs >> (rt & 31)
+	ADDI // rd = rs + imm
+	LUI  // rd = imm << 16
+	LW   // rd = mem[rs + imm]
+	SW   // mem[rs + imm] = rd
+	FAA  // rd = mem[rs + imm]; mem[rs + imm] += rt (atomic)
+	SWAP // rd = mem[rs + imm]; mem[rs + imm] = rt (atomic)
+	BEQ  // if rd == rs: pc += imm
+	BNE  // if rd != rs: pc += imm
+	BLT  // if rd < rs (signed): pc += imm
+	JMP  // pc = imm
+	JAL  // r31 = pc + 1; pc = imm
+	JR   // pc = rd
+	numOps
+)
+
+var opNames = [numOps]string{
+	"nop", "halt", "add", "sub", "mul", "and", "or", "xor", "slt", "sll",
+	"srl", "addi", "lui", "lw", "sw", "faa", "swap", "beq", "bne", "blt",
+	"jmp", "jal", "jr",
+}
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	if o >= numOps {
+		return fmt.Sprintf("op(%d)", uint8(o))
+	}
+	return opNames[o]
+}
+
+// Valid reports whether o names an instruction.
+func (o Op) Valid() bool { return o < numOps }
+
+// NumRegs is the architectural register count; register 0 reads as zero and
+// ignores writes, register 31 is the link register.
+const NumRegs = 32
+
+// ContextBits is the migrated context size: the register file plus the PC —
+// the paper's "1–2Kbits in a 32-bit Atom-like processor" (lower bound,
+// without TLB state).
+const ContextBits = NumRegs*32 + 32
+
+// Instr is one decoded instruction.
+type Instr struct {
+	Op         Op
+	Rd, Rs, Rt uint8
+	Imm        int32 // 16-bit signed immediate (26-bit for JMP/JAL)
+}
+
+// IsMem reports whether the instruction accesses data memory.
+func (i Instr) IsMem() bool {
+	switch i.Op {
+	case LW, SW, FAA, SWAP:
+		return true
+	}
+	return false
+}
+
+// IsWrite reports whether a memory instruction stores (FAA and SWAP both
+// read and write; they count as writes for coherence purposes).
+func (i Instr) IsWrite() bool {
+	switch i.Op {
+	case SW, FAA, SWAP:
+		return true
+	}
+	return false
+}
+
+// String renders the instruction in assembler syntax.
+func (i Instr) String() string {
+	switch i.Op {
+	case NOP, HALT:
+		return i.Op.String()
+	case ADD, SUB, MUL, AND, OR, XOR, SLT, SLL, SRL:
+		return fmt.Sprintf("%s r%d, r%d, r%d", i.Op, i.Rd, i.Rs, i.Rt)
+	case ADDI:
+		return fmt.Sprintf("%s r%d, r%d, %d", i.Op, i.Rd, i.Rs, i.Imm)
+	case LUI:
+		return fmt.Sprintf("%s r%d, %d", i.Op, i.Rd, i.Imm)
+	case LW:
+		return fmt.Sprintf("%s r%d, %d(r%d)", i.Op, i.Rd, i.Imm, i.Rs)
+	case SW:
+		return fmt.Sprintf("%s r%d, %d(r%d)", i.Op, i.Rd, i.Imm, i.Rs)
+	case FAA, SWAP:
+		return fmt.Sprintf("%s r%d, %d(r%d), r%d", i.Op, i.Rd, i.Imm, i.Rs, i.Rt)
+	case BEQ, BNE, BLT:
+		return fmt.Sprintf("%s r%d, r%d, %d", i.Op, i.Rd, i.Rs, i.Imm)
+	case JMP, JAL:
+		return fmt.Sprintf("%s %d", i.Op, i.Imm)
+	case JR:
+		return fmt.Sprintf("%s r%d", i.Op, i.Rd)
+	}
+	return fmt.Sprintf("%s ?", i.Op)
+}
+
+// Encode packs the instruction into 32 bits:
+//
+//	[31:26] op  [25:21] rd  [20:16] rs  [15:11] rt  [10:0] unused   (R-type)
+//	[31:26] op  [25:21] rd  [20:16] rs  [15:0] imm                  (I-type)
+//	[31:26] op  [25:0] imm                                          (J-type)
+func (i Instr) Encode() uint32 {
+	op := uint32(i.Op) << 26
+	switch i.Op {
+	case JMP, JAL:
+		return op | (uint32(i.Imm) & 0x03FF_FFFF)
+	case ADD, SUB, MUL, AND, OR, XOR, SLT, SLL, SRL:
+		return op | uint32(i.Rd)<<21 | uint32(i.Rs)<<16 | uint32(i.Rt)<<11
+	case FAA, SWAP:
+		// rt rides in bits [15:11]; the immediate is truncated to 11 bits.
+		return op | uint32(i.Rd)<<21 | uint32(i.Rs)<<16 | uint32(i.Rt)<<11 | (uint32(i.Imm) & 0x7FF)
+	default:
+		return op | uint32(i.Rd)<<21 | uint32(i.Rs)<<16 | (uint32(i.Imm) & 0xFFFF)
+	}
+}
+
+// Decode unpacks a 32-bit word encoded by Encode.
+func Decode(w uint32) (Instr, error) {
+	op := Op(w >> 26)
+	if !op.Valid() {
+		return Instr{}, fmt.Errorf("isa: invalid opcode %d", uint8(op))
+	}
+	i := Instr{Op: op}
+	switch op {
+	case JMP, JAL:
+		i.Imm = signExtend(w&0x03FF_FFFF, 26)
+	case ADD, SUB, MUL, AND, OR, XOR, SLT, SLL, SRL:
+		i.Rd = uint8(w >> 21 & 31)
+		i.Rs = uint8(w >> 16 & 31)
+		i.Rt = uint8(w >> 11 & 31)
+	case FAA, SWAP:
+		i.Rd = uint8(w >> 21 & 31)
+		i.Rs = uint8(w >> 16 & 31)
+		i.Rt = uint8(w >> 11 & 31)
+		i.Imm = signExtend(w&0x7FF, 11)
+	default:
+		i.Rd = uint8(w >> 21 & 31)
+		i.Rs = uint8(w >> 16 & 31)
+		i.Imm = signExtend(w&0xFFFF, 16)
+	}
+	return i, nil
+}
+
+func signExtend(v uint32, bits int) int32 {
+	shift := 32 - bits
+	return int32(v<<shift) >> shift
+}

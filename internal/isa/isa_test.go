@@ -1,0 +1,254 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpStrings(t *testing.T) {
+	if ADD.String() != "add" || HALT.String() != "halt" || FAA.String() != "faa" {
+		t.Error("op names wrong")
+	}
+	if Op(200).String() != "op(200)" {
+		t.Error("invalid op string")
+	}
+	if Op(200).Valid() {
+		t.Error("invalid op reported valid")
+	}
+}
+
+func TestContextBitsMatchesPaper(t *testing.T) {
+	// "1–2Kbits in a 32-bit Atom-like processor": 32 regs + PC = 1056.
+	if ContextBits != 1056 {
+		t.Errorf("ContextBits = %d, want 1056", ContextBits)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	cases := []Instr{
+		{Op: NOP},
+		{Op: HALT},
+		{Op: ADD, Rd: 1, Rs: 2, Rt: 3},
+		{Op: SLL, Rd: 31, Rs: 30, Rt: 1},
+		{Op: ADDI, Rd: 5, Rs: 6, Imm: -42},
+		{Op: ADDI, Rd: 5, Rs: 6, Imm: 32767},
+		{Op: LUI, Rd: 1, Imm: 0x7FFF},
+		{Op: LW, Rd: 2, Rs: 3, Imm: 64},
+		{Op: SW, Rd: 2, Rs: 3, Imm: -64},
+		{Op: FAA, Rd: 1, Rs: 2, Rt: 3, Imm: 12},
+		{Op: SWAP, Rd: 1, Rs: 2, Rt: 3, Imm: -12},
+		{Op: BEQ, Rd: 1, Rs: 2, Imm: -5},
+		{Op: BNE, Rd: 1, Rs: 2, Imm: 100},
+		{Op: BLT, Rd: 1, Rs: 2, Imm: 0},
+		{Op: JMP, Imm: 1000},
+		{Op: JAL, Imm: 2},
+		{Op: JR, Rd: 31},
+	}
+	for _, in := range cases {
+		got, err := Decode(in.Encode())
+		if err != nil {
+			t.Errorf("%v: %v", in, err)
+			continue
+		}
+		if got != in {
+			t.Errorf("round trip %v -> %v", in, got)
+		}
+	}
+}
+
+func TestDecodeRejectsBadOpcode(t *testing.T) {
+	if _, err := Decode(uint32(numOps) << 26); err == nil {
+		t.Error("bad opcode decoded")
+	}
+}
+
+// Property: encode/decode is the identity on well-formed instructions.
+func TestEncodeDecodeProperty(t *testing.T) {
+	f := func(opRaw, rd, rs, rt uint8, immRaw int16) bool {
+		op := Op(opRaw % uint8(numOps))
+		in := Instr{Op: op, Rd: rd % 32, Rs: rs % 32, Rt: rt % 32, Imm: int32(immRaw)}
+		// Normalize fields the encoding does not carry for this op.
+		switch op {
+		case NOP, HALT:
+			in.Rd, in.Rs, in.Rt, in.Imm = 0, 0, 0, 0
+		case ADD, SUB, MUL, AND, OR, XOR, SLT, SLL, SRL:
+			in.Imm = 0
+		case FAA, SWAP:
+			in.Imm = int32(immRaw % 1024) // 11-bit field
+		case JMP, JAL:
+			in.Rd, in.Rs, in.Rt = 0, 0, 0
+			if in.Imm < 0 {
+				in.Imm = -in.Imm
+			}
+		case JR:
+			in.Rs, in.Rt, in.Imm = 0, 0, 0
+		default:
+			in.Rt = 0
+		}
+		got, err := Decode(in.Encode())
+		return err == nil && got == in
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAssembleBasics(t *testing.T) {
+	prog, err := Assemble(`
+		; compute 2+3 into r3 and store it
+		addi r1, r0, 2
+		addi r2, r0, 3
+		add  r3, r1, r2
+		sw   r3, 0(r0)
+		halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog) != 5 {
+		t.Fatalf("len = %d", len(prog))
+	}
+	if prog[2].Op != ADD || prog[2].Rd != 3 || prog[2].Rs != 1 || prog[2].Rt != 2 {
+		t.Errorf("add = %v", prog[2])
+	}
+	if prog[3].Op != SW || prog[3].Imm != 0 || prog[3].Rs != 0 || prog[3].Rd != 3 {
+		t.Errorf("sw = %v", prog[3])
+	}
+}
+
+func TestAssembleLabelsAndBranches(t *testing.T) {
+	prog, err := Assemble(`
+	loop:
+		addi r1, r1, -1
+		bne  r1, r0, loop
+		jmp  done
+		nop
+	done:
+		halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// bne at pc 1 targets pc 0: offset = 0 - 2 = -2.
+	if prog[1].Imm != -2 {
+		t.Errorf("bne offset = %d, want -2", prog[1].Imm)
+	}
+	// jmp at pc 2 targets absolute 4.
+	if prog[2].Imm != 4 {
+		t.Errorf("jmp target = %d, want 4", prog[2].Imm)
+	}
+}
+
+func TestAssembleMemoryOperands(t *testing.T) {
+	prog, err := Assemble(`
+		lw   r1, 8(r2)
+		sw   r1, (r2)
+		faa  r3, 4(r2), r5
+		swap r3, -4(r2), r5
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog[0].Imm != 8 || prog[0].Rs != 2 {
+		t.Errorf("lw = %v", prog[0])
+	}
+	if prog[1].Imm != 0 {
+		t.Errorf("sw = %v", prog[1])
+	}
+	if prog[2].Rt != 5 || prog[2].Imm != 4 {
+		t.Errorf("faa = %v", prog[2])
+	}
+	if prog[3].Imm != -4 {
+		t.Errorf("swap = %v", prog[3])
+	}
+}
+
+func TestAssembleHexAndComments(t *testing.T) {
+	prog, err := Assemble("addi r1, r0, 0x10 # hex\nlui r2, 0x8000\nhalt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog[0].Imm != 16 {
+		t.Errorf("imm = %d", prog[0].Imm)
+	}
+	if prog[1].Imm != 0x8000 {
+		t.Errorf("lui = %d", prog[1].Imm)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	bad := []string{
+		"frob r1, r2",                // unknown mnemonic
+		"add r1, r2",                 // wrong arity
+		"addi r1, r0, zork",          // bad immediate
+		"lw r1, 4[r2]",               // bad memory operand
+		"add r99, r0, r0",            // bad register
+		"beq r1, r2, nowhere",        // undefined label
+		"x: addi r1, r0, 1\nx: halt", // duplicate label
+		"9bad: halt",                 // bad label
+	}
+	for _, src := range bad {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("assembled %q without error", src)
+		}
+	}
+}
+
+func TestMustAssemblePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAssemble did not panic")
+		}
+	}()
+	MustAssemble("frob")
+}
+
+func TestDisassemble(t *testing.T) {
+	src := `
+		addi r1, r0, 7
+		lw r2, 4(r1)
+		faa r3, 0(r1), r2
+		beq r2, r3, 1
+		jmp 0
+		jr r31
+		halt
+	`
+	prog := MustAssemble(src)
+	out := Disassemble(prog)
+	for _, want := range []string{"addi r1, r0, 7", "lw r2, 4(r1)", "faa r3, 0(r1), r2", "jr r31", "halt"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, out)
+		}
+	}
+	// Re-assembling the disassembly (sans pc prefixes) round-trips.
+	var rebuilt strings.Builder
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		rebuilt.WriteString(strings.SplitN(line, ":", 2)[1])
+		rebuilt.WriteByte('\n')
+	}
+	prog2, err := Assemble(rebuilt.String())
+	if err != nil {
+		t.Fatalf("reassembly: %v", err)
+	}
+	if len(prog2) != len(prog) {
+		t.Fatalf("reassembly length %d != %d", len(prog2), len(prog))
+	}
+	for i := range prog {
+		if prog[i] != prog2[i] {
+			t.Errorf("instr %d: %v != %v", i, prog[i], prog2[i])
+		}
+	}
+}
+
+func TestIsMemIsWrite(t *testing.T) {
+	if !(Instr{Op: LW}).IsMem() || !(Instr{Op: SW}).IsMem() || !(Instr{Op: FAA}).IsMem() {
+		t.Error("IsMem wrong")
+	}
+	if (Instr{Op: ADD}).IsMem() {
+		t.Error("add is not mem")
+	}
+	if (Instr{Op: LW}).IsWrite() || !(Instr{Op: SW}).IsWrite() || !(Instr{Op: SWAP}).IsWrite() {
+		t.Error("IsWrite wrong")
+	}
+}

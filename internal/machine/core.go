@@ -1,0 +1,274 @@
+package machine
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/isa"
+)
+
+// coreNode is one core: an execution loop plus the per-core ends of the
+// migration and eviction virtual networks.
+type coreNode struct {
+	id      geom.CoreID
+	m       *Machine
+	migIn   chan *context // guest-bound migrations (paper's migration VN)
+	evictIn chan *context // native returns (paper's eviction VN)
+	runq    []*context
+	guests  int
+}
+
+// loop is the core goroutine: accept arrivals, time-slice resident contexts.
+func (n *coreNode) loop() {
+	defer n.m.coreWG.Done()
+	for {
+		n.drain()
+		if len(n.runq) == 0 {
+			// Idle: block until an arrival or shutdown.
+			select {
+			case c := <-n.evictIn:
+				n.acceptNative(c)
+			case c := <-n.migIn:
+				n.acceptGuest(c)
+			case <-n.m.done:
+				return
+			}
+			continue
+		}
+		c := n.runq[0]
+		n.runq = n.runq[1:]
+		if c.native != n.id {
+			n.guests--
+		}
+		n.execute(c)
+	}
+}
+
+// drain accepts all queued arrivals without blocking. Native returns are
+// accepted first: they can never be refused, which is what makes the
+// eviction network's consumption unconditional.
+func (n *coreNode) drain() {
+	for {
+		select {
+		case c := <-n.evictIn:
+			n.acceptNative(c)
+			continue
+		default:
+		}
+		select {
+		case c := <-n.migIn:
+			n.acceptGuest(c)
+			continue
+		default:
+		}
+		return
+	}
+}
+
+func (n *coreNode) acceptNative(c *context) {
+	if c.native != n.id {
+		panic(fmt.Sprintf("machine: context of thread %d (native %d) on eviction channel of core %d",
+			c.thread, c.native, n.id))
+	}
+	n.runq = append(n.runq, c)
+}
+
+// acceptGuest implements Figure 1's "# threads exceeded?" box: if the guest
+// pool is full, the oldest resident guest is evicted to its native core on
+// the eviction channel (which has capacity for every thread in the system,
+// so this send cannot block — the deadlock-freedom argument).
+func (n *coreNode) acceptGuest(c *context) {
+	if c.native == n.id {
+		// A migration can target the thread's own native core (returning
+		// home): that lands in the reserved native context.
+		n.runq = append(n.runq, c)
+		return
+	}
+	if n.m.cfg.GuestContexts > 0 {
+		for n.guests >= n.m.cfg.GuestContexts {
+			victim := n.evictOneGuest()
+			if victim == nil {
+				break // all resident guests are mid-flight; accept anyway
+			}
+		}
+	}
+	n.guests++
+	n.runq = append(n.runq, c)
+}
+
+// evictOneGuest removes the longest-resident guest from the run queue and
+// sends it home. Returns nil if no guest is queued.
+func (n *coreNode) evictOneGuest() *context {
+	for i, g := range n.runq {
+		if g.native != n.id {
+			n.runq = append(n.runq[:i], n.runq[i+1:]...)
+			n.guests--
+			n.m.evictions.Add(1)
+			n.m.nodes[g.native].evictIn <- g // capacity ≥ #threads: never blocks
+			return g
+		}
+	}
+	return nil
+}
+
+// requeue returns a context to the local run queue after its quantum.
+func (n *coreNode) requeue(c *context) {
+	if c.native != n.id {
+		n.guests++
+	}
+	n.runq = append(n.runq, c)
+}
+
+// execute runs a context for up to one quantum. The context either stays
+// (requeued), halts, or migrates away.
+func (n *coreNode) execute(c *context) {
+	prog := c.spec.Program
+	for step := 0; step < n.m.cfg.Quantum; step++ {
+		if c.pc < 0 || int(c.pc) >= len(prog) {
+			panic(fmt.Sprintf("machine: thread %d pc %d outside program of %d instructions",
+				c.thread, c.pc, len(prog)))
+		}
+		in := prog[c.pc]
+		if in.IsMem() {
+			addr := c.regs[in.Rs] + uint32(in.Imm)
+			home := n.m.place.touch(cache.Addr(addr), c.native)
+			if home != n.id {
+				info := core.AccessInfo{
+					Thread: c.thread,
+					Cur:    n.id,
+					Home:   home,
+					Native: c.native,
+				}
+				info.Access.Addr = cache.Addr(addr)
+				info.Access.Write = in.IsWrite()
+				if n.m.cfg.Scheme.Decide(info) == core.Migrate {
+					// Ship the context; the instruction re-executes at home,
+					// where the access will be local.
+					n.m.migrations.Add(1)
+					n.m.nodes[home].migIn <- c
+					return
+				}
+				n.remoteOp(c, in, addr, home)
+				c.pc++
+				n.m.instructions.Add(1)
+				continue
+			}
+			n.localOp(c, in, addr)
+			c.pc++
+			n.m.instructions.Add(1)
+			continue
+		}
+		if in.Op == isa.HALT {
+			n.m.instructions.Add(1)
+			n.m.mu.Lock()
+			n.m.finalRegs[c.thread] = c.regs
+			n.m.mu.Unlock()
+			n.m.haltWG.Done()
+			return
+		}
+		executeALU(c, in)
+		n.m.instructions.Add(1)
+	}
+	n.requeue(c)
+}
+
+func (n *coreNode) localOp(c *context, in isa.Instr, addr uint32) {
+	n.m.localOps.Add(1)
+	n.applyMem(c, in, addr, n.m.shards[n.id])
+}
+
+func (n *coreNode) remoteOp(c *context, in isa.Instr, addr uint32, home geom.CoreID) {
+	if in.IsWrite() {
+		n.m.remoteWrites.Add(1)
+	} else {
+		n.m.remoteReads.Add(1)
+	}
+	n.applyMem(c, in, addr, n.m.shards[home])
+}
+
+// applyMem performs the memory instruction against a shard. The shard's
+// lock is the home-core serialization point; it is never held across a
+// channel operation.
+func (n *coreNode) applyMem(c *context, in isa.Instr, addr uint32, s *shard) {
+	switch in.Op {
+	case isa.LW:
+		v := s.read(c, addr)
+		writeReg(c, in.Rd, v)
+	case isa.SW:
+		s.write(c, addr, c.regs[in.Rd])
+	case isa.FAA:
+		old := s.fetchAdd(c, addr, c.regs[in.Rt])
+		writeReg(c, in.Rd, old)
+	case isa.SWAP:
+		old := s.swap(c, addr, c.regs[in.Rt])
+		writeReg(c, in.Rd, old)
+	default:
+		panic(fmt.Sprintf("machine: %v is not a memory instruction", in.Op))
+	}
+}
+
+// executeALU interprets a non-memory, non-halt instruction.
+func executeALU(c *context, in isa.Instr) {
+	next := c.pc + 1
+	switch in.Op {
+	case isa.NOP:
+	case isa.ADD:
+		writeReg(c, in.Rd, c.regs[in.Rs]+c.regs[in.Rt])
+	case isa.SUB:
+		writeReg(c, in.Rd, c.regs[in.Rs]-c.regs[in.Rt])
+	case isa.MUL:
+		writeReg(c, in.Rd, c.regs[in.Rs]*c.regs[in.Rt])
+	case isa.AND:
+		writeReg(c, in.Rd, c.regs[in.Rs]&c.regs[in.Rt])
+	case isa.OR:
+		writeReg(c, in.Rd, c.regs[in.Rs]|c.regs[in.Rt])
+	case isa.XOR:
+		writeReg(c, in.Rd, c.regs[in.Rs]^c.regs[in.Rt])
+	case isa.SLT:
+		if int32(c.regs[in.Rs]) < int32(c.regs[in.Rt]) {
+			writeReg(c, in.Rd, 1)
+		} else {
+			writeReg(c, in.Rd, 0)
+		}
+	case isa.SLL:
+		writeReg(c, in.Rd, c.regs[in.Rs]<<(c.regs[in.Rt]&31))
+	case isa.SRL:
+		writeReg(c, in.Rd, c.regs[in.Rs]>>(c.regs[in.Rt]&31))
+	case isa.ADDI:
+		writeReg(c, in.Rd, c.regs[in.Rs]+uint32(in.Imm))
+	case isa.LUI:
+		writeReg(c, in.Rd, uint32(in.Imm)<<16)
+	case isa.BEQ:
+		if c.regs[in.Rd] == c.regs[in.Rs] {
+			next = c.pc + 1 + in.Imm
+		}
+	case isa.BNE:
+		if c.regs[in.Rd] != c.regs[in.Rs] {
+			next = c.pc + 1 + in.Imm
+		}
+	case isa.BLT:
+		if int32(c.regs[in.Rd]) < int32(c.regs[in.Rs]) {
+			next = c.pc + 1 + in.Imm
+		}
+	case isa.JMP:
+		next = in.Imm
+	case isa.JAL:
+		writeReg(c, 31, uint32(c.pc+1))
+		next = in.Imm
+	case isa.JR:
+		next = int32(c.regs[in.Rd])
+	default:
+		panic(fmt.Sprintf("machine: unhandled opcode %v", in.Op))
+	}
+	c.pc = next
+}
+
+// writeReg stores v into rd; register 0 is hardwired to zero.
+func writeReg(c *context, rd uint8, v uint32) {
+	if rd == 0 {
+		return
+	}
+	c.regs[rd] = v
+}

@@ -1,0 +1,232 @@
+// Package machine is a concurrent implementation of the Execution Migration
+// Machine: cores are goroutines, the migration and eviction virtual networks
+// are Go channels, and user programs written in the internal/isa instruction
+// set really execute with their architectural context (PC + register file)
+// shipped between cores whenever they touch memory homed elsewhere.
+//
+// The runtime preserves the paper's structural guarantees:
+//
+//   - Single home: every word lives in exactly one per-core shard, and every
+//     access — local, migrated-to, or remote — is serialized at that shard.
+//     Sequential consistency follows, and the SC checker in this package
+//     verifies it on recorded executions (experiment M1).
+//
+//   - Deadlock-free migration: each thread has a reserved native context;
+//     evictions travel on a dedicated channel (the paper's separate virtual
+//     network) whose capacity covers every thread that could ever be evicted
+//     toward that core, so an eviction send never blocks (experiment M2).
+//
+// Remote accesses are serialized at the home shard under its lock — the
+// same serialization point an RPC to a per-core server goroutine would give,
+// without holding any lock across a channel operation. Message-level
+// network behaviour (latency, virtual channels) is modelled by the
+// trace-driven engine in internal/core and internal/noc; this package is
+// about real concurrent execution semantics.
+package machine
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/isa"
+	"repro/internal/placement"
+)
+
+// Config describes the runtime.
+type Config struct {
+	Mesh          geom.Mesh
+	GuestContexts int              // guest contexts per core; 0 = unlimited
+	Placement     placement.Policy // wrapped with a lock internally
+	Scheme        core.Scheme      // nil = pure EM² (always migrate)
+	Quantum       int              // instructions per scheduling slice (default 64)
+	LogEvents     bool             // record memory events for the SC checker
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.Mesh.Cores() <= 0 {
+		return fmt.Errorf("machine: empty mesh")
+	}
+	if c.Placement == nil {
+		return fmt.Errorf("machine: nil placement")
+	}
+	if c.GuestContexts < 0 {
+		return fmt.Errorf("machine: negative guest contexts")
+	}
+	if c.Quantum < 0 {
+		return fmt.Errorf("machine: negative quantum")
+	}
+	return nil
+}
+
+// ThreadSpec describes one thread to run.
+type ThreadSpec struct {
+	Program []isa.Instr
+	Regs    map[int]uint32 // initial register values
+}
+
+// Result aggregates a run.
+type Result struct {
+	Instructions int64
+	Migrations   int64
+	Evictions    int64
+	RemoteReads  int64
+	RemoteWrites int64
+	LocalOps     int64
+
+	// FinalRegs[t] is thread t's register file at HALT.
+	FinalRegs [][isa.NumRegs]uint32
+	// Events is the merged memory-event log (LogEvents only), suitable for
+	// CheckSC.
+	Events []Event
+}
+
+// context is a thread's architectural state — exactly what a hardware
+// migration serializes (isa.ContextBits worth).
+type context struct {
+	thread int
+	pc     int32
+	regs   [isa.NumRegs]uint32
+	spec   *ThreadSpec
+	native geom.CoreID
+	memSeq int64 // per-thread memory-op counter (program order for SC)
+}
+
+// Machine is a runnable EM² instance. Create with New, run with Run.
+type Machine struct {
+	cfg    Config
+	place  *lockedPolicy
+	shards []*shard
+	nodes  []*coreNode
+	done   chan struct{}
+	haltWG sync.WaitGroup
+	coreWG sync.WaitGroup
+
+	instructions atomic.Int64
+	migrations   atomic.Int64
+	evictions    atomic.Int64
+	remoteReads  atomic.Int64
+	remoteWrites atomic.Int64
+	localOps     atomic.Int64
+
+	mu        sync.Mutex
+	finalRegs map[int][isa.NumRegs]uint32
+}
+
+// lockedPolicy makes any placement.Policy safe for concurrent Touch.
+type lockedPolicy struct {
+	mu sync.Mutex
+	p  placement.Policy
+}
+
+func (l *lockedPolicy) touch(a cache.Addr, by geom.CoreID) geom.CoreID {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.p.Touch(a, by)
+}
+
+// New builds a machine for the given thread count.
+func New(cfg Config, numThreads int) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if numThreads <= 0 {
+		return nil, fmt.Errorf("machine: need at least one thread")
+	}
+	if cfg.Quantum == 0 {
+		cfg.Quantum = 64
+	}
+	if cfg.Scheme == nil {
+		cfg.Scheme = core.AlwaysMigrate{}
+	}
+	m := &Machine{
+		cfg:       cfg,
+		place:     &lockedPolicy{p: cfg.Placement},
+		shards:    make([]*shard, cfg.Mesh.Cores()),
+		nodes:     make([]*coreNode, cfg.Mesh.Cores()),
+		done:      make(chan struct{}),
+		finalRegs: make(map[int][isa.NumRegs]uint32),
+	}
+	for i := range m.shards {
+		m.shards[i] = newShard(geom.CoreID(i), cfg.LogEvents)
+	}
+	for i := range m.nodes {
+		m.nodes[i] = &coreNode{
+			id:      geom.CoreID(i),
+			m:       m,
+			migIn:   make(chan *context, numThreads),
+			evictIn: make(chan *context, numThreads),
+		}
+	}
+	return m, nil
+}
+
+// Preload stores a word at addr before the run, binding the page to `by`
+// under first-touch placements — the runtime equivalent of the parallel
+// initialization phase of the trace workloads.
+func (m *Machine) Preload(addr uint32, value uint32, by geom.CoreID) {
+	home := m.place.touch(cache.Addr(addr), by)
+	m.shards[home].write(nil, addr, value)
+}
+
+// Read returns the current word at addr without logging an event, for
+// inspecting results after a run.
+func (m *Machine) Read(addr uint32) uint32 {
+	home := m.place.touch(cache.Addr(addr), 0)
+	return m.shards[home].peek(addr)
+}
+
+// Run executes the threads to completion and returns aggregate results.
+// Thread t starts at core t mod cores.
+func (m *Machine) Run(threads []ThreadSpec) (*Result, error) {
+	if len(threads) == 0 {
+		return nil, fmt.Errorf("machine: no threads")
+	}
+	cores := m.cfg.Mesh.Cores()
+	for i := range m.nodes {
+		m.coreWG.Add(1)
+		go m.nodes[i].loop()
+	}
+	m.haltWG.Add(len(threads))
+	for t := range threads {
+		spec := &threads[t]
+		ctx := &context{thread: t, spec: spec, native: geom.CoreID(t % cores)}
+		for r, v := range spec.Regs {
+			if r <= 0 || r >= isa.NumRegs {
+				return nil, fmt.Errorf("machine: thread %d: bad initial register r%d", t, r)
+			}
+			ctx.regs[r] = v
+		}
+		// Initial placement: the native context, via the eviction channel
+		// (a native arrival is always accepted).
+		m.nodes[ctx.native].evictIn <- ctx
+	}
+	m.haltWG.Wait()
+	close(m.done)
+	m.coreWG.Wait()
+
+	res := &Result{
+		Instructions: m.instructions.Load(),
+		Migrations:   m.migrations.Load(),
+		Evictions:    m.evictions.Load(),
+		RemoteReads:  m.remoteReads.Load(),
+		RemoteWrites: m.remoteWrites.Load(),
+		LocalOps:     m.localOps.Load(),
+		FinalRegs:    make([][isa.NumRegs]uint32, len(threads)),
+	}
+	m.mu.Lock()
+	for t, regs := range m.finalRegs {
+		res.FinalRegs[t] = regs
+	}
+	m.mu.Unlock()
+	if m.cfg.LogEvents {
+		for _, s := range m.shards {
+			res.Events = append(res.Events, s.events...)
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,125 @@
+package machine
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CheckSC verifies that a recorded execution is sequentially consistent
+// (experiment M1). The witness order for each address is its home shard's
+// serialization order (EM² serves every access to an address at one core,
+// so this order is total). The check has two parts:
+//
+//  1. Value legality: replaying each address's events in witness order, every
+//     read (and the read half of every RMW) returns the most recent write,
+//     and RMWs are atomic (no intervening write between their read and
+//     write halves — guaranteed by construction here, surfaced as a value
+//     mismatch if ever violated).
+//
+//  2. Embeddability: the union of program order (per thread) and the
+//     per-address witness orders is acyclic, so one global total order
+//     explains every thread's observations — the definition of SC.
+//
+// It returns nil for SC executions and a descriptive error otherwise.
+func CheckSC(events []Event) error {
+	if len(events) == 0 {
+		return nil
+	}
+	// --- Part 1: per-address value legality in witness order.
+	byAddr := make(map[uint32][]Event)
+	for _, e := range events {
+		byAddr[e.Addr] = append(byAddr[e.Addr], e)
+	}
+	for addr, evs := range byAddr {
+		sort.Slice(evs, func(i, j int) bool {
+			if evs[i].Home != evs[j].Home {
+				// A single address must have a single home.
+				return evs[i].Home < evs[j].Home
+			}
+			return evs[i].Seq < evs[j].Seq
+		})
+		for i := 1; i < len(evs); i++ {
+			if evs[i].Home != evs[0].Home {
+				return fmt.Errorf("machine: address %#x served at two homes (%d and %d): single-home invariant violated",
+					addr, evs[0].Home, evs[i].Home)
+			}
+		}
+		var cur uint32
+		for _, e := range evs {
+			switch e.Kind {
+			case EvRead:
+				if e.Read != cur {
+					return fmt.Errorf("machine: thread %d read %#x=%d, witness order says %d",
+						e.Thread, addr, e.Read, cur)
+				}
+			case EvWrite:
+				cur = e.Wrote
+			case EvRMW:
+				if e.Read != cur {
+					return fmt.Errorf("machine: thread %d RMW at %#x read %d, witness order says %d (atomicity violated)",
+						e.Thread, addr, e.Read, cur)
+				}
+				cur = e.Wrote
+			}
+		}
+	}
+
+	// --- Part 2: acyclicity of program order ∪ witness orders.
+	// Nodes are events; build successor edges from consecutive events in
+	// each total order, which is sufficient for cycle detection.
+	n := len(events)
+	idx := make(map[[2]int64]int, n) // (thread, tseq) -> node
+	for i, e := range events {
+		idx[[2]int64{int64(e.Thread), e.TSeq}] = i
+	}
+	adj := make([][]int, n)
+	indeg := make([]int, n)
+	addEdge := func(a, b int) {
+		adj[a] = append(adj[a], b)
+		indeg[b]++
+	}
+	// Program order.
+	byThread := make(map[int][]Event)
+	for _, e := range events {
+		byThread[e.Thread] = append(byThread[e.Thread], e)
+	}
+	for _, evs := range byThread {
+		sort.Slice(evs, func(i, j int) bool { return evs[i].TSeq < evs[j].TSeq })
+		for i := 1; i < len(evs); i++ {
+			a := idx[[2]int64{int64(evs[i-1].Thread), evs[i-1].TSeq}]
+			b := idx[[2]int64{int64(evs[i].Thread), evs[i].TSeq}]
+			addEdge(a, b)
+		}
+	}
+	// Witness orders (byAddr slices are already sorted by Seq).
+	for _, evs := range byAddr {
+		for i := 1; i < len(evs); i++ {
+			a := idx[[2]int64{int64(evs[i-1].Thread), evs[i-1].TSeq}]
+			b := idx[[2]int64{int64(evs[i].Thread), evs[i].TSeq}]
+			addEdge(a, b)
+		}
+	}
+	// Kahn's algorithm.
+	queue := make([]int, 0, n)
+	for i, d := range indeg {
+		if d == 0 {
+			queue = append(queue, i)
+		}
+	}
+	seen := 0
+	for len(queue) > 0 {
+		v := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		seen++
+		for _, w := range adj[v] {
+			indeg[w]--
+			if indeg[w] == 0 {
+				queue = append(queue, w)
+			}
+		}
+	}
+	if seen != n {
+		return fmt.Errorf("machine: happens-before graph has a cycle (%d of %d events ordered): execution not sequentially consistent", seen, n)
+	}
+	return nil
+}

@@ -1,0 +1,110 @@
+package machine
+
+import (
+	"sync"
+
+	"repro/internal/geom"
+)
+
+// EventKind classifies a logged memory event.
+type EventKind int
+
+// Event kinds.
+const (
+	EvRead EventKind = iota
+	EvWrite
+	EvRMW
+)
+
+// Event is one serialized memory operation at a home shard. Seq is the
+// shard-local serialization index: restricted to one address it is the
+// address's total modification/read order, the witness order the SC checker
+// uses.
+type Event struct {
+	Thread int
+	TSeq   int64 // per-thread memory-op index (program order)
+	Addr   uint32
+	Kind   EventKind
+	Read   uint32 // value read (EvRead, EvRMW)
+	Wrote  uint32 // value written (EvWrite, EvRMW)
+	Seq    int64
+	Home   geom.CoreID
+}
+
+// shard is one core's slice of the global address space. All data for
+// addresses homed at this core lives here and nowhere else — EM²'s
+// single-home coherence invariant in executable form.
+type shard struct {
+	home   geom.CoreID
+	mu     sync.Mutex
+	mem    map[uint32]uint32
+	seq    int64
+	log    bool
+	events []Event
+}
+
+func newShard(home geom.CoreID, log bool) *shard {
+	return &shard{home: home, mem: make(map[uint32]uint32), log: log}
+}
+
+// read returns mem[addr], logging against ctx when provided.
+func (s *shard) read(ctx *context, addr uint32) uint32 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v := s.mem[addr]
+	s.record(ctx, Event{Addr: addr, Kind: EvRead, Read: v})
+	return v
+}
+
+// write stores mem[addr] = v. ctx may be nil for preloads (not logged).
+func (s *shard) write(ctx *context, addr uint32, v uint32) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mem[addr] = v
+	s.record(ctx, Event{Addr: addr, Kind: EvWrite, Wrote: v})
+}
+
+// fetchAdd atomically returns mem[addr] and adds delta.
+func (s *shard) fetchAdd(ctx *context, addr uint32, delta uint32) uint32 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old := s.mem[addr]
+	s.mem[addr] = old + delta
+	s.record(ctx, Event{Addr: addr, Kind: EvRMW, Read: old, Wrote: old + delta})
+	return old
+}
+
+// swap atomically returns mem[addr] and stores v.
+func (s *shard) swap(ctx *context, addr uint32, v uint32) uint32 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old := s.mem[addr]
+	s.mem[addr] = v
+	s.record(ctx, Event{Addr: addr, Kind: EvRMW, Read: old, Wrote: v})
+	return old
+}
+
+// peek reads without locking discipline for post-run inspection.
+func (s *shard) peek(addr uint32) uint32 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mem[addr]
+}
+
+// record appends an event; the caller holds s.mu. Preloads (nil ctx) are
+// not part of the execution and are not logged.
+func (s *shard) record(ctx *context, e Event) {
+	s.seq++
+	if ctx == nil {
+		return
+	}
+	e.Thread = ctx.thread
+	e.TSeq = ctx.memSeq
+	ctx.memSeq++
+	if !s.log {
+		return
+	}
+	e.Seq = s.seq
+	e.Home = s.home
+	s.events = append(s.events, e)
+}

@@ -1,0 +1,211 @@
+package noc
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/stats"
+)
+
+// Handler consumes a message delivered by the event network at the given
+// cycle time.
+type Handler func(now int64, m *Message)
+
+// Network is a deterministic event-driven model of a 2-D mesh interconnect
+// with six virtual networks. It models wormhole serialization and per-link,
+// per-virtual-network contention: each directed link has a busy-until time
+// per VN, and a packet occupies each link on its XY route for its flit count.
+//
+// The model is deliberately coarser than a flit-accurate RTL simulator — it
+// keeps packets atomic — but it preserves the properties the paper's
+// arguments rest on: per-hop latency, serialization proportional to context
+// size, VN separation, and FIFO delivery between any ordered pair of
+// injections on the same VN and route.
+type Network struct {
+	mesh    geom.Mesh
+	cfg     Config
+	events  eventQueue
+	now     int64
+	nextSeq uint64
+	// linkBusy[vn][link] = cycle at which the link becomes free for vn.
+	linkBusy [NumVNets]map[linkID]int64
+	handlers []Handler // indexed by destination core
+
+	delivered int64
+	injected  int64
+	Counters  stats.Counters
+	latHist   *stats.Hist // delivery latency histogram
+	trafficFl int64       // accumulated flit·hops
+}
+
+type linkID struct {
+	from, to geom.CoreID
+}
+
+type event struct {
+	at  int64
+	seq uint64 // tie-break for determinism
+	msg *Message
+	// hop index into the route; when hop == len(route)-1 the message is
+	// delivered to the destination handler.
+	route []geom.CoreID
+	hop   int
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// NewNetwork returns an event network over the mesh with the given link
+// configuration. Handlers are registered per core with SetHandler.
+func NewNetwork(mesh geom.Mesh, cfg Config) *Network {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	n := &Network{
+		mesh:     mesh,
+		cfg:      cfg,
+		handlers: make([]Handler, mesh.Cores()),
+		latHist:  stats.NewHist(256),
+	}
+	for v := range n.linkBusy {
+		n.linkBusy[v] = make(map[linkID]int64)
+	}
+	return n
+}
+
+// SetHandler installs the delivery callback for a core. Messages arriving at
+// a core with no handler panic: every modelled core must consume its
+// traffic, otherwise the deadlock-freedom argument is void.
+func (n *Network) SetHandler(core geom.CoreID, h Handler) {
+	n.handlers[core] = h
+}
+
+// Now returns the current simulation time in cycles.
+func (n *Network) Now() int64 { return n.now }
+
+// Injected and Delivered return message counts.
+func (n *Network) Injected() int64 { return n.injected }
+
+// Delivered returns the number of messages handed to destination handlers.
+func (n *Network) Delivered() int64 { return n.delivered }
+
+// Traffic returns accumulated flit·hops across all delivered messages.
+func (n *Network) Traffic() int64 { return n.trafficFl }
+
+// LatencyHist returns the histogram of end-to-end packet latencies.
+func (n *Network) LatencyHist() *stats.Hist { return n.latHist }
+
+// Send injects a message at the given time (which must not be in the past).
+// Local messages (Src == Dst) are delivered after inject+eject cycles
+// without touching any link.
+func (n *Network) Send(at int64, m *Message) {
+	if at < n.now {
+		panic(fmt.Sprintf("noc: injection at %d before current time %d", at, n.now))
+	}
+	if !m.VNet().Valid() {
+		panic(fmt.Sprintf("noc: message kind %v has no virtual network", m.Kind))
+	}
+	m.Seq = n.nextSeq
+	m.injectedAt = at
+	n.nextSeq++
+	n.injected++
+	n.Counters.Inc("inject."+m.VNet().String(), 1)
+	route := n.mesh.Route(m.Src, m.Dst)
+	e := &event{
+		at:    at + int64(n.cfg.InjectCycles),
+		seq:   m.Seq,
+		msg:   m,
+		route: route,
+		hop:   0,
+	}
+	heap.Push(&n.events, e)
+}
+
+// step processes one event; reports false when the queue is empty.
+func (n *Network) step() bool {
+	if n.events.Len() == 0 {
+		return false
+	}
+	e := heap.Pop(&n.events).(*event)
+	if e.at < n.now {
+		panic("noc: time went backwards")
+	}
+	n.now = e.at
+	last := len(e.route) - 1
+	if e.hop == last {
+		// The head flit has reached the destination router; the tail arrives
+		// flits-1 cycles later (wormhole serialization), then the packet is
+		// ejected.
+		flits := int64(n.cfg.Flits(e.msg.PayloadBits))
+		deliverAt := e.at + (flits - 1) + int64(n.cfg.EjectCycles)
+		n.now = e.at
+		h := n.handlers[e.msg.Dst]
+		if h == nil {
+			panic(fmt.Sprintf("noc: no handler at core %d for %v", e.msg.Dst, e.msg.Kind))
+		}
+		n.delivered++
+		n.Counters.Inc("deliver."+e.msg.VNet().String(), 1)
+		n.trafficFl += n.cfg.Traffic(len(e.route)-1, e.msg.PayloadBits)
+		n.latHist.Add(int(deliverAt - injectionTime(e)))
+		h(deliverAt, e.msg)
+		return true
+	}
+	// Traverse the link e.route[hop] -> e.route[hop+1] on the message's VN.
+	vn := e.msg.VNet()
+	link := linkID{e.route[e.hop], e.route[e.hop+1]}
+	free := n.linkBusy[vn][link]
+	start := e.at
+	if free > start {
+		start = free
+	}
+	flits := int64(n.cfg.Flits(e.msg.PayloadBits))
+	// The link is occupied for the serialization of the whole packet; the
+	// head flit reaches the next router after PerHopCycles.
+	n.linkBusy[vn][link] = start + flits
+	e.at = start + int64(n.cfg.PerHopCycles)
+	e.hop++
+	heap.Push(&n.events, e)
+	return true
+}
+
+// injectionTime returns when the packet entered the network (recorded by
+// Send), used for end-to-end latency accounting under contention.
+func injectionTime(e *event) int64 { return e.msg.injectedAt }
+
+// Run processes events until the queue is empty and returns the final time.
+func (n *Network) Run() int64 {
+	for n.step() {
+	}
+	return n.now
+}
+
+// RunUntil processes events with timestamps <= deadline.
+func (n *Network) RunUntil(deadline int64) {
+	for n.events.Len() > 0 && n.events[0].at <= deadline {
+		n.step()
+	}
+	if n.now < deadline {
+		n.now = deadline
+	}
+}
+
+// Pending returns the number of in-flight messages.
+func (n *Network) Pending() int { return n.events.Len() }

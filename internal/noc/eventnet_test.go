@@ -1,0 +1,247 @@
+package noc
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func newTestNet(t *testing.T, side int) (*Network, geom.Mesh) {
+	t.Helper()
+	mesh := geom.NewMesh(side, side)
+	n := NewNetwork(mesh, DefaultConfig())
+	return n, mesh
+}
+
+func TestEventNetDeliversEveryMessageOnce(t *testing.T) {
+	n, mesh := newTestNet(t, 4)
+	got := make(map[uint64]int)
+	for c := geom.CoreID(0); int(c) < mesh.Cores(); c++ {
+		n.SetHandler(c, func(now int64, m *Message) { got[m.Seq]++ })
+	}
+	const N = 200
+	for i := 0; i < N; i++ {
+		src := geom.CoreID(i % mesh.Cores())
+		dst := geom.CoreID((i * 7) % mesh.Cores())
+		n.Send(0, &Message{Kind: KindRemoteRead, Src: src, Dst: dst, PayloadBits: 64, Thread: i})
+	}
+	n.Run()
+	if n.Delivered() != N || n.Injected() != N {
+		t.Fatalf("delivered=%d injected=%d, want %d", n.Delivered(), n.Injected(), N)
+	}
+	for seq, count := range got {
+		if count != 1 {
+			t.Errorf("message %d delivered %d times", seq, count)
+		}
+	}
+	if len(got) != N {
+		t.Errorf("unique deliveries = %d, want %d", len(got), N)
+	}
+}
+
+func TestEventNetZeroLoadLatencyMatchesAnalytical(t *testing.T) {
+	n, mesh := newTestNet(t, 8)
+	cfg := DefaultConfig()
+	var deliveredAt int64
+	for c := geom.CoreID(0); int(c) < mesh.Cores(); c++ {
+		n.SetHandler(c, func(now int64, m *Message) { deliveredAt = now })
+	}
+	// Single uncontended packet: event model must match the formula exactly.
+	src, dst := geom.CoreID(0), geom.CoreID(63)
+	n.Send(100, &Message{Kind: KindMigration, Src: src, Dst: dst, PayloadBits: 1024})
+	n.Run()
+	want := 100 + cfg.Latency(mesh.Hops(src, dst), 1024)
+	if deliveredAt != want {
+		t.Errorf("delivered at %d, want %d", deliveredAt, want)
+	}
+}
+
+func TestEventNetLocalDelivery(t *testing.T) {
+	n, _ := newTestNet(t, 2)
+	var at int64 = -1
+	n.SetHandler(0, func(now int64, m *Message) { at = now })
+	n.Send(5, &Message{Kind: KindRemoteRead, Src: 0, Dst: 0, PayloadBits: 64})
+	n.Run()
+	want := 5 + DefaultConfig().Latency(0, 64)
+	if at != want {
+		t.Errorf("local delivery at %d, want %d", at, want)
+	}
+}
+
+func TestEventNetContentionSerializes(t *testing.T) {
+	// Two max-payload packets on the same route and VN: the second must be
+	// delayed by the first's serialization on the shared links.
+	n, mesh := newTestNet(t, 4)
+	var times []int64
+	for c := geom.CoreID(0); int(c) < mesh.Cores(); c++ {
+		n.SetHandler(c, func(now int64, m *Message) { times = append(times, now) })
+	}
+	for i := 0; i < 2; i++ {
+		n.Send(0, &Message{Kind: KindMigration, Src: 0, Dst: 3, PayloadBits: 2048})
+	}
+	n.Run()
+	if len(times) != 2 {
+		t.Fatalf("delivered %d", len(times))
+	}
+	zeroLoad := DefaultConfig().Latency(3, 2048)
+	if times[0] != zeroLoad {
+		t.Errorf("first packet at %d, want %d", times[0], zeroLoad)
+	}
+	if times[1] <= times[0] {
+		t.Errorf("second packet at %d, not delayed past first at %d", times[1], times[0])
+	}
+}
+
+func TestEventNetVNIsolation(t *testing.T) {
+	// Packets on different virtual networks must not contend for link
+	// bandwidth: a migration storm cannot delay an eviction.
+	mesh := geom.NewMesh(4, 1)
+	run := func(withStorm bool) int64 {
+		n := NewNetwork(mesh, DefaultConfig())
+		var evictAt int64
+		for c := geom.CoreID(0); int(c) < mesh.Cores(); c++ {
+			n.SetHandler(c, func(now int64, m *Message) {
+				if m.Kind == KindEviction {
+					evictAt = now
+				}
+			})
+		}
+		if withStorm {
+			for i := 0; i < 50; i++ {
+				n.Send(0, &Message{Kind: KindMigration, Src: 0, Dst: 3, PayloadBits: 2048})
+			}
+		}
+		n.Send(0, &Message{Kind: KindEviction, Src: 0, Dst: 3, PayloadBits: 1024})
+		n.Run()
+		return evictAt
+	}
+	quiet := run(false)
+	stormy := run(true)
+	if quiet != stormy {
+		t.Errorf("eviction latency changed under migration storm: %d vs %d (VNs must be isolated)", quiet, stormy)
+	}
+}
+
+func TestEventNetSameVNFIFO(t *testing.T) {
+	// Two same-VN packets injected in order on the same route arrive in order.
+	n, _ := newTestNet(t, 4)
+	var order []int
+	for c := geom.CoreID(0); c < 16; c++ {
+		n.SetHandler(c, func(now int64, m *Message) { order = append(order, m.Thread) })
+	}
+	for i := 0; i < 10; i++ {
+		n.Send(int64(i), &Message{Kind: KindRemoteReq(i), Src: 0, Dst: 15, PayloadBits: 64, Thread: i})
+	}
+	n.Run()
+	for i := 1; i < len(order); i++ {
+		if order[i] < order[i-1] {
+			t.Fatalf("out-of-order delivery: %v", order)
+		}
+	}
+}
+
+// KindRemoteReq lets the FIFO test alternate read/write kinds that share a VN.
+func KindRemoteReq(i int) Kind {
+	if i%2 == 0 {
+		return KindRemoteRead
+	}
+	return KindRemoteWrite
+}
+
+func TestEventNetRunUntil(t *testing.T) {
+	n, _ := newTestNet(t, 4)
+	delivered := 0
+	for c := geom.CoreID(0); c < 16; c++ {
+		n.SetHandler(c, func(now int64, m *Message) { delivered++ })
+	}
+	n.Send(0, &Message{Kind: KindRemoteRead, Src: 0, Dst: 15, PayloadBits: 64})
+	n.Send(1000, &Message{Kind: KindRemoteRead, Src: 0, Dst: 15, PayloadBits: 64})
+	n.RunUntil(500)
+	if delivered != 1 {
+		t.Errorf("delivered %d by cycle 500, want 1", delivered)
+	}
+	if n.Pending() != 1 {
+		t.Errorf("pending = %d, want 1", n.Pending())
+	}
+	if n.Now() < 500 {
+		t.Errorf("Now = %d, want >= 500", n.Now())
+	}
+	n.Run()
+	if delivered != 2 {
+		t.Errorf("delivered %d total, want 2", delivered)
+	}
+}
+
+func TestEventNetPanicsOnPastInjection(t *testing.T) {
+	n, _ := newTestNet(t, 2)
+	n.SetHandler(0, func(int64, *Message) {})
+	n.SetHandler(1, func(int64, *Message) {})
+	n.Send(10, &Message{Kind: KindRemoteRead, Src: 0, Dst: 1, PayloadBits: 8})
+	n.Run()
+	defer func() {
+		if recover() == nil {
+			t.Error("past injection did not panic")
+		}
+	}()
+	n.Send(0, &Message{Kind: KindRemoteRead, Src: 0, Dst: 1, PayloadBits: 8})
+}
+
+func TestEventNetPanicsOnMissingHandler(t *testing.T) {
+	n, _ := newTestNet(t, 2)
+	n.Send(0, &Message{Kind: KindRemoteRead, Src: 0, Dst: 1, PayloadBits: 8})
+	defer func() {
+		if recover() == nil {
+			t.Error("missing handler did not panic")
+		}
+	}()
+	n.Run()
+}
+
+func TestEventNetCountersAndTraffic(t *testing.T) {
+	n, mesh := newTestNet(t, 4)
+	for c := geom.CoreID(0); int(c) < mesh.Cores(); c++ {
+		n.SetHandler(c, func(int64, *Message) {})
+	}
+	n.Send(0, &Message{Kind: KindMigration, Src: 0, Dst: 15, PayloadBits: 1024})
+	n.Run()
+	if got := n.Counters.Get("inject.migration"); got != 1 {
+		t.Errorf("inject counter = %d", got)
+	}
+	if got := n.Counters.Get("deliver.migration"); got != 1 {
+		t.Errorf("deliver counter = %d", got)
+	}
+	wantTraffic := DefaultConfig().Traffic(mesh.Hops(0, 15), 1024)
+	if n.Traffic() != wantTraffic {
+		t.Errorf("traffic = %d, want %d", n.Traffic(), wantTraffic)
+	}
+	if n.LatencyHist().Total() != 1 {
+		t.Errorf("latency hist total = %d", n.LatencyHist().Total())
+	}
+}
+
+func TestEventNetDeterminism(t *testing.T) {
+	run := func() []int64 {
+		n, mesh := newTestNet(t, 4)
+		var times []int64
+		for c := geom.CoreID(0); int(c) < mesh.Cores(); c++ {
+			n.SetHandler(c, func(now int64, m *Message) { times = append(times, now) })
+		}
+		for i := 0; i < 100; i++ {
+			n.Send(0, &Message{
+				Kind: KindRemoteRead, Src: geom.CoreID(i % 16),
+				Dst: geom.CoreID((i * 5) % 16), PayloadBits: 64, Thread: i,
+			})
+		}
+		n.Run()
+		return times
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("nondeterministic delivery count: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic delivery time at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}

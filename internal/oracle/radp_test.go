@@ -1,0 +1,280 @@
+package oracle
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/placement"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func modelConfig(side int) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Mesh = geom.NewMesh(side, side)
+	cfg.GuestContexts = 0
+	cfg.ChargeMemory = false
+	return cfg
+}
+
+// randSteps builds a random step sequence over the mesh.
+func randSteps(seedBytes []byte, cores int) []Step {
+	steps := make([]Step, 0, len(seedBytes))
+	for i, b := range seedBytes {
+		steps = append(steps, Step{
+			Home:  geom.CoreID(int(b) % cores),
+			Addr:  trace.Addr(uint64(b) * 64),
+			Write: i%3 == 0,
+		})
+	}
+	return steps
+}
+
+func TestOptimalEmptyTrace(t *testing.T) {
+	cfg := modelConfig(2)
+	r := OptimalDense(cfg, nil, 0)
+	if r.Cost != 0 || len(r.Decisions) != 0 || r.EndCore != 0 {
+		t.Errorf("empty optimum = %+v", r)
+	}
+}
+
+func TestOptimalAllLocalIsFree(t *testing.T) {
+	cfg := modelConfig(2)
+	steps := []Step{{Home: 0}, {Home: 0}, {Home: 0}}
+	r := OptimalDense(cfg, steps, 0)
+	if r.Cost != 0 || len(r.Decisions) != 0 {
+		t.Errorf("all-local optimum = %+v", r)
+	}
+}
+
+func TestOptimalSingleRemoteAccessPicksCheaperOption(t *testing.T) {
+	cfg := modelConfig(2)
+	// One isolated access at a remote core, then back to local accesses:
+	// optimal must compare {RA} vs {migrate there, migrate back}.
+	steps := []Step{{Home: 1}, {Home: 0}, {Home: 0}}
+	r := OptimalDense(cfg, steps, 0)
+	ra := cfg.RemoteAccessCost(0, 1, false)
+	migPair := cfg.MigrationCost(0, 1, cfg.ContextBits) + cfg.MigrationCost(1, 0, cfg.ContextBits)
+	want := ra
+	if migPair < want {
+		want = migPair
+	}
+	if r.Cost != want {
+		t.Errorf("cost = %d, want %d (ra=%d, migPair=%d)", r.Cost, want, ra, migPair)
+	}
+}
+
+func TestOptimalLongRunMigrates(t *testing.T) {
+	cfg := modelConfig(4)
+	// 50 consecutive accesses at one remote core: migrating once must beat
+	// 50 remote round trips, and the DP must find it.
+	steps := make([]Step, 50)
+	for i := range steps {
+		steps[i] = Step{Home: 5}
+	}
+	r := OptimalDense(cfg, steps, 0)
+	mig := cfg.MigrationCost(0, 5, cfg.ContextBits)
+	if r.Cost != mig {
+		t.Errorf("cost = %d, want single migration %d", r.Cost, mig)
+	}
+	if len(r.Decisions) != 1 || r.Decisions[0] != core.Migrate {
+		t.Errorf("decisions = %v, want [migrate] (later accesses are local)", r.Decisions)
+	}
+	if r.EndCore != 5 {
+		t.Errorf("end core = %d, want 5", r.EndCore)
+	}
+}
+
+// TestOracleLowerBoundsAllSchemes is the paper's central claim for the DP:
+// it "establishes an upper bound on performance of decision schemes" — i.e.
+// its cost lower-bounds every scheme's cost on every trace.
+func TestOracleLowerBoundsAllSchemes(t *testing.T) {
+	cfg := modelConfig(4)
+	schemes := []func() core.Scheme{
+		func() core.Scheme { return core.AlwaysMigrate{} },
+		func() core.Scheme { return core.AlwaysRemote{} },
+		func() core.Scheme { return core.NewDistance(cfg.Mesh, 2) },
+		func() core.Scheme { return core.NewDistance(cfg.Mesh, 5) },
+		func() core.Scheme { return core.NewHistory(2) },
+	}
+	f := func(seq []byte) bool {
+		steps := randSteps(seq, cfg.Mesh.Cores())
+		opt := OptimalDense(cfg, steps, 0)
+		check := EvaluateDecisions(cfg, steps, 0, opt.Decisions)
+		if check != opt.Cost {
+			t.Logf("oracle decisions replay to %d, DP claims %d", check, opt.Cost)
+			return false
+		}
+		for _, mk := range schemes {
+			if c := EvaluateScheme(cfg, steps, 0, mk(), 0); c < opt.Cost {
+				t.Logf("scheme %s cost %d beat oracle %d", mk().Name(), c, opt.Cost)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDenseEqualsSparse: the sparse DP is an exact optimization of the dense
+// recurrence.
+func TestDenseEqualsSparse(t *testing.T) {
+	cfg := modelConfig(4)
+	f := func(seq []byte) bool {
+		steps := randSteps(seq, cfg.Mesh.Cores())
+		d := OptimalDense(cfg, steps, 3)
+		s := OptimalSparse(cfg, steps, 3)
+		if d.Cost != s.Cost {
+			t.Logf("dense %d != sparse %d", d.Cost, s.Cost)
+			return false
+		}
+		// Both decision lists must replay to the same (optimal) cost; the
+		// lists themselves may differ when multiple optima exist (they may
+		// even have different lengths, since a path that parks the thread at
+		// a future home turns later accesses local).
+		return EvaluateDecisions(cfg, steps, 3, d.Decisions) == d.Cost &&
+			EvaluateDecisions(cfg, steps, 3, s.Decisions) == s.Cost
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestOracleWithRADisabledEqualsAlwaysMigrate: with remote access made
+// prohibitively expensive, the optimum must coincide with pure EM².
+func TestOracleWithRADisabledEqualsAlwaysMigrate(t *testing.T) {
+	cfg := modelConfig(4)
+	expensive := cfg
+	expensive.RemoteOverheadCycles = 1 << 20 // forbid RA economically
+	f := func(seq []byte) bool {
+		steps := randSteps(seq, cfg.Mesh.Cores())
+		opt := OptimalDense(expensive, steps, 0)
+		am := EvaluateScheme(expensive, steps, 0, core.AlwaysMigrate{}, 0)
+		return opt.Cost == am
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestOracleMatchesEngineModelFidelity: EvaluateDecisions and a full engine
+// run with the Fixed scheme agree — the model and the engine share one cost
+// definition.
+func TestOracleMatchesEngineModelFidelity(t *testing.T) {
+	cfg := modelConfig(4)
+	tr := workload.Ocean(workload.Config{Threads: 16, Scale: 32, Iters: 1, Seed: 9})
+	opt := OptimalForTrace(cfg, tr, placement.NewFirstTouch(4096))
+
+	eng, err := core.NewEngine(cfg, placement.NewFirstTouch(4096), core.NewFixed("oracle", opt.Decisions))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run(tr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles != opt.Cost {
+		t.Errorf("engine cycles %d != oracle cost %d", res.Cycles, opt.Cost)
+	}
+}
+
+// TestOracleBeatsSchemesOnWorkloads: on every workload the oracle is at most
+// the best of the pure schemes (Table T2's structural property).
+func TestOracleBeatsSchemesOnWorkloads(t *testing.T) {
+	cfg := modelConfig(4)
+	for _, name := range []string{"ocean", "pingpong", "uniform", "radix"} {
+		g, err := workload.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := g(workload.Config{Threads: 16, Scale: 24, Iters: 1, Seed: 5})
+		opt := OptimalForTrace(cfg, tr, placement.NewFirstTouch(4096))
+		for _, mk := range []func() core.Scheme{
+			func() core.Scheme { return core.AlwaysMigrate{} },
+			func() core.Scheme { return core.AlwaysRemote{} },
+			func() core.Scheme { return core.NewDistance(cfg.Mesh, 2) },
+		} {
+			sc := SchemeCostForTrace(cfg, tr, placement.NewFirstTouch(4096), mk)
+			if sc < opt.Cost {
+				t.Errorf("%s: scheme %s (%d) beat oracle (%d)", name, mk().Name(), sc, opt.Cost)
+			}
+		}
+	}
+}
+
+func TestStepsForThread(t *testing.T) {
+	tr := trace.New("x", 2)
+	tr.Append(trace.Access{Thread: 0, Addr: 0x0000})
+	tr.Append(trace.Access{Thread: 1, Addr: 0x1000, Write: true})
+	tr.Append(trace.Access{Thread: 0, Addr: 0x1004})
+	pl := placement.NewFirstTouch(4096)
+	steps := StepsForThread(tr, pl, 4, 0)
+	if len(steps) != 2 {
+		t.Fatalf("steps = %v", steps)
+	}
+	// Thread 1 first-touched page 1, so thread 0's second access is homed at 1.
+	if steps[1].Home != 1 {
+		t.Errorf("home = %d, want 1", steps[1].Home)
+	}
+	if steps[0].Write || !stepsWrite(tr, pl) {
+		t.Log("write flags propagated")
+	}
+}
+
+func stepsWrite(tr *trace.Trace, pl placement.Policy) bool {
+	steps := StepsForThread(tr, placement.NewFirstTouch(4096), 4, 1)
+	return len(steps) == 1 && steps[0].Write
+}
+
+func TestEvaluateDecisionsPanicsOnMismatch(t *testing.T) {
+	cfg := modelConfig(2)
+	steps := []Step{{Home: 1}}
+	for _, decs := range [][]core.Decision{nil, {core.Migrate, core.Migrate}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("decision list %v accepted", decs)
+				}
+			}()
+			EvaluateDecisions(cfg, steps, 0, decs)
+		}()
+	}
+}
+
+func TestOptimalDensePanicsOnBadStart(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("bad start accepted")
+		}
+	}()
+	OptimalDense(modelConfig(2), nil, 99)
+}
+
+// TestOracleDecisionStructure: on the canonical bimodal trace (isolated
+// access vs long run) the oracle chooses RA for the singleton and Migrate
+// for the run — the behaviour the EM²-RA hybrid is designed around.
+func TestOracleDecisionStructure(t *testing.T) {
+	cfg := modelConfig(8) // long distances make the distinction sharp
+	far := geom.CoreID(63)
+	steps := []Step{
+		{Home: far},          // isolated: surrounded by local accesses
+		{Home: 0}, {Home: 0}, // back to local
+	}
+	for i := 0; i < 30; i++ {
+		steps = append(steps, Step{Home: far})
+	}
+	r := OptimalSparse(cfg, steps, 0)
+	if len(r.Decisions) < 2 {
+		t.Fatalf("decisions = %v", r.Decisions)
+	}
+	if r.Decisions[0] != core.RemoteAccess {
+		t.Errorf("isolated access decision = %v, want remote-access", r.Decisions[0])
+	}
+	if r.Decisions[1] != core.Migrate {
+		t.Errorf("long-run decision = %v, want migrate", r.Decisions[1])
+	}
+}

@@ -1,0 +1,207 @@
+package placement
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+)
+
+func TestFirstTouchBindsOnce(t *testing.T) {
+	p := NewFirstTouch(4096)
+	if home := p.Touch(100, 5); home != 5 {
+		t.Errorf("first touch = %d, want 5", home)
+	}
+	// Second toucher of the same page does not re-bind.
+	if home := p.Touch(200, 9); home != 5 {
+		t.Errorf("second touch rebound to %d", home)
+	}
+	// A different page binds independently.
+	if home := p.Touch(4096, 9); home != 9 {
+		t.Errorf("new page home = %d, want 9", home)
+	}
+	if p.Pages() != 2 {
+		t.Errorf("Pages = %d", p.Pages())
+	}
+}
+
+func TestFirstTouchHomeOf(t *testing.T) {
+	p := NewFirstTouch(0) // default page size
+	if _, ok := p.HomeOf(42); ok {
+		t.Error("unbound page reported a home")
+	}
+	p.Touch(42, 3)
+	home, ok := p.HomeOf(42 + 1000) // same 4K page
+	if !ok || home != 3 {
+		t.Errorf("HomeOf = %d,%v", home, ok)
+	}
+}
+
+// Property (DESIGN.md §6): first-touch is deterministic — replaying the same
+// (addr, core) sequence yields the same homes.
+func TestFirstTouchDeterministic(t *testing.T) {
+	f := func(addrs []uint32, cores []uint8) bool {
+		if len(addrs) == 0 || len(cores) == 0 {
+			return true
+		}
+		a, b := NewFirstTouch(1024), NewFirstTouch(1024)
+		for i, ad := range addrs {
+			core := geom.CoreID(cores[i%len(cores)] % 64)
+			if a.Touch(Addr(ad), core) != b.Touch(Addr(ad), core) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every address has exactly one home once touched — the EM²
+// coherence invariant.
+func TestSingleHomeInvariant(t *testing.T) {
+	policies := []Policy{
+		NewFirstTouch(4096),
+		NewStriped(64, 16),
+		NewPageStriped(4096, 16),
+	}
+	f := func(ad uint32, c1, c2 uint8) bool {
+		for _, p := range policies {
+			h1 := p.Touch(Addr(ad), geom.CoreID(c1%16))
+			h2 := p.Touch(Addr(ad), geom.CoreID(c2%16))
+			if h1 != h2 {
+				return false
+			}
+			got, ok := p.HomeOf(Addr(ad))
+			if !ok || got != h1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStriped(t *testing.T) {
+	p := NewStriped(64, 4)
+	tests := []struct {
+		a    Addr
+		want geom.CoreID
+	}{
+		{0, 0}, {63, 0}, {64, 1}, {128, 2}, {192, 3}, {256, 0},
+	}
+	for _, tt := range tests {
+		if got := p.Touch(tt.a, 99); got != tt.want {
+			t.Errorf("striped home(%d) = %d, want %d", tt.a, got, tt.want)
+		}
+	}
+	if p.Name() != "striped" {
+		t.Error("name")
+	}
+}
+
+func TestPageStriped(t *testing.T) {
+	p := NewPageStriped(4096, 4)
+	if h := p.Touch(0, 99); h != 0 {
+		t.Errorf("page 0 home = %d", h)
+	}
+	if h := p.Touch(4096, 99); h != 1 {
+		t.Errorf("page 1 home = %d", h)
+	}
+	if h := p.Touch(4*4096, 99); h != 0 {
+		t.Errorf("page 4 home = %d", h)
+	}
+	p2 := NewPageStriped(0, 4)
+	if h := p2.Touch(DefaultPageBytes, 99); h != 1 {
+		t.Errorf("default page size wrong: %d", h)
+	}
+}
+
+func TestStatic(t *testing.T) {
+	s := NewStatic(4096, NewStriped(64, 8))
+	s.Bind(0, 7)
+	if h := s.Touch(100, 2); h != 7 {
+		t.Errorf("bound page home = %d, want 7", h)
+	}
+	// Unbound page falls through to striped.
+	if h := s.Touch(8192, 2); h != NewStriped(64, 8).Touch(8192, 2) {
+		t.Errorf("fallback home = %d", h)
+	}
+	if h, ok := s.HomeOf(100); !ok || h != 7 {
+		t.Errorf("HomeOf = %d,%v", h, ok)
+	}
+	if s.Name() != "static" {
+		t.Error("name")
+	}
+}
+
+func TestProfile(t *testing.T) {
+	p := NewProfile(4096, 8)
+	// Page 0: core 2 accesses 3 times, core 5 once → home 2.
+	p.Observe(0, 2)
+	p.Observe(4, 2)
+	p.Observe(8, 2)
+	p.Observe(12, 5)
+	// Page 1: tie between cores 3 and 4 → lowest wins.
+	p.Observe(4096, 4)
+	p.Observe(4100, 3)
+	p.Freeze()
+	if h, _ := p.HomeOf(0); h != 2 {
+		t.Errorf("page 0 home = %d, want 2", h)
+	}
+	if h, _ := p.HomeOf(4096); h != 3 {
+		t.Errorf("page 1 home = %d, want 3 (tie to lowest)", h)
+	}
+	// Unobserved page falls back to page-striping, deterministic.
+	h1 := p.Touch(99*4096, 0)
+	h2, ok := p.HomeOf(99 * 4096)
+	if !ok || h1 != h2 {
+		t.Errorf("fallback mismatch: %d vs %d", h1, h2)
+	}
+	p.Freeze() // idempotent
+}
+
+func TestProfilePanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	p := NewProfile(4096, 4)
+	mustPanic("Touch before Freeze", func() { p.Touch(0, 0) })
+	if _, ok := p.HomeOf(0); ok {
+		t.Error("HomeOf before Freeze should report !ok")
+	}
+	p.Freeze()
+	mustPanic("Observe after Freeze", func() { p.Observe(0, 0) })
+
+	mustPanic("NewFirstTouch(3)", func() { NewFirstTouch(3) })
+	mustPanic("NewStriped(0,4)", func() { NewStriped(0, 4) })
+	mustPanic("NewStriped(64,0)", func() { NewStriped(64, 0) })
+	mustPanic("NewPageStriped(5,4)", func() { NewPageStriped(5, 4) })
+	mustPanic("NewPageStriped(4096,0)", func() { NewPageStriped(4096, 0) })
+	mustPanic("NewStatic nil fallback", func() { NewStatic(4096, nil) })
+	mustPanic("NewStatic bad page", func() { NewStatic(3, NewStriped(64, 2)) })
+	mustPanic("NewProfile bad page", func() { NewProfile(3, 2) })
+	mustPanic("NewProfile bad cores", func() { NewProfile(4096, 0) })
+}
+
+func TestNames(t *testing.T) {
+	if NewFirstTouch(0).Name() != "first-touch" {
+		t.Error("first-touch name")
+	}
+	if NewPageStriped(0, 2).Name() != "page-striped" {
+		t.Error("page-striped name")
+	}
+	p := NewProfile(0, 2)
+	if p.Name() != "profile" {
+		t.Error("profile name")
+	}
+}

@@ -1,0 +1,102 @@
+package placement
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+)
+
+// Profile is a profile-driven placement: it observes (address, accessor)
+// pairs from a profiling run, then binds each page to the core that accessed
+// it most (ties to the lowest core ID, for determinism). This approximates
+// the best single-owner placement the paper alludes to when it says a good
+// placement "keeps a thread's private data assigned to that thread's native
+// core, and allocates shared data among the sharers".
+//
+// Use: Observe the whole trace, Freeze, then use as a Policy. Touching an
+// unobserved page before Freeze panics; after Freeze unobserved pages fall
+// back to page striping so the policy is total.
+type Profile struct {
+	pageBytes Addr
+	cores     int
+	counts    map[Addr]map[geom.CoreID]int64
+	pages     map[Addr]geom.CoreID
+	frozen    bool
+}
+
+// NewProfile returns an empty profile over the given core count.
+func NewProfile(pageBytes, cores int) *Profile {
+	if pageBytes == 0 {
+		pageBytes = DefaultPageBytes
+	}
+	if pageBytes <= 0 || pageBytes&(pageBytes-1) != 0 {
+		panic(fmt.Sprintf("placement: page size %d not a power of two", pageBytes))
+	}
+	if cores <= 0 {
+		panic(fmt.Sprintf("placement: invalid core count %d", cores))
+	}
+	return &Profile{
+		pageBytes: Addr(pageBytes),
+		cores:     cores,
+		counts:    make(map[Addr]map[geom.CoreID]int64),
+		pages:     make(map[Addr]geom.CoreID),
+	}
+}
+
+// Observe records one access of a by core by. Panics after Freeze.
+func (p *Profile) Observe(a Addr, by geom.CoreID) {
+	if p.frozen {
+		panic("placement: Observe after Freeze")
+	}
+	page := a / p.pageBytes
+	m := p.counts[page]
+	if m == nil {
+		m = make(map[geom.CoreID]int64)
+		p.counts[page] = m
+	}
+	m[by]++
+}
+
+// Freeze computes the final page→core binding. Idempotent.
+func (p *Profile) Freeze() {
+	if p.frozen {
+		return
+	}
+	for page, m := range p.counts {
+		best := geom.None
+		var bestCount int64 = -1
+		for core, c := range m {
+			if c > bestCount || (c == bestCount && core < best) {
+				best, bestCount = core, c
+			}
+		}
+		p.pages[page] = best
+	}
+	p.counts = nil
+	p.frozen = true
+}
+
+// Touch implements Policy.
+func (p *Profile) Touch(a Addr, by geom.CoreID) geom.CoreID {
+	if !p.frozen {
+		panic("placement: Touch before Freeze")
+	}
+	if home, ok := p.pages[a/p.pageBytes]; ok {
+		return home
+	}
+	return geom.CoreID((a / p.pageBytes) % Addr(p.cores))
+}
+
+// HomeOf implements Policy.
+func (p *Profile) HomeOf(a Addr) (geom.CoreID, bool) {
+	if !p.frozen {
+		return geom.None, false
+	}
+	if home, ok := p.pages[a/p.pageBytes]; ok {
+		return home, true
+	}
+	return geom.CoreID((a / p.pageBytes) % Addr(p.cores)), true
+}
+
+// Name implements Policy.
+func (p *Profile) Name() string { return "profile" }

@@ -1,0 +1,212 @@
+package stackisa
+
+import (
+	"fmt"
+
+	"repro/internal/stackm"
+)
+
+// Memory is the data memory an interpreter executes against.
+type Memory interface {
+	Load(addr uint32) uint32
+	Store(addr uint32, v uint32)
+}
+
+// MapMemory is a simple Memory over a map, for tests and examples.
+type MapMemory map[uint32]uint32
+
+// Load implements Memory.
+func (m MapMemory) Load(addr uint32) uint32 { return m[addr] }
+
+// Store implements Memory.
+func (m MapMemory) Store(addr uint32, v uint32) { m[addr] = v }
+
+// Interp executes a stack program over hardware stack caches. Both stacks
+// spill to their backing stores transparently (the §4 "overflows and
+// underflows ... automatically and transparently handled in hardware").
+type Interp struct {
+	prog []Instr
+	pc   int
+	expr *stackm.StackCache
+	ret  *stackm.StackCache
+	mem  Memory
+
+	Steps  int64 // instructions executed
+	MemOps int64 // LOAD/STORE count
+	Halted bool
+}
+
+// NewInterp returns an interpreter with the given stack-cache capacity over
+// mem. Each stack gets its own backing store, as real stack machines back
+// the expression and return stacks with separate memory regions.
+func NewInterp(prog []Instr, cacheCapacity int, mem Memory) *Interp {
+	if len(prog) == 0 {
+		panic("stackisa: empty program")
+	}
+	if mem == nil {
+		panic("stackisa: nil memory")
+	}
+	return &Interp{
+		prog: prog,
+		expr: stackm.NewStackCache(cacheCapacity, &stackm.SliceBacking{}),
+		ret:  stackm.NewStackCache(cacheCapacity, &stackm.SliceBacking{}),
+		mem:  mem,
+	}
+}
+
+// Depth returns the logical expression-stack depth.
+func (it *Interp) Depth() int { return it.expr.Depth() }
+
+// CachedDepth returns the number of expression-stack entries physically
+// present in the stack cache (the most a migration from here can carry
+// without touching stack memory).
+func (it *Interp) CachedDepth() int { return it.expr.Cached() }
+
+// Spills returns total spill+refill events across both stacks.
+func (it *Interp) Spills() int64 {
+	return it.expr.Spills + it.expr.Refills + it.ret.Spills + it.ret.Refills
+}
+
+// Step executes one instruction; it reports false once halted.
+func (it *Interp) Step() bool {
+	if it.Halted {
+		return false
+	}
+	if it.pc < 0 || it.pc >= len(it.prog) {
+		panic(fmt.Sprintf("stackisa: pc %d outside program of %d instructions", it.pc, len(it.prog)))
+	}
+	in := it.prog[it.pc]
+	it.Steps++
+	next := it.pc + 1
+	switch in.Op {
+	case HALT:
+		it.Halted = true
+		return false
+	case LIT:
+		it.expr.Push(in.Imm)
+	case DROP:
+		it.expr.Pop()
+	case DUP:
+		v := it.expr.Pop()
+		it.expr.Push(v)
+		it.expr.Push(v)
+	case OVER:
+		b := it.expr.Pop()
+		a := it.expr.Pop()
+		it.expr.Push(a)
+		it.expr.Push(b)
+		it.expr.Push(a)
+	case SWP:
+		b := it.expr.Pop()
+		a := it.expr.Pop()
+		it.expr.Push(b)
+		it.expr.Push(a)
+	case ADD, SUB, MUL, AND, OR, XOR:
+		b := it.expr.Pop()
+		a := it.expr.Pop()
+		var v uint32
+		switch in.Op {
+		case ADD:
+			v = a + b
+		case SUB:
+			v = a - b
+		case MUL:
+			v = a * b
+		case AND:
+			v = a & b
+		case OR:
+			v = a | b
+		case XOR:
+			v = a ^ b
+		}
+		it.expr.Push(v)
+	case LOAD:
+		addr := it.expr.Pop()
+		it.expr.Push(it.mem.Load(addr))
+		it.MemOps++
+	case STORE:
+		addr := it.expr.Pop()
+		v := it.expr.Pop()
+		it.mem.Store(addr, v)
+		it.MemOps++
+	case JMP:
+		next = int(in.Imm)
+	case BRZ:
+		if it.expr.Pop() == 0 {
+			next = int(in.Imm)
+		}
+	case CALL:
+		it.ret.Push(uint32(it.pc + 1))
+		next = int(in.Imm)
+	case RET:
+		next = int(it.ret.Pop())
+	case TOR:
+		it.ret.Push(it.expr.Pop())
+	case FROMR:
+		it.expr.Push(it.ret.Pop())
+	default:
+		panic(fmt.Sprintf("stackisa: unhandled opcode %v", in.Op))
+	}
+	it.pc = next
+	return true
+}
+
+// Run executes until HALT or maxSteps instructions, returning whether the
+// program halted.
+func (it *Interp) Run(maxSteps int64) bool {
+	for i := int64(0); i < maxSteps; i++ {
+		if !it.Step() {
+			return true
+		}
+	}
+	return it.Halted
+}
+
+// MigratedContext is the §4 migration payload: the PC plus the top few
+// entries of each stack ("only the top few entries must be sent over to a
+// remote core when a memory access causes a migration").
+type MigratedContext struct {
+	PC        int
+	Expr, Ret []uint32 // bottom-to-top carried entries
+	// ExprDepth and RetDepth record the logical depth left behind (flushed
+	// to the native core's stack memory) beneath the carried entries.
+	ExprDepth, RetDepth int
+}
+
+// Bits returns the context size in bits under the given §4 configuration.
+func (c MigratedContext) Bits(cfg stackm.Config) int {
+	return cfg.PCBits + cfg.MetaBits + (len(c.Expr)+len(c.Ret))*cfg.WordBits
+}
+
+// Serialize extracts a migration context carrying the top exprDepth and
+// retDepth entries, flushing the remainder to the stack backing stores (the
+// native core's stack memory). The interpreter is left drained and should
+// not execute until a matching Load.
+func (it *Interp) Serialize(exprDepth, retDepth int) MigratedContext {
+	if exprDepth > it.expr.Depth() {
+		exprDepth = it.expr.Depth()
+	}
+	if retDepth > it.ret.Depth() {
+		retDepth = it.ret.Depth()
+	}
+	ctx := MigratedContext{
+		PC:        it.pc,
+		ExprDepth: it.expr.Depth() - exprDepth,
+		RetDepth:  it.ret.Depth() - retDepth,
+	}
+	ctx.Expr = it.expr.Serialize(exprDepth)
+	ctx.Ret = it.ret.Serialize(retDepth)
+	return ctx
+}
+
+// LoadContext resumes execution from a migrated context. At a guest core the
+// carried entries sit above ExprDepth/RetDepth remote entries; popping past
+// the carried portion underflows the stack cache, which in the full
+// architecture forces the migration back home (the caller observes this via
+// the Refills counter crossing the carried depth).
+func (it *Interp) LoadContext(ctx MigratedContext) {
+	it.pc = ctx.PC
+	it.expr.Load(ctx.Expr, ctx.ExprDepth)
+	it.ret.Load(ctx.Ret, ctx.RetDepth)
+	it.Halted = false
+}

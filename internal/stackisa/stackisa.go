@@ -1,0 +1,212 @@
+// Package stackisa defines the stack-machine instruction set of the paper's
+// §4 architecture and an interpreter that executes it over the hardware
+// stack cache of internal/stackm. In a stack ISA "most instructions do not
+// specify their operands but instead access the top of the stack"; there are
+// two stacks — the expression stack for evaluation and the return stack for
+// procedure return addresses and loop counters — with their top entries
+// cached in hardware and backed by memory at the thread's native core.
+//
+// The package demonstrates the two §4 mechanisms concretely:
+//
+//   - spill/refill transparency: deep expression evaluation overflows the
+//     stack cache into backing memory and pops refill it, invisibly to the
+//     program (the interpreter counts both);
+//
+//   - partial-stack migration: Interp.Serialize carries the top k entries of
+//     both stacks (the migrated context), and a fresh interpreter resumes
+//     from them at another core, underflow returning it home.
+package stackisa
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Op is a stack-machine opcode.
+type Op uint8
+
+// The instruction set — a classic two-stack machine (cf. Koopman [16]).
+const (
+	HALT  Op = iota
+	LIT      // push immediate
+	DROP     // pop and discard
+	DUP      // duplicate top
+	OVER     // push second-from-top
+	SWP      // swap top two
+	ADD      // pop b, pop a, push a+b
+	SUB      // pop b, pop a, push a-b
+	MUL      // pop b, pop a, push a*b
+	AND      // pop b, pop a, push a&b
+	OR       // pop b, pop a, push a|b
+	XOR      // pop b, pop a, push a^b
+	LOAD     // pop addr, push mem[addr]
+	STORE    // pop addr, pop value, mem[addr] = value
+	JMP      // unconditional jump to immediate target
+	BRZ      // pop cond; if cond == 0 jump to immediate target
+	CALL     // push pc+1 on the return stack, jump to immediate target
+	RET      // pop return stack, jump there
+	TOR      // pop expression stack, push on return stack (>r)
+	FROMR    // pop return stack, push on expression stack (r>)
+	numOps
+)
+
+var opNames = [numOps]string{
+	"halt", "lit", "drop", "dup", "over", "swp", "add", "sub", "mul",
+	"and", "or", "xor", "load", "store", "jmp", "brz", "call", "ret",
+	"tor", "fromr",
+}
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	if o >= numOps {
+		return fmt.Sprintf("op(%d)", uint8(o))
+	}
+	return opNames[o]
+}
+
+// Instr is one stack-machine instruction.
+type Instr struct {
+	Op  Op
+	Imm uint32 // LIT value or JMP/BRZ/CALL target
+}
+
+// String renders the instruction in assembler syntax.
+func (i Instr) String() string {
+	switch i.Op {
+	case LIT, JMP, BRZ, CALL:
+		return fmt.Sprintf("%s %d", i.Op, i.Imm)
+	}
+	return i.Op.String()
+}
+
+// Delta returns the instruction's net expression-stack height change — the
+// quantity the §4 model aggregates into per-access stack deltas.
+func (i Instr) Delta() int {
+	switch i.Op {
+	case LIT, DUP, OVER, FROMR:
+		return 1
+	case DROP, ADD, SUB, MUL, AND, OR, XOR, BRZ, TOR:
+		return -1
+	case STORE:
+		return -2
+	case LOAD: // pop addr, push value
+		return 0
+	}
+	return 0
+}
+
+// MinHeight returns how many expression-stack entries the instruction
+// consumes before producing — the §4 underflow bound.
+func (i Instr) MinHeight() int {
+	switch i.Op {
+	case DROP, DUP, BRZ, TOR, LOAD:
+		return 1
+	case ADD, SUB, MUL, AND, OR, XOR, SWP, OVER, STORE:
+		return 2
+	}
+	return 0
+}
+
+// Assemble parses assembler text: one instruction per line, ';'/'#'
+// comments, and labels ("name:") usable as JMP/BRZ/CALL targets.
+func Assemble(src string) ([]Instr, error) {
+	labels := make(map[string]int)
+	type pending struct {
+		line  int
+		in    Instr
+		label string
+	}
+	var prog []pending
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexAny(line, ";#"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		for {
+			i := strings.Index(line, ":")
+			if i < 0 {
+				break
+			}
+			label := strings.TrimSpace(line[:i])
+			if label == "" || strings.ContainsAny(label, " \t") {
+				return nil, fmt.Errorf("line %d: bad label %q", lineNo+1, label)
+			}
+			if _, dup := labels[label]; dup {
+				return nil, fmt.Errorf("line %d: duplicate label %q", lineNo+1, label)
+			}
+			labels[label] = len(prog)
+			line = strings.TrimSpace(line[i+1:])
+		}
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		var op Op = numOps
+		for o := Op(0); o < numOps; o++ {
+			if opNames[o] == strings.ToLower(fields[0]) {
+				op = o
+				break
+			}
+		}
+		if op == numOps {
+			return nil, fmt.Errorf("line %d: unknown mnemonic %q", lineNo+1, fields[0])
+		}
+		in := Instr{Op: op}
+		switch op {
+		case LIT, JMP, BRZ, CALL:
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("line %d: %s wants one operand", lineNo+1, op)
+			}
+			if v, err := strconv.ParseUint(fields[1], 0, 32); err == nil {
+				in.Imm = uint32(v)
+				prog = append(prog, pending{lineNo + 1, in, ""})
+			} else if op == LIT {
+				return nil, fmt.Errorf("line %d: bad literal %q", lineNo+1, fields[1])
+			} else {
+				prog = append(prog, pending{lineNo + 1, in, fields[1]})
+			}
+			continue
+		default:
+			if len(fields) != 1 {
+				return nil, fmt.Errorf("line %d: %s wants no operand", lineNo+1, op)
+			}
+		}
+		prog = append(prog, pending{lineNo + 1, in, ""})
+	}
+	out := make([]Instr, len(prog))
+	for pc, p := range prog {
+		in := p.in
+		if p.label != "" {
+			target, ok := labels[p.label]
+			if !ok {
+				return nil, fmt.Errorf("line %d: undefined label %q", p.line, p.label)
+			}
+			in.Imm = uint32(target)
+		}
+		out[pc] = in
+	}
+	return out, nil
+}
+
+// MustAssemble is Assemble for known-good sources.
+func MustAssemble(src string) []Instr {
+	p, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Disassemble renders a program as text.
+func Disassemble(prog []Instr) string {
+	var b strings.Builder
+	for pc, in := range prog {
+		fmt.Fprintf(&b, "%4d: %s\n", pc, in)
+	}
+	return b.String()
+}

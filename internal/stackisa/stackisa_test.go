@@ -1,0 +1,407 @@
+package stackisa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stackm"
+)
+
+func TestOpStrings(t *testing.T) {
+	if LIT.String() != "lit" || FROMR.String() != "fromr" {
+		t.Error("op names")
+	}
+	if Op(99).String() != "op(99)" {
+		t.Error("invalid op name")
+	}
+	if (Instr{Op: LIT, Imm: 5}).String() != "lit 5" || (Instr{Op: ADD}).String() != "add" {
+		t.Error("instr strings")
+	}
+}
+
+func TestDeltas(t *testing.T) {
+	tests := []struct {
+		op    Op
+		delta int
+		min   int
+	}{
+		{LIT, 1, 0}, {DUP, 1, 1}, {OVER, 1, 2}, {DROP, -1, 1},
+		{ADD, -1, 2}, {STORE, -2, 2}, {LOAD, 0, 1}, {SWP, 0, 2},
+		{TOR, -1, 1}, {FROMR, 1, 0}, {JMP, 0, 0}, {BRZ, -1, 1},
+	}
+	for _, tt := range tests {
+		in := Instr{Op: tt.op}
+		if in.Delta() != tt.delta {
+			t.Errorf("%v delta = %d, want %d", tt.op, in.Delta(), tt.delta)
+		}
+		if in.MinHeight() != tt.min {
+			t.Errorf("%v min height = %d, want %d", tt.op, in.MinHeight(), tt.min)
+		}
+	}
+}
+
+func TestAssembleAndDisassemble(t *testing.T) {
+	prog := MustAssemble(`
+		; sum = 2 + 3
+		lit 2
+		lit 3
+		add
+		lit 0x40
+		store
+		halt
+	`)
+	if len(prog) != 6 {
+		t.Fatalf("len = %d", len(prog))
+	}
+	out := Disassemble(prog)
+	for _, want := range []string{"lit 2", "add", "lit 64", "store", "halt"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAssembleLabels(t *testing.T) {
+	prog := MustAssemble(`
+	start:
+		lit 3
+	loop:
+		lit 1
+		sub
+		dup
+		brz done
+		jmp loop
+	done:
+		halt
+	`)
+	// brz at pc 4 targets "done" = pc 6; jmp at 5 targets "loop" = 1.
+	if prog[4].Op != BRZ || prog[4].Imm != 6 {
+		t.Errorf("brz = %v", prog[4])
+	}
+	if prog[5].Imm != 1 {
+		t.Errorf("jmp = %v", prog[5])
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	for _, src := range []string{
+		"frob",
+		"lit",              // missing operand
+		"lit abc",          // bad literal
+		"add 3",            // unexpected operand
+		"jmp nowhere",      // undefined label
+		"x: halt\nx: halt", // duplicate label
+	} {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("assembled %q", src)
+		}
+	}
+}
+
+func TestMustAssemblePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	MustAssemble("frob")
+}
+
+func runProg(t *testing.T, src string, capacity int) (*Interp, MapMemory) {
+	t.Helper()
+	mem := MapMemory{}
+	it := NewInterp(MustAssemble(src), capacity, mem)
+	if !it.Run(1 << 20) {
+		t.Fatal("program did not halt")
+	}
+	return it, mem
+}
+
+func TestArithmetic(t *testing.T) {
+	_, mem := runProg(t, `
+		lit 6
+		lit 7
+		mul
+		lit 100
+		store     ; mem[100] = 42
+		lit 10
+		lit 3
+		sub
+		lit 104
+		store     ; mem[104] = 7
+		halt
+	`, 8)
+	if mem[100] != 42 || mem[104] != 7 {
+		t.Errorf("mem = %v", mem)
+	}
+}
+
+func TestStackManipulation(t *testing.T) {
+	_, mem := runProg(t, `
+		lit 1
+		lit 2
+		over      ; 1 2 1
+		add       ; 1 3
+		swp       ; 3 1
+		drop      ; 3
+		dup       ; 3 3
+		add       ; 6
+		lit 0
+		store
+		halt
+	`, 8)
+	if mem[0] != 6 {
+		t.Errorf("mem[0] = %d, want 6", mem[0])
+	}
+}
+
+func TestLoadStoreAndLoop(t *testing.T) {
+	// Sum mem[0..9] (preloaded i*i) into mem[200] with a counted loop on
+	// the return stack.
+	mem := MapMemory{}
+	for i := uint32(0); i < 10; i++ {
+		mem[i*4] = i * i
+	}
+	src := `
+		lit 0        ; accumulator
+		lit 0        ; index
+	loop:
+		dup          ; acc i i
+		lit 4
+		mul          ; acc i addr
+		load         ; acc i val
+		tor          ; acc i       (val on return stack)
+		swp          ; i acc
+		fromr        ; i acc val
+		add          ; i acc'
+		swp          ; acc' i
+		lit 1
+		add          ; acc' i+1
+		dup
+		lit 10
+		sub          ; acc' i+1 (i+1-10)
+		brz done
+		jmp loop
+	done:
+		drop         ; acc
+		lit 200
+		store
+		halt
+	`
+	it := NewInterp(MustAssemble(src), 4, mem)
+	if !it.Run(1 << 20) {
+		t.Fatal("did not halt")
+	}
+	want := uint32(0)
+	for i := uint32(0); i < 10; i++ {
+		want += i * i
+	}
+	if mem[200] != want {
+		t.Errorf("sum = %d, want %d", mem[200], want)
+	}
+	if it.MemOps != 11 {
+		t.Errorf("mem ops = %d, want 11", it.MemOps)
+	}
+}
+
+func TestCallRet(t *testing.T) {
+	// square(x): dup mul; main computes square(9).
+	_, mem := runProg(t, `
+		lit 9
+		call square
+		lit 300
+		store
+		halt
+	square:
+		dup
+		mul
+		ret
+	`, 8)
+	if mem[300] != 81 {
+		t.Errorf("square(9) = %d", mem[300])
+	}
+}
+
+func TestRecursionWithSpills(t *testing.T) {
+	// Recursive triangular number: t(n) = n + t(n-1), t(0) = 0. Depth 40
+	// with a 4-entry stack cache forces heavy return-stack spills; the
+	// result must still be exact (the §4 transparency property under real
+	// control flow).
+	src := `
+		lit 40
+		call tri
+		lit 400
+		store
+		halt
+	tri:
+		dup
+		brz base     ; n == 0 -> return 0 (already on stack)
+		dup          ; n n
+		lit 1
+		sub          ; n n-1
+		call tri     ; n t(n-1)
+		add
+		ret
+	base:
+		ret
+	`
+	it, mem := func() (*Interp, MapMemory) {
+		mem := MapMemory{}
+		it := NewInterp(MustAssemble(src), 4, mem)
+		if !it.Run(1 << 20) {
+			panic("did not halt")
+		}
+		return it, mem
+	}()
+	if mem[400] != 40*41/2 {
+		t.Errorf("tri(40) = %d, want %d", mem[400], 40*41/2)
+	}
+	if it.Spills() == 0 {
+		t.Error("depth-40 recursion with a 4-entry cache produced no spills")
+	}
+}
+
+// TestSpillTransparency is the §4 hardware property as a randomized test: a
+// program's result must be independent of the stack-cache capacity.
+func TestSpillTransparency(t *testing.T) {
+	f := func(vals []uint8) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		// Program: push all values, then fold with ADD, store result.
+		var b strings.Builder
+		for _, v := range vals {
+			b.WriteString("lit ")
+			b.WriteString(strings.TrimSpace(string(rune('0' + v%10)))) // small digits suffice
+			b.WriteString("\n")
+		}
+		for i := 1; i < len(vals); i++ {
+			b.WriteString("add\n")
+		}
+		b.WriteString("lit 500\nstore\nhalt\n")
+		src := b.String()
+		results := make([]uint32, 0, 3)
+		for _, capacity := range []int{2, 5, 64} {
+			mem := MapMemory{}
+			it := NewInterp(MustAssemble(src), capacity, mem)
+			if !it.Run(1 << 20) {
+				return false
+			}
+			results = append(results, mem[500])
+		}
+		return results[0] == results[1] && results[1] == results[2]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPartialStackMigration exercises the §4 migration machinery on a real
+// program: serialize the top few entries mid-execution, resume on a "remote"
+// interpreter, and observe that popping past the carried depth refills —
+// the event that sends the thread back to its native core.
+func TestPartialStackMigration(t *testing.T) {
+	prog := MustAssemble(`
+		lit 1
+		lit 2
+		lit 3
+		lit 4
+		lit 5
+		add       ; pc 5: 1 2 3 9
+		add       ; 1 2 12
+		add       ; 1 14
+		add       ; 15
+		lit 600
+		store
+		halt
+	`)
+	mem := MapMemory{}
+	native := NewInterp(prog, 8, mem)
+	for i := 0; i < 5; i++ { // execute the five pushes
+		native.Step()
+	}
+	// Migrate carrying only the top 2 entries (4 and 5).
+	ctx := native.Serialize(2, 0)
+	if len(ctx.Expr) != 2 || ctx.Expr[0] != 4 || ctx.Expr[1] != 5 {
+		t.Fatalf("carried = %v", ctx.Expr)
+	}
+	if ctx.ExprDepth != 3 {
+		t.Fatalf("left-behind depth = %d, want 3", ctx.ExprDepth)
+	}
+	scfg := stackm.Config{Capacity: 8, PCBits: 32, WordBits: 32, MetaBits: 32}
+	if got, want := ctx.Bits(scfg), 32+32+2*32; got != want {
+		t.Errorf("context bits = %d, want %d", got, want)
+	}
+
+	// Resume at the remote core: the first ADD works on carried entries.
+	remote := NewInterp(prog, 8, mem)
+	remote.LoadContext(ctx)
+	refillsBefore := remote.Spills()
+	remote.Step() // add: 4+5 = 9, uses only carried entries
+	if remote.Spills() != refillsBefore {
+		t.Error("add on carried entries should not touch backing memory")
+	}
+	// The next ADD needs entry 3, which stayed at the native core: in the
+	// full architecture this underflow migrates the thread home. Simulate
+	// the return migration carrying only what the guest physically holds.
+	if remote.CachedDepth() != 1 {
+		t.Fatalf("cached depth at guest = %d, want 1", remote.CachedDepth())
+	}
+	back := remote.Serialize(remote.CachedDepth(), 0)
+	if back.ExprDepth != 3 {
+		t.Fatalf("depth beneath carried portion = %d, want 3", back.ExprDepth)
+	}
+	// At the native core the flushed lower stack (1,2,3) sits in the stack
+	// memory; resume over it and finish the program.
+	home := &Interp{
+		prog: prog,
+		expr: stackm.NewStackCache(8, &stackm.SliceBacking{Words: []uint32{1, 2, 3}}),
+		ret:  stackm.NewStackCache(8, &stackm.SliceBacking{}),
+		mem:  mem,
+	}
+	home.LoadContext(back)
+	for home.Step() {
+	}
+	if mem[600] != 15 {
+		t.Errorf("result = %d, want 15", mem[600])
+	}
+	if home.Spills() == 0 {
+		t.Error("resuming over flushed stack should refill from stack memory")
+	}
+}
+
+func TestInterpPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("empty program", func() { NewInterp(nil, 4, MapMemory{}) })
+	mustPanic("nil memory", func() { NewInterp([]Instr{{Op: HALT}}, 4, nil) })
+	mustPanic("pc out of range", func() {
+		it := NewInterp([]Instr{{Op: JMP, Imm: 99}}, 4, MapMemory{})
+		it.Step()
+		it.Step()
+	})
+}
+
+func TestRunMaxSteps(t *testing.T) {
+	it := NewInterp(MustAssemble("loop: jmp loop"), 4, MapMemory{})
+	if it.Run(100) {
+		t.Error("infinite loop reported halted")
+	}
+	if it.Steps != 100 {
+		t.Errorf("steps = %d", it.Steps)
+	}
+	// Step after a halt returns false immediately.
+	it2 := NewInterp(MustAssemble("halt"), 4, MapMemory{})
+	it2.Run(10)
+	if it2.Step() {
+		t.Error("step after halt")
+	}
+}

@@ -1,0 +1,154 @@
+package stackm
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+)
+
+const inf = int64(math.MaxInt64) / 4
+
+// OptimalDepthCost computes the minimum §4-model cost of executing one
+// thread's steps with optimal per-migration depth choices — the paper's "use
+// the same analytical model ... and a similar optimization formulation to
+// compute the optimal stack depths (instead of the binary migrate-vs-RA
+// decision, the algorithm considers the various stack depths)".
+//
+// The dynamic program runs over the carried height h ∈ [0, Capacity]: after
+// access i the thread is necessarily at that access's home (stack-EM²
+// migrates on every core miss), so the only hidden state is how much stack
+// travelled with it. Every transition the scheme replay in
+// EvaluateDepthScheme can take is available to the DP, plus voluntary
+// detours through the native core, so the optimum lower-bounds every
+// DepthScheme on the same steps (property-tested). Runtime O(N·K²).
+func OptimalDepthCost(ccfg core.Config, scfg Config, steps []Step, native geom.CoreID) int64 {
+	if err := scfg.Validate(); err != nil {
+		panic(err)
+	}
+	k := scfg.Capacity
+
+	mig := func(from, to geom.CoreID, depth int) int64 {
+		return ccfg.MigrationCost(from, to, scfg.CtxBits(depth))
+	}
+
+	// State: either at native (scalar) or at prevHome with height h.
+	atNative := true
+	var prevHome geom.CoreID
+	costNat := int64(0)
+	costs := make([]int64, k+1)
+	next := make([]int64, k+1)
+
+	for _, s := range steps {
+		d := s.Home
+		if d == native {
+			// Everyone converges to the native scalar state.
+			best := inf
+			if atNative {
+				best = costNat
+			} else {
+				for h := 0; h <= k; h++ {
+					if costs[h] == inf {
+						continue
+					}
+					if v := costs[h] + mig(prevHome, native, h); v < best {
+						best = v
+					}
+				}
+			}
+			costNat = best
+			atNative = true
+			continue
+		}
+
+		min, max := scfg.DepthRange(s.Delta)
+		for i := range next {
+			next[i] = inf
+		}
+		relax := func(h int, v int64) {
+			if h >= 0 && h <= k && v < next[h] {
+				next[h] = v
+			}
+		}
+		// departNative relaxes all depth choices from the native core with
+		// base cost b.
+		departNative := func(b int64) {
+			if b >= inf {
+				return
+			}
+			for kk := min; kk <= max; kk++ {
+				relax(kk+int(s.Delta), b+mig(native, d, kk))
+			}
+		}
+
+		if atNative {
+			departNative(costNat)
+		} else {
+			for h := 0; h <= k; h++ {
+				if costs[h] == inf {
+					continue
+				}
+				if prevHome == d {
+					// Continuing a run at d.
+					if scfg.Feasible(h, s.Delta) {
+						relax(h+int(s.Delta), costs[h])
+					}
+					// Forced (or voluntary) round trip through native.
+					departNative(costs[h] + mig(d, native, h))
+				} else {
+					// Guest-to-guest migration carrying h.
+					if scfg.Feasible(h, s.Delta) {
+						relax(h+int(s.Delta), costs[h]+mig(prevHome, d, h))
+					}
+					// Detour through native with a fresh depth choice.
+					departNative(costs[h] + mig(prevHome, native, h))
+				}
+			}
+		}
+		costs, next = next, costs
+		atNative = false
+		prevHome = d
+	}
+
+	if atNative {
+		return costNat
+	}
+	best := inf
+	for h := 0; h <= k; h++ {
+		if costs[h] < best {
+			best = costs[h]
+		}
+	}
+	return best
+}
+
+// OptimalDepthCostForTrace sums the per-thread optima over a whole trace
+// (threads are independent in the §3/§4 model).
+func OptimalDepthCostForTrace(ccfg core.Config, scfg Config, steps [][]Step, cores int) int64 {
+	var total int64
+	for t, ts := range steps {
+		if len(ts) == 0 {
+			continue
+		}
+		total += OptimalDepthCost(ccfg, scfg, ts, geom.CoreID(t%cores))
+	}
+	return total
+}
+
+// SchemeCostForTrace sums a depth scheme's per-thread replay costs.
+func SchemeCostForTrace(ccfg core.Config, scfg Config, steps [][]Step, cores int, mk func() DepthScheme) Cost {
+	var total Cost
+	for t, ts := range steps {
+		if len(ts) == 0 {
+			continue
+		}
+		c := EvaluateDepthScheme(ccfg, scfg, ts, geom.CoreID(t%cores), mk(), t)
+		total.Cycles += c.Cycles
+		total.Migrations += c.Migrations
+		total.ForcedReturns += c.ForcedReturns
+		total.BitsMoved += c.BitsMoved
+		total.Traffic += c.Traffic
+		total.DepthSum += c.DepthSum
+	}
+	return total
+}

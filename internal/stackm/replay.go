@@ -1,0 +1,134 @@
+package stackm
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/placement"
+	"repro/internal/trace"
+)
+
+// Step is one access of a single thread's trace under the §4 model: where
+// the data lives and how the triggering instruction run moves the
+// expression stack.
+type Step struct {
+	Home  geom.CoreID
+	Delta int8
+}
+
+// StepsForTrace resolves homes for every access (touching the placement in
+// global order, like oracle.AllSteps) and returns per-thread step sequences
+// carrying the stack deltas.
+func StepsForTrace(tr *trace.Trace, pl placement.Policy, cores int) [][]Step {
+	out := make([][]Step, tr.NumThreads)
+	for _, a := range tr.Accesses {
+		native := geom.CoreID(a.Thread % cores)
+		home := pl.Touch(a.Addr, native)
+		out[a.Thread] = append(out[a.Thread], Step{Home: home, Delta: a.StackDelta})
+	}
+	return out
+}
+
+// Cost aggregates one stack-EM² replay.
+type Cost struct {
+	Cycles        int64
+	Migrations    int64 // all migrations, including forced returns
+	ForcedReturns int64 // overflow/underflow round trips
+	BitsMoved     int64
+	Traffic       int64
+	DepthSum      int64 // sum of carried depths over all migrations
+}
+
+// MeanDepth returns the average carried depth per migration.
+func (c Cost) MeanDepth() float64 {
+	if c.Migrations == 0 {
+		return 0
+	}
+	return float64(c.DepthSum) / float64(c.Migrations)
+}
+
+// EvaluateDepthScheme replays one thread's steps under stack-EM² semantics
+// with the given depth scheme, in O(N):
+//
+//   - a local access (home == position) applies its stack delta; if the
+//     thread is away from home and the delta over/underflows the carried
+//     stack, the thread migrates back to its native core and re-departs with
+//     a freshly chosen depth (a forced return);
+//   - an access homed elsewhere migrates there: from the native core the
+//     scheme chooses the carried depth; from a guest core the current height
+//     travels unchanged (and if it cannot accommodate the delta, the thread
+//     routes through its native core and re-chooses).
+//
+// Steps use the same representation as OptimalDepth so that scheme replays
+// and the optimum are comparable number-for-number.
+func EvaluateDepthScheme(ccfg core.Config, scfg Config, steps []Step, native geom.CoreID, scheme DepthScheme, thread int) Cost {
+	if err := scfg.Validate(); err != nil {
+		panic(err)
+	}
+	var cost Cost
+	at := native
+	h := 0 // carried height; meaningful only when at != native
+
+	migrate := func(from, to geom.CoreID, depth int) {
+		cost.Cycles += ccfg.MigrationCost(from, to, scfg.CtxBits(depth))
+		cost.Migrations++
+		cost.BitsMoved += int64(scfg.CtxBits(depth))
+		cost.Traffic += ccfg.MigrationTraffic(from, to, scfg.CtxBits(depth))
+		cost.DepthSum += int64(depth)
+	}
+
+	depart := func(to geom.CoreID, delta int8) {
+		min, max := scfg.DepthRange(delta)
+		k := scheme.ChooseDepth(DepthInfo{
+			Thread: thread, From: native, To: to, Min: min, Max: max, Delta: delta,
+		})
+		if k < min || k > max {
+			panic(fmt.Sprintf("stackm: scheme %s chose depth %d outside [%d,%d]", scheme.Name(), k, min, max))
+		}
+		migrate(native, to, k)
+		at = to
+		h = k + int(delta)
+	}
+
+	for _, s := range steps {
+		d := s.Home
+		switch {
+		case at == native && d == native:
+			// Local at home: stack memory is here; always feasible.
+		case at == native && d != native:
+			depart(d, s.Delta)
+		case at == d:
+			// Continuing a run at a guest core.
+			if scfg.Feasible(h, s.Delta) {
+				h += int(s.Delta)
+				continue
+			}
+			// Overflow/underflow: forced return, then re-departure.
+			migrate(at, native, h)
+			cost.ForcedReturns++
+			at = native
+			depart(d, s.Delta)
+		case d == native:
+			// Going home: carry the cached height back.
+			migrate(at, native, h)
+			at = native
+			h = 0
+		default:
+			// Guest-to-guest migration: the height travels as is.
+			if scfg.Feasible(h, s.Delta) {
+				migrate(at, d, h)
+				at = d
+				h += int(s.Delta)
+				continue
+			}
+			// The carried stack cannot host this access: route through the
+			// native core and re-choose the depth.
+			migrate(at, native, h)
+			cost.ForcedReturns++
+			at = native
+			depart(d, s.Delta)
+		}
+	}
+	return cost
+}

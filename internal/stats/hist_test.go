@@ -1,0 +1,165 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistBasics(t *testing.T) {
+	h := NewHist(10)
+	for _, v := range []int{1, 1, 2, 3, 5, 9, 12, 100} {
+		h.Add(v)
+	}
+	if h.Total() != 8 {
+		t.Errorf("Total = %d, want 8", h.Total())
+	}
+	if h.Count(1) != 2 {
+		t.Errorf("Count(1) = %d, want 2", h.Count(1))
+	}
+	if h.Overflow() != 2 {
+		t.Errorf("Overflow = %d, want 2", h.Overflow())
+	}
+	if h.Count(55) != 2 { // >= bound maps to overflow bin
+		t.Errorf("Count(55) = %d, want 2", h.Count(55))
+	}
+	if h.Count(-3) != 0 {
+		t.Errorf("Count(-3) = %d, want 0", h.Count(-3))
+	}
+	if h.Max() != 100 {
+		t.Errorf("Max = %d, want 100", h.Max())
+	}
+	if h.Sum() != 1+1+2+3+5+9+12+100 {
+		t.Errorf("Sum = %d", h.Sum())
+	}
+	if got := h.Mean(); math.Abs(got-float64(h.Sum())/8) > 1e-12 {
+		t.Errorf("Mean = %v", got)
+	}
+}
+
+func TestHistPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("NewHist(0)", func() { NewHist(0) })
+	mustPanic("Add(-1)", func() { NewHist(4).Add(-1) })
+	mustPanic("AddN(1,-1)", func() { NewHist(4).AddN(1, -1) })
+	mustPanic("Merge(bound mismatch)", func() { NewHist(4).Merge(NewHist(5)) })
+}
+
+func TestHistAddN(t *testing.T) {
+	h := NewHist(8)
+	h.AddN(3, 5)
+	if h.Count(3) != 5 || h.Total() != 5 || h.Sum() != 15 {
+		t.Errorf("AddN: count=%d total=%d sum=%d", h.Count(3), h.Total(), h.Sum())
+	}
+}
+
+func TestHistFractions(t *testing.T) {
+	h := NewHist(10)
+	h.AddN(1, 5)
+	h.AddN(5, 1) // weighted mass: 5·1 at run length 1, 5·1 at run length 5
+	if got := h.Fraction(1); math.Abs(got-5.0/6) > 1e-12 {
+		t.Errorf("Fraction(1) = %v", got)
+	}
+	if got := h.WeightedFraction(1); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("WeightedFraction(1) = %v, want 0.5", got)
+	}
+	if got := h.WeightedFraction(5); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("WeightedFraction(5) = %v, want 0.5", got)
+	}
+	if got := h.CumFraction(4); math.Abs(got-5.0/6) > 1e-12 {
+		t.Errorf("CumFraction(4) = %v", got)
+	}
+	if got := h.CumFraction(100); got != 1 {
+		t.Errorf("CumFraction(100) = %v, want 1", got)
+	}
+	empty := NewHist(4)
+	if empty.Fraction(1) != 0 || empty.CumFraction(1) != 0 || empty.WeightedFraction(1) != 0 || empty.Mean() != 0 {
+		t.Error("empty histogram fractions should be 0")
+	}
+}
+
+func TestHistMerge(t *testing.T) {
+	a, b := NewHist(6), NewHist(6)
+	a.Add(1)
+	a.Add(9)
+	b.Add(1)
+	b.Add(2)
+	a.Merge(b)
+	if a.Total() != 4 || a.Count(1) != 2 || a.Count(2) != 1 || a.Overflow() != 1 {
+		t.Errorf("merge: %v", a)
+	}
+	if a.Max() != 9 {
+		t.Errorf("merge max = %d", a.Max())
+	}
+}
+
+// Property: total always equals the sum of all bins plus overflow, and sum
+// equals the exact sum of inserted values.
+func TestHistInvariants(t *testing.T) {
+	f := func(vals []uint8) bool {
+		h := NewHist(16)
+		var wantSum int64
+		for _, v := range vals {
+			h.Add(int(v))
+			wantSum += int64(v)
+		}
+		var binned int64
+		for _, c := range h.Bins() {
+			binned += c
+		}
+		binned += h.Overflow()
+		return binned == h.Total() && h.Sum() == wantSum && h.Total() == int64(len(vals))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistRender(t *testing.T) {
+	h := NewHist(4)
+	h.AddN(1, 10)
+	h.AddN(2, 5)
+	h.AddN(7, 2)
+	out := h.Render(20)
+	if !strings.Contains(out, "1 |") || !strings.Contains(out, "4+") {
+		t.Errorf("Render output missing rows:\n%s", out)
+	}
+	if NewHist(4).Render(10) != "(empty histogram)\n" {
+		t.Error("empty render")
+	}
+	if !strings.Contains(NewHist(4).Render(0), "empty") {
+		t.Error("width<=0 should default and still render")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2})
+	if s.N != 4 || s.Min != 1 || s.Max != 4 {
+		t.Errorf("summary = %+v", s)
+	}
+	if math.Abs(s.Mean-2.5) > 1e-12 {
+		t.Errorf("mean = %v", s.Mean)
+	}
+	if s.P50 != 2 {
+		t.Errorf("p50 = %v", s.P50)
+	}
+	if s.P99 != 4 {
+		t.Errorf("p99 = %v", s.P99)
+	}
+	if got := Summarize(nil); got.N != 0 {
+		t.Errorf("empty summary = %+v", got)
+	}
+	one := Summarize([]float64{7})
+	if one.Std != 0 || one.Min != 7 || one.Max != 7 {
+		t.Errorf("singleton summary = %+v", one)
+	}
+}

@@ -1,0 +1,97 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableString(t *testing.T) {
+	tb := NewTable("demo", "name", "value")
+	tb.AddRow("alpha", 1)
+	tb.AddRow("b", 3.14159265)
+	out := tb.String()
+	if !strings.Contains(out, "== demo ==") {
+		t.Errorf("missing title:\n%s", out)
+	}
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "3.142") {
+		t.Errorf("missing cells:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Errorf("got %d lines:\n%s", len(lines), out)
+	}
+	if tb.NumRows() != 2 {
+		t.Errorf("NumRows = %d", tb.NumRows())
+	}
+	if tb.Title() != "demo" {
+		t.Errorf("Title = %q", tb.Title())
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("", "col", "x")
+	tb.AddRow("longvalue", 1)
+	out := tb.String()
+	lines := strings.Split(out, "\n")
+	// Header and data row should begin at the same column offset for col 2.
+	hIdx := strings.Index(lines[0], "x")
+	dIdx := strings.Index(lines[2], "1")
+	if hIdx != dIdx {
+		t.Errorf("misaligned columns: header x at %d, data 1 at %d\n%s", hIdx, dIdx, out)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("t", "a", "b")
+	tb.AddRow("x,y", `q"z`)
+	tb.AddRow(1, 2)
+	got := tb.CSV()
+	want := "a,b\n\"x,y\",\"q\"\"z\"\n1,2\n"
+	if got != want {
+		t.Errorf("CSV = %q, want %q", got, want)
+	}
+}
+
+func TestTableFloat32(t *testing.T) {
+	tb := NewTable("t", "v")
+	tb.AddRow(float32(2.5))
+	if !strings.Contains(tb.String(), "2.5") {
+		t.Errorf("float32 row: %s", tb.String())
+	}
+}
+
+func TestCounters(t *testing.T) {
+	var c Counters
+	c.Inc("b", 2)
+	c.Inc("a", 1)
+	c.Inc("b", 3)
+	if c.Get("b") != 5 || c.Get("a") != 1 || c.Get("zzz") != 0 {
+		t.Errorf("counters: %v", c.String())
+	}
+	names := c.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Errorf("Names = %v", names)
+	}
+	var d Counters
+	d.Inc("a", 10)
+	c.Merge(&d)
+	if c.Get("a") != 11 {
+		t.Errorf("merged a = %d", c.Get("a"))
+	}
+	if got := c.String(); got != "a=11\nb=5\n" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestCountersZeroValue(t *testing.T) {
+	var c Counters
+	if c.Get("missing") != 0 {
+		t.Error("zero-value counter should read 0")
+	}
+	if len(c.Names()) != 0 {
+		t.Error("zero-value counter should have no names")
+	}
+	if c.String() != "" {
+		t.Error("zero-value counter should render empty")
+	}
+}

@@ -1,0 +1,236 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sample() *Trace {
+	t := New("sample", 3)
+	t.Append(Access{Thread: 0, Addr: 0x1000, Write: false})
+	t.Append(Access{Thread: 1, Addr: 0x2000, Write: true})
+	t.Append(Access{Thread: 0, Addr: 0x1004, Write: false, StackDelta: 2})
+	t.Append(Access{Thread: 2, Addr: 0x1000, Write: true, StackDelta: -1})
+	return t
+}
+
+func TestAppendAndLen(t *testing.T) {
+	tr := sample()
+	if tr.Len() != 4 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestAppendPanicsOnBadThread(t *testing.T) {
+	tr := New("x", 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for out-of-range thread")
+		}
+	}()
+	tr.Append(Access{Thread: 2})
+}
+
+func TestNewPanicsOnBadThreads(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	New("x", 0)
+}
+
+func TestPerThread(t *testing.T) {
+	tr := sample()
+	per := tr.PerThread()
+	if len(per) != 3 {
+		t.Fatalf("PerThread len = %d", len(per))
+	}
+	if len(per[0]) != 2 || len(per[1]) != 1 || len(per[2]) != 1 {
+		t.Errorf("per-thread counts: %d %d %d", len(per[0]), len(per[1]), len(per[2]))
+	}
+	if per[0][1].Addr != 0x1004 {
+		t.Errorf("order not preserved: %+v", per[0])
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	tr := sample()
+	tr.Accesses[1].Thread = 99
+	if err := tr.Validate(); err == nil {
+		t.Error("corrupt trace validated")
+	}
+	tr2 := sample()
+	tr2.WordBytes = 0
+	if err := tr2.Validate(); err == nil {
+		t.Error("zero word size validated")
+	}
+	tr3 := sample()
+	tr3.NumThreads = 0
+	if err := tr3.Validate(); err == nil {
+		t.Error("zero threads validated")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	tr := sample()
+	s := tr.Summarize()
+	if s.Accesses != 4 || s.Writes != 2 || s.Threads != 3 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.UniqueAddrs != 3 {
+		t.Errorf("unique addrs = %d, want 3", s.UniqueAddrs)
+	}
+	if s.SharedAddrs != 1 { // 0x1000 touched by threads 0 and 2
+		t.Errorf("shared addrs = %d, want 1", s.SharedAddrs)
+	}
+	if s.UniquePages != 2 {
+		t.Errorf("unique pages = %d, want 2", s.UniquePages)
+	}
+	if !strings.Contains(s.String(), "accesses=4") {
+		t.Errorf("summary string = %q", s.String())
+	}
+}
+
+func TestInterleave(t *testing.T) {
+	streams := [][]Access{
+		{{Addr: 1}, {Addr: 2}, {Addr: 3}},
+		{{Addr: 10}},
+		{{Addr: 20}, {Addr: 21}},
+	}
+	tr := Interleave("il", streams)
+	wantAddrs := []Addr{1, 10, 20, 2, 21, 3}
+	if tr.Len() != len(wantAddrs) {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	for i, a := range tr.Accesses {
+		if a.Addr != wantAddrs[i] {
+			t.Errorf("access %d addr = %d, want %d", i, a.Addr, wantAddrs[i])
+		}
+	}
+	// Thread field is assigned from the stream index.
+	if tr.Accesses[0].Thread != 0 || tr.Accesses[1].Thread != 1 || tr.Accesses[2].Thread != 2 {
+		t.Error("interleave thread assignment wrong")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTouched(t *testing.T) {
+	tr := sample()
+	got := tr.Touched()
+	want := []Addr{0x1000, 0x1004, 0x2000}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Touched = %v, want %v", got, want)
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	tr := sample()
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if got.Name != tr.Name || got.NumThreads != tr.NumThreads || got.WordBytes != tr.WordBytes {
+		t.Errorf("header mismatch: %+v", got)
+	}
+	if !reflect.DeepEqual(got.Accesses, tr.Accesses) {
+		t.Errorf("accesses mismatch:\n got %+v\nwant %+v", got.Accesses, tr.Accesses)
+	}
+}
+
+// Property: round trip through the binary format is the identity for
+// arbitrary access sequences.
+func TestBinaryRoundTripProperty(t *testing.T) {
+	f := func(threads []uint8, addrs []uint32, writes []bool, deltas []int8) bool {
+		n := len(threads)
+		for _, s := range []int{len(addrs), len(writes), len(deltas)} {
+			if s < n {
+				n = s
+			}
+		}
+		tr := New("prop", 8)
+		for i := 0; i < n; i++ {
+			tr.Append(Access{
+				Thread:     int(threads[i] % 8),
+				Addr:       Addr(addrs[i]),
+				Write:      writes[i],
+				StackDelta: deltas[i],
+			})
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, tr); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		if len(got.Accesses) != len(tr.Accesses) {
+			return false
+		}
+		for i := range got.Accesses {
+			if got.Accesses[i] != tr.Accesses[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("EM"),
+		[]byte("XXXX"),
+		[]byte("EMT1"), // truncated after magic
+	}
+	for i, c := range cases {
+		if _, err := Read(bytes.NewReader(c)); err == nil {
+			t.Errorf("case %d: garbage accepted", i)
+		}
+	}
+}
+
+func TestReadRejectsBadThreadIndex(t *testing.T) {
+	// Build a valid trace, then corrupt a thread index beyond numThreads by
+	// writing a crafted stream: simplest is to serialize with 1 thread and
+	// patch is fragile — instead check Write rejects an invalid trace.
+	tr := New("x", 1)
+	tr.Accesses = append(tr.Accesses, Access{Thread: 5}) // bypass Append check
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err == nil {
+		t.Error("Write accepted invalid trace")
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteText(&buf, sample()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "# trace sample threads=3 word=4") {
+		t.Errorf("missing header: %s", out)
+	}
+	if !strings.Contains(out, "1 W 0x2000") {
+		t.Errorf("missing write line: %s", out)
+	}
+	if !strings.Contains(out, "0 R 0x1004 2") {
+		t.Errorf("missing stack-delta line: %s", out)
+	}
+}

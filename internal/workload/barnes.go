@@ -1,0 +1,96 @@
+package workload
+
+import (
+	"repro/internal/trace"
+)
+
+// Barnes generates the sharing structure of the SPLASH-2 BARNES N-body
+// kernel: every thread repeatedly walks the top of a shared octree (a hot,
+// read-mostly structure homed where it was built), descends level by level
+// through nodes owned by different threads (short runs at each owner), reads
+// a handful of neighbour bodies (isolated remote accesses), and updates its
+// own bodies locally. It adds a third run-length profile between OCEAN's
+// bimodal extremes: many short-but-greater-than-one runs.
+//
+// Config.Scale is the number of bodies per thread.
+func Barnes(cfg Config) *trace.Trace {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		panic(err)
+	}
+	p := cfg.Threads
+	bodies := cfg.Scale
+	r := newRNG(cfg.Seed)
+	wordsPerPage := PageBytes / WordBytes
+
+	// Tree layout: level l has max(1, p>>2<<l)… keep it simple: level 0 is
+	// the root page (built by thread 0), levels 1..3 have one page per
+	// 16/4/1 threads respectively.
+	levelPage := func(level, t int) int {
+		switch level {
+		case 0:
+			return 0
+		case 1:
+			return 1 + t/16
+		case 2:
+			return 1 + (p+15)/16 + t/4
+		default:
+			return 1 + (p+15)/16 + (p+3)/4 + t
+		}
+	}
+	pageWord := func(page, w int) int { return page*wordsPerPage + w%wordsPerPage }
+
+	streams := make([][]trace.Access, p)
+
+	// Build phase: owners touch their tree pages; bodies live in private
+	// arenas (trivially local).
+	streams[0] = touchRange(streams[0], pageWord(levelPage(0, 0), 0), pageWord(levelPage(0, 0), 0)+1)
+	for t := 0; t < p; t++ {
+		if t%16 == 0 {
+			pg := levelPage(1, t)
+			streams[t] = touchRange(streams[t], pageWord(pg, 0), pageWord(pg, 0)+1)
+		}
+		if t%4 == 0 {
+			pg := levelPage(2, t)
+			streams[t] = touchRange(streams[t], pageWord(pg, 0), pageWord(pg, 0)+1)
+		}
+		pg := levelPage(3, t)
+		streams[t] = touchRange(streams[t], pageWord(pg, 0), pageWord(pg, 0)+1)
+	}
+
+	for it := 0; it < cfg.Iters; it++ {
+		for t := 0; t < p; t++ {
+			s := streams[t]
+			for b := 0; b < bodies; b++ {
+				// Walk: root (run of 3 reads), then one node per level at a
+				// random subtree owner (runs of 2), then neighbour bodies.
+				for w := 0; w < 3; w++ {
+					s = append(s, trace.Access{Addr: SharedAddr(pageWord(levelPage(0, 0), b+w))})
+				}
+				sub := r.intn(p)
+				for level := 1; level <= 3; level++ {
+					pg := levelPage(level, sub)
+					s = append(s,
+						trace.Access{Addr: SharedAddr(pageWord(pg, b))},
+						trace.Access{Addr: SharedAddr(pageWord(pg, b+1))},
+					)
+				}
+				// Read two neighbour bodies (isolated remote accesses), then
+				// update own body locally.
+				for k := 0; k < 2; k++ {
+					nb := r.intn(p)
+					s = append(s, trace.Access{Addr: PrivateAddr(nb, r.intn(bodies))})
+				}
+				s = append(s,
+					trace.Access{Addr: PrivateAddr(t, b)},
+					trace.Access{Addr: PrivateAddr(t, b), Write: true},
+				)
+			}
+			streams[t] = s
+		}
+	}
+
+	tr := trace.Interleave("barnes", streams)
+	tr.WordBytes = WordBytes
+	return tr
+}

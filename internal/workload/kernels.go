@@ -1,0 +1,217 @@
+package workload
+
+import (
+	"repro/internal/trace"
+)
+
+// FFT generates the sharing structure of the SPLASH-2 FFT kernel: local
+// butterfly computation on a row-block-distributed matrix punctuated by an
+// all-to-all transpose in which each thread reads one block from every other
+// thread's partition. The transpose produces medium-length runs of accesses
+// to each remote home in turn — the multi-core generalization of the "keep
+// accessing the same remote core" half of Figure 2.
+//
+// Config.Scale is the matrix dimension m (m×m words, row-major,
+// row blocks of m/Threads rows per thread).
+func FFT(cfg Config) *trace.Trace {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		panic(err)
+	}
+	m := cfg.Scale
+	p := cfg.Threads
+	rowsPer := m / p
+	if rowsPer == 0 {
+		rowsPer = 1
+		p = m // degenerate: fewer useful threads than requested
+	}
+	word := func(r, c int) int { return r*m + c }
+
+	streams := make([][]trace.Access, cfg.Threads)
+
+	// Parallel init binds each thread's row block.
+	for t := 0; t < p; t++ {
+		streams[t] = touchRange(streams[t], word(t*rowsPer, 0), word((t+1)*rowsPer-1, m-1)+1)
+	}
+
+	for it := 0; it < cfg.Iters; it++ {
+		// Local butterfly pass: read-modify-write own rows with a strided
+		// partner access that stays inside the thread's own block.
+		for t := 0; t < p; t++ {
+			s := streams[t]
+			for r := t * rowsPer; r < (t+1)*rowsPer; r++ {
+				for c := 0; c < m; c += 2 {
+					partner := (c + m/2) % m
+					s = append(s,
+						trace.Access{Addr: SharedAddr(word(r, c))},
+						trace.Access{Addr: SharedAddr(word(r, partner))},
+						trace.Access{Addr: SharedAddr(word(r, c)), Write: true},
+					)
+				}
+			}
+			streams[t] = s
+		}
+		// Transpose: thread t reads block (u,t) from every u, writing into
+		// its own rows. Reads from one u form a contiguous run at home(u).
+		colsPer := rowsPer
+		for t := 0; t < p; t++ {
+			s := streams[t]
+			for du := 1; du < p; du++ {
+				u := (t + du) % p
+				for r := u * rowsPer; r < (u+1)*rowsPer; r++ {
+					for c := t * colsPer; c < (t+1)*colsPer && c < m; c++ {
+						s = append(s, trace.Access{Addr: SharedAddr(word(r, c))})
+					}
+				}
+				// Write the transposed block locally.
+				for r := t * rowsPer; r < (t+1)*rowsPer; r++ {
+					for c := 0; c < colsPer; c++ {
+						s = append(s, trace.Access{Addr: SharedAddr(word(r, (u*rowsPer+c)%m)), Write: true})
+					}
+				}
+			}
+			streams[t] = s
+		}
+	}
+
+	tr := trace.Interleave("fft", streams)
+	tr.WordBytes = WordBytes
+	return tr
+}
+
+// LU generates the sharing structure of blocked LU decomposition: a B×B grid
+// of bs×bs blocks distributed round-robin. At step k the perimeter blocks
+// read the diagonal block (a medium remote run at the diagonal owner's
+// core), and trailing blocks read their perimeter blocks. Late steps
+// concentrate traffic at few owners, as in the real kernel.
+//
+// Config.Scale is the matrix dimension in blocks B; block size is fixed at
+// 8×8 words to keep traces proportionate.
+func LU(cfg Config) *trace.Trace {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		panic(err)
+	}
+	b := cfg.Scale // blocks per side
+	if b > 16 {
+		b = 16 // keep O(B³) trace volume sane
+	}
+	const bs = 8 // words per block side
+	p := cfg.Threads
+	blockWords := bs * bs
+	blockBase := func(i, j int) int { return (i*b + j) * blockWords }
+	owner := func(i, j int) int { return (i*b + j) % p }
+
+	streams := make([][]trace.Access, p)
+
+	// Parallel init: each owner binds its blocks.
+	for i := 0; i < b; i++ {
+		for j := 0; j < b; j++ {
+			t := owner(i, j)
+			streams[t] = touchRange(streams[t], blockBase(i, j), blockBase(i, j)+blockWords)
+		}
+	}
+
+	for it := 0; it < cfg.Iters; it++ {
+		for k := 0; k < b; k++ {
+			// Factor diagonal block: owner does a local read/write sweep.
+			dt := owner(k, k)
+			s := streams[dt]
+			for w := 0; w < blockWords; w++ {
+				s = append(s,
+					trace.Access{Addr: SharedAddr(blockBase(k, k) + w)},
+					trace.Access{Addr: SharedAddr(blockBase(k, k) + w), Write: true},
+				)
+			}
+			streams[dt] = s
+			// Perimeter: block (i,k) and (k,j) owners read the diagonal
+			// block (remote run of blockWords) and update their own block.
+			for i := k + 1; i < b; i++ {
+				t := owner(i, k)
+				s := streams[t]
+				for w := 0; w < blockWords; w++ {
+					s = append(s, trace.Access{Addr: SharedAddr(blockBase(k, k) + w)})
+				}
+				for w := 0; w < blockWords; w++ {
+					s = append(s, trace.Access{Addr: SharedAddr(blockBase(i, k) + w), Write: true})
+				}
+				streams[t] = s
+			}
+			// Trailing update: block (i,j) reads its perimeter blocks.
+			for i := k + 1; i < b; i++ {
+				for j := k + 1; j < b; j++ {
+					t := owner(i, j)
+					s := streams[t]
+					for w := 0; w < blockWords; w += 4 { // sampled reads
+						s = append(s,
+							trace.Access{Addr: SharedAddr(blockBase(i, k) + w)},
+							trace.Access{Addr: SharedAddr(blockBase(k, j) + w)},
+						)
+					}
+					for w := 0; w < blockWords; w += 4 {
+						s = append(s, trace.Access{Addr: SharedAddr(blockBase(i, j) + w), Write: true})
+					}
+					streams[t] = s
+				}
+			}
+		}
+	}
+
+	tr := trace.Interleave("lu", streams)
+	tr.WordBytes = WordBytes
+	return tr
+}
+
+// Radix generates the sharing structure of the SPLASH-2 RADIX sort: each
+// thread streams through its private keys (local) and scatters increments
+// into a shared histogram whose pages are spread over all cores — isolated
+// single remote writes, the run-length-1 half of Figure 2 in its purest
+// form — followed by a prefix-sum phase in which one thread sweeps the whole
+// histogram (one long run per remote page).
+//
+// Config.Scale is the number of keys per thread per iteration.
+func Radix(cfg Config) *trace.Trace {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		panic(err)
+	}
+	p := cfg.Threads
+	keys := cfg.Scale
+	r := newRNG(cfg.Seed)
+	wordsPerPage := PageBytes / WordBytes
+	buckets := p * wordsPerPage // one histogram page per thread
+
+	streams := make([][]trace.Access, p)
+
+	// Init: thread t binds histogram page t.
+	for t := 0; t < p; t++ {
+		streams[t] = touchRange(streams[t], t*wordsPerPage, (t+1)*wordsPerPage)
+	}
+
+	for it := 0; it < cfg.Iters; it++ {
+		for t := 0; t < p; t++ {
+			s := streams[t]
+			for k := 0; k < keys; k++ {
+				// Read own key (private arena: always local).
+				s = append(s, trace.Access{Addr: PrivateAddr(t, it*keys+k)})
+				// Scatter into a uniformly random bucket.
+				bucket := r.intn(buckets)
+				s = append(s,
+					trace.Access{Addr: SharedAddr(bucket)},
+					trace.Access{Addr: SharedAddr(bucket), Write: true},
+				)
+			}
+			streams[t] = s
+		}
+		// Prefix sum: thread 0 sweeps the histogram densely.
+		s := streams[0]
+		for w := 0; w < buckets; w += 8 {
+			s = append(s, trace.Access{Addr: SharedAddr(w)}, trace.Access{Addr: SharedAddr(w), Write: true})
+		}
+		streams[0] = s
+	}
+
+	tr := trace.Interleave("radix", streams)
+	tr.WordBytes = WordBytes
+	return tr
+}

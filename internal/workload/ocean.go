@@ -1,0 +1,143 @@
+package workload
+
+import (
+	"repro/internal/trace"
+)
+
+// Ocean generates a trace with the sharing structure of SPLASH-2 OCEAN, the
+// workload behind the paper's Figure 2: red–black relaxation over a 2-D grid
+// partitioned into contiguous row blocks (one block per thread), plus the
+// multigrid restriction phase the real benchmark runs between sweeps.
+//
+// Two mechanisms create the figure's bimodal run-length distribution, in
+// roughly equal halves as the paper observes:
+//
+//   - Boundary exchange: the 5-point stencil at a partition-edge row reads
+//     one word from the neighbouring thread's row and then returns to local
+//     data — an isolated non-native access (run length 1). "About half of
+//     the accesses migrate after one memory reference."
+//
+//   - Multigrid restriction: each thread reads its neighbour's coarse-grid
+//     rows as long contiguous blocks — runs of hundreds of accesses to the
+//     same non-native core. "The other half keep accessing memory at the
+//     core where they have migrated."
+//
+// Rows are padded to one 4 KB page each so that first-touch placement homes
+// every row at the thread that initializes it, exactly as the OS-page-
+// granular first-touch of the paper's platform behaves for OCEAN's
+// page-aligned arrays.
+//
+// Config.Scale is the interior grid dimension n (the grid has n+2 rows
+// including the fixed boundary rows); Config.Iters is the number of full
+// red–black sweeps.
+func Ocean(cfg Config) *trace.Trace {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		panic(err)
+	}
+	n := cfg.Scale
+	p := cfg.Threads
+	rows := n + 2
+	// One page per row: fine grid rows r = 0..n+1, then coarse grid rows.
+	const rowStride = PageBytes / WordBytes
+	word := func(r, c int) int { return r*rowStride + c }
+	coarseRow := func(t int) int { return rows + t } // one coarse row per thread
+
+	// Row partition: interior rows 1..n split contiguously; remainder rows
+	// go to the lowest-numbered threads.
+	firstRow := make([]int, p+1)
+	base, rem := n/p, n%p
+	firstRow[0] = 1
+	for t := 0; t < p; t++ {
+		span := base
+		if t < rem {
+			span++
+		}
+		firstRow[t+1] = firstRow[t] + span
+	}
+
+	streams := make([][]trace.Access, p)
+
+	// Parallel initialization: each thread binds its own rows and its coarse
+	// row; thread 0 also owns boundary row 0, the last thread row n+1.
+	for t := 0; t < p; t++ {
+		lo, hi := firstRow[t], firstRow[t+1]
+		if t == 0 {
+			lo = 0
+		}
+		if t == p-1 {
+			hi = rows
+		}
+		for r := lo; r < hi; r++ {
+			streams[t] = append(streams[t], trace.Access{Addr: SharedAddr(word(r, 0)), Write: true})
+		}
+		streams[t] = append(streams[t], trace.Access{Addr: SharedAddr(word(coarseRow(t), 0)), Write: true})
+	}
+
+	for it := 0; it < cfg.Iters; it++ {
+		// Red–black relaxation sweeps: the boundary-exchange half.
+		for color := 0; color < 2; color++ {
+			for t := 0; t < p; t++ {
+				s := streams[t]
+				for r := firstRow[t]; r < firstRow[t+1]; r++ {
+					for c := 1 + (r+color)%2; c <= n; c += 2 {
+						s = append(s,
+							trace.Access{Addr: SharedAddr(word(r-1, c))}, // north (remote on top boundary row)
+							trace.Access{Addr: SharedAddr(word(r+1, c))}, // south (remote on bottom boundary row)
+							trace.Access{Addr: SharedAddr(word(r, c-1))},
+							trace.Access{Addr: SharedAddr(word(r, c+1))},
+							trace.Access{Addr: SharedAddr(word(r, c))},
+							trace.Access{Addr: SharedAddr(word(r, c)), Write: true},
+						)
+					}
+				}
+				streams[t] = s
+			}
+		}
+		// Multigrid restriction: the long-run half. Each thread reads its
+		// successor's coarse row twice (restriction + prolongation stencil)
+		// in chunks, writing a locally-homed accumulator word after each
+		// chunk — so the remote runs span a range of lengths, as the tail of
+		// the paper's histogram does, rather than one giant run.
+		for t := 0; t < p; t++ {
+			s := streams[t]
+			u := (t + 1) % p
+			chunk := 0
+			for pass := 0; pass < 2; pass++ {
+				c := 0
+				for c < n {
+					l := 3 + (t*7+chunk*11+it*5)%56 // deterministic 3..58
+					for j := 0; j < l && c < n; j++ {
+						s = append(s, trace.Access{Addr: SharedAddr(word(coarseRow(u), c))})
+						c++
+					}
+					// Local accumulator write breaks the remote run.
+					s = append(s, trace.Access{Addr: SharedAddr(word(coarseRow(t), chunk%n)), Write: true})
+					chunk++
+				}
+			}
+			for c := 0; c < n; c++ {
+				s = append(s, trace.Access{Addr: SharedAddr(word(coarseRow(t), c)), Write: true})
+			}
+			streams[t] = s
+		}
+		// Convergence check: each thread posts its residual; thread 0 reads
+		// the whole residual vector (homed at thread 0's coarse page).
+		resRow := coarseRow(p)
+		for t := 0; t < p; t++ {
+			if t == 0 {
+				streams[0] = append(streams[0], trace.Access{Addr: SharedAddr(word(resRow, 0)), Write: true})
+			}
+		}
+		for t := 1; t < p; t++ {
+			streams[t] = append(streams[t], trace.Access{Addr: SharedAddr(word(resRow, t)), Write: true})
+		}
+		for t := 0; t < p; t++ {
+			streams[0] = append(streams[0], trace.Access{Addr: SharedAddr(word(resRow, t))})
+		}
+	}
+
+	tr := trace.Interleave("ocean", streams)
+	tr.WordBytes = WordBytes
+	return tr
+}

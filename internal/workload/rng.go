@@ -1,0 +1,35 @@
+package workload
+
+// rng is a small deterministic PRNG (splitmix64) so that workload generation
+// is reproducible across runs and platforms without importing math/rand.
+// Determinism matters here: the figure-regeneration harness and the tests
+// must see byte-identical traces for a given seed.
+type rng struct {
+	state uint64
+}
+
+func newRNG(seed uint64) *rng {
+	return &rng{state: seed + 0x9E3779B97F4A7C15}
+}
+
+// next returns the next 64 random bits.
+func (r *rng) next() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *rng) intn(n int) int {
+	if n <= 0 {
+		panic("workload: intn with non-positive bound")
+	}
+	return int(r.next() % uint64(n))
+}
+
+// float returns a uniform value in [0, 1).
+func (r *rng) float() float64 {
+	return float64(r.next()>>11) / (1 << 53)
+}

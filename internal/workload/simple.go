@@ -1,0 +1,169 @@
+package workload
+
+import (
+	"repro/internal/trace"
+)
+
+// Private generates a trace in which every thread touches only its own
+// private arena. Under any reasonable placement every access is local, so
+// EM² performs zero migrations — the control workload for Table T4.
+//
+// Config.Scale is the number of words per thread per iteration.
+func Private(cfg Config) *trace.Trace {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		panic(err)
+	}
+	streams := make([][]trace.Access, cfg.Threads)
+	for t := 0; t < cfg.Threads; t++ {
+		s := streams[t]
+		for it := 0; it < cfg.Iters; it++ {
+			for w := 0; w < cfg.Scale; w++ {
+				s = append(s,
+					trace.Access{Addr: PrivateAddr(t, w)},
+					trace.Access{Addr: PrivateAddr(t, w), Write: it%2 == 1},
+				)
+			}
+		}
+		streams[t] = s
+	}
+	tr := trace.Interleave("private", streams)
+	tr.WordBytes = WordBytes
+	return tr
+}
+
+// Uniform generates uniformly random accesses over a shared region whose
+// pages are bound round-robin across threads. Nearly every access lands at a
+// random core, so runs of consecutive same-home accesses are geometrically
+// short — a worst case for migration (EM²-RA should choose remote access
+// almost always).
+//
+// Config.Scale is the shared region size in pages.
+func Uniform(cfg Config) *trace.Trace {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		panic(err)
+	}
+	r := newRNG(cfg.Seed)
+	wordsPerPage := PageBytes / WordBytes
+	pages := cfg.Scale
+	streams := make([][]trace.Access, cfg.Threads)
+	// Round-robin page binding.
+	for pg := 0; pg < pages; pg++ {
+		t := pg % cfg.Threads
+		streams[t] = touchRange(streams[t], pg*wordsPerPage, pg*wordsPerPage+1)
+	}
+	perThread := cfg.Scale * cfg.Iters
+	for t := 0; t < cfg.Threads; t++ {
+		s := streams[t]
+		for i := 0; i < perThread; i++ {
+			w := r.intn(pages * wordsPerPage)
+			s = append(s, trace.Access{Addr: SharedAddr(w), Write: r.float() < 0.3})
+		}
+		streams[t] = s
+	}
+	tr := trace.Interleave("uniform", streams)
+	tr.WordBytes = WordBytes
+	return tr
+}
+
+// PingPong generates the migration-thrash adversary: pairs of threads
+// alternately read-modify-write the same shared page, so under EM² execution
+// bounces between the two cores on every handful of accesses. This is the
+// workload where remote access wins most clearly (Table T2).
+//
+// Config.Scale is the number of ping-pong rounds per pair.
+func PingPong(cfg Config) *trace.Trace {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		panic(err)
+	}
+	if cfg.Threads < 2 {
+		panic("workload: pingpong needs at least 2 threads")
+	}
+	wordsPerPage := PageBytes / WordBytes
+	streams := make([][]trace.Access, cfg.Threads)
+	pairs := cfg.Threads / 2
+	// Each pair (2k, 2k+1) shares page k, bound by the even thread.
+	for pr := 0; pr < pairs; pr++ {
+		streams[2*pr] = touchRange(streams[2*pr], pr*wordsPerPage, pr*wordsPerPage+1)
+	}
+	for pr := 0; pr < pairs; pr++ {
+		for t := 2 * pr; t <= 2*pr+1; t++ {
+			s := streams[t]
+			for round := 0; round < cfg.Scale*cfg.Iters; round++ {
+				w := pr*wordsPerPage + round%wordsPerPage
+				s = append(s,
+					trace.Access{Addr: SharedAddr(w)},
+					trace.Access{Addr: SharedAddr(w), Write: true},
+				)
+			}
+			streams[t] = s
+		}
+	}
+	tr := trace.Interleave("pingpong", streams)
+	tr.WordBytes = WordBytes
+	return tr
+}
+
+// Hotspot generates a single contended page (bound to thread 0) that every
+// thread hammers with read-modify-writes, interleaved with local work. It
+// stresses the guest-context eviction machinery: all threads try to execute
+// at core 0 simultaneously (experiment M2).
+//
+// Config.Scale is accesses per thread per iteration; every fourth access
+// pair targets the hot page.
+func Hotspot(cfg Config) *trace.Trace {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		panic(err)
+	}
+	streams := make([][]trace.Access, cfg.Threads)
+	streams[0] = touchRange(streams[0], 0, 1) // thread 0 binds the hot page
+	for t := 0; t < cfg.Threads; t++ {
+		s := streams[t]
+		for i := 0; i < cfg.Scale*cfg.Iters; i++ {
+			if i%4 == 0 {
+				s = append(s,
+					trace.Access{Addr: SharedAddr(t % (PageBytes / WordBytes))},
+					trace.Access{Addr: SharedAddr(t % (PageBytes / WordBytes)), Write: true},
+				)
+			} else {
+				s = append(s, trace.Access{Addr: PrivateAddr(t, i)})
+			}
+		}
+		streams[t] = s
+	}
+	tr := trace.Interleave("hotspot", streams)
+	tr.WordBytes = WordBytes
+	return tr
+}
+
+// WithStackDeltas returns a copy of tr in which every access carries a
+// plausible expression-stack delta: a bounded random walk in [-2, +2] with
+// a bias toward small pushes, approximating the stack profile of compiled
+// stack-machine code (§4 experiments). Deterministic in seed.
+func WithStackDeltas(tr *trace.Trace, seed uint64) *trace.Trace {
+	r := newRNG(seed)
+	out := trace.New(tr.Name+"+stack", tr.NumThreads)
+	out.WordBytes = tr.WordBytes
+	out.Accesses = make([]trace.Access, len(tr.Accesses))
+	// Track per-thread simulated stack height to keep deltas feasible
+	// (height never below zero).
+	height := make([]int, tr.NumThreads)
+	for i, a := range tr.Accesses {
+		d := r.intn(5) - 2 // -2..+2
+		if height[a.Thread]+d < 0 {
+			d = -height[a.Thread]
+		}
+		height[a.Thread] += d
+		// Occasionally a call/return drains the stack sharply.
+		if r.float() < 0.02 && height[a.Thread] > 4 {
+			d -= 3
+			height[a.Thread] -= 3
+		}
+		a.StackDelta = int8(d)
+		out.Accesses[i] = a
+	}
+	return out
+}

@@ -1,0 +1,127 @@
+// Package workload generates the synthetic multi-threaded memory traces
+// that stand in for the SPLASH-2 benchmarks of the paper's evaluation. The
+// real benchmarks cannot be run here (they are C programs measured on the
+// Graphite simulator), so each generator reproduces the *sharing structure*
+// that determines EM² behaviour: which addresses are private, how boundary
+// data is exchanged, and how long the runs of consecutive same-home accesses
+// are. DESIGN.md §2 records this substitution.
+//
+// All generators are deterministic in their seed.
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/trace"
+)
+
+// Config is the common shape of every generator's parameters.
+type Config struct {
+	Threads int    // thread count (= core count in the paper's 64/64 setup)
+	Scale   int    // problem size knob; each generator documents its meaning
+	Iters   int    // outer iterations (sweeps, phases, …)
+	Seed    uint64 // PRNG seed
+}
+
+// withDefaults fills zero fields with sensible defaults.
+func (c Config) withDefaults() Config {
+	if c.Threads == 0 {
+		c.Threads = 64
+	}
+	if c.Scale == 0 {
+		c.Scale = 64
+	}
+	if c.Iters == 0 {
+		c.Iters = 2
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.Threads <= 0 {
+		return fmt.Errorf("workload: non-positive thread count %d", c.Threads)
+	}
+	if c.Scale <= 0 {
+		return fmt.Errorf("workload: non-positive scale %d", c.Scale)
+	}
+	if c.Iters <= 0 {
+		return fmt.Errorf("workload: non-positive iteration count %d", c.Iters)
+	}
+	return nil
+}
+
+// Generator produces a trace from a config.
+type Generator func(Config) *trace.Trace
+
+// Registry maps workload names to generators, for cmd/tracegen and the
+// experiment harness.
+var registry = map[string]Generator{
+	"ocean":    Ocean,
+	"fft":      FFT,
+	"lu":       LU,
+	"radix":    Radix,
+	"barnes":   Barnes,
+	"private":  Private,
+	"uniform":  Uniform,
+	"pingpong": PingPong,
+	"hotspot":  Hotspot,
+}
+
+// Get returns the named generator.
+func Get(name string) (Generator, error) {
+	g, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown workload %q (have %v)", name, Names())
+	}
+	return g, nil
+}
+
+// Names returns the registered workload names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Memory layout constants shared by all generators.
+const (
+	WordBytes = 4    // 32-bit machine, as in the paper
+	PageBytes = 4096 // OS page: first-touch granularity
+	// Each thread owns a private arena at privateBase + thread*privateArena;
+	// shared structures live above sharedBase. Keeping the regions disjoint
+	// makes traces easy to audit.
+	privateBase  = trace.Addr(0x1000_0000)
+	privateArena = trace.Addr(1 << 20) // 1 MB per thread
+	sharedBase   = trace.Addr(0x8000_0000)
+)
+
+// PrivateAddr returns the address of word w in thread t's private arena.
+func PrivateAddr(t, w int) trace.Addr {
+	return privateBase + trace.Addr(t)*privateArena + trace.Addr(w*WordBytes)
+}
+
+// SharedAddr returns the address of word w in the shared region.
+func SharedAddr(w int) trace.Addr {
+	return sharedBase + trace.Addr(w*WordBytes)
+}
+
+// touchRange appends an initialization sweep of [first,last) words of the
+// shared region to the stream: under first-touch placement this binds the
+// covered pages to the sweeping thread, the way SPLASH-2 kernels initialize
+// their partitions in parallel.
+func touchRange(stream []trace.Access, firstWord, lastWord int) []trace.Access {
+	// One write per page suffices to bind it, plus one per word would bloat
+	// traces; touch each page once and the first/last word for realism.
+	wordsPerPage := PageBytes / WordBytes
+	for w := firstWord; w < lastWord; w += wordsPerPage {
+		stream = append(stream, trace.Access{Addr: SharedAddr(w), Write: true})
+	}
+	if lastWord > firstWord {
+		stream = append(stream, trace.Access{Addr: SharedAddr(lastWord - 1), Write: true})
+	}
+	return stream
+}

@@ -1,0 +1,333 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/placement"
+)
+
+func TestRegistry(t *testing.T) {
+	names := Names()
+	if len(names) != 9 {
+		t.Errorf("Names = %v", names)
+	}
+	for _, n := range names {
+		g, err := Get(n)
+		if err != nil || g == nil {
+			t.Errorf("Get(%q): %v", n, err)
+		}
+	}
+	if _, err := Get("nope"); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	// Names must be sorted for stable CLI help output.
+	for i := 1; i < len(names); i++ {
+		if names[i] < names[i-1] {
+			t.Errorf("Names not sorted: %v", names)
+		}
+	}
+}
+
+func small() Config { return Config{Threads: 8, Scale: 32, Iters: 1, Seed: 42} }
+
+func TestAllGeneratorsProduceValidTraces(t *testing.T) {
+	for _, name := range Names() {
+		g, _ := Get(name)
+		tr := g(small())
+		if err := tr.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if tr.Len() == 0 {
+			t.Errorf("%s: empty trace", name)
+		}
+		if tr.NumThreads != 8 {
+			t.Errorf("%s: threads = %d", name, tr.NumThreads)
+		}
+		if tr.WordBytes != WordBytes {
+			t.Errorf("%s: word bytes = %d", name, tr.WordBytes)
+		}
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	for _, name := range Names() {
+		g, _ := Get(name)
+		a, b := g(small()), g(small())
+		if a.Len() != b.Len() {
+			t.Errorf("%s: lengths differ: %d vs %d", name, a.Len(), b.Len())
+			continue
+		}
+		for i := range a.Accesses {
+			if a.Accesses[i] != b.Accesses[i] {
+				t.Errorf("%s: access %d differs", name, i)
+				break
+			}
+		}
+	}
+}
+
+func TestSeedChangesRandomWorkloads(t *testing.T) {
+	for _, name := range []string{"radix", "uniform"} {
+		g, _ := Get(name)
+		cfg2 := small()
+		cfg2.Seed = 43
+		a, b := g(small()), g(cfg2)
+		same := a.Len() == b.Len()
+		if same {
+			for i := range a.Accesses {
+				if a.Accesses[i] != b.Accesses[i] {
+					same = false
+					break
+				}
+			}
+		}
+		if same {
+			t.Errorf("%s: seed had no effect", name)
+		}
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	tr := Private(Config{})
+	if tr.NumThreads != 64 {
+		t.Errorf("default threads = %d", tr.NumThreads)
+	}
+}
+
+func TestPrivateIsAllPrivate(t *testing.T) {
+	tr := Private(small())
+	for _, a := range tr.Accesses {
+		lo := PrivateAddr(a.Thread, 0)
+		hi := PrivateAddr(a.Thread+1, 0)
+		if a.Addr < lo || a.Addr >= hi {
+			t.Fatalf("thread %d touched %#x outside its arena [%#x,%#x)",
+				a.Thread, uint64(a.Addr), uint64(lo), uint64(hi))
+		}
+	}
+}
+
+func TestOceanSharingStructure(t *testing.T) {
+	tr := Ocean(Config{Threads: 8, Scale: 64, Iters: 2, Seed: 1})
+	ft := placement.NewFirstTouch(PageBytes)
+	local, remote := 0, 0
+	for _, a := range tr.Accesses {
+		home := ft.Touch(a.Addr, geom.CoreID(a.Thread))
+		if int(home) == a.Thread {
+			local++
+		} else {
+			remote++
+		}
+	}
+	total := local + remote
+	// OCEAN is mostly-local with a significant remote fraction: the stencil
+	// touches neighbours at partition boundaries and straddled pages.
+	if remote == 0 {
+		t.Fatal("ocean produced no non-native accesses")
+	}
+	remoteFrac := float64(remote) / float64(total)
+	if remoteFrac < 0.02 || remoteFrac > 0.6 {
+		t.Errorf("ocean remote fraction = %.3f, want boundary-exchange regime (0.02..0.6)", remoteFrac)
+	}
+}
+
+// TestOceanHasBothIsolatedAndLongRuns computes the Figure 2 statistic
+// directly: run lengths of consecutive same-home non-native accesses per
+// thread. The generator must produce both isolated migrations (run length 1,
+// boundary exchange) and long runs (page straddling).
+func TestOceanHasBothIsolatedAndLongRuns(t *testing.T) {
+	tr := Ocean(Config{Threads: 8, Scale: 64, Iters: 2, Seed: 1})
+	ft := placement.NewFirstTouch(PageBytes)
+	curHome := make([]int, tr.NumThreads)
+	curLen := make([]int, tr.NumThreads)
+	for i := range curHome {
+		curHome[i] = -1
+	}
+	runs1, runsLong := 0, 0
+	flush := func(th int) {
+		if l := curLen[th]; l == 1 {
+			runs1++
+		} else if l >= 8 {
+			runsLong++
+		}
+		curLen[th] = 0
+		curHome[th] = -1
+	}
+	for _, a := range tr.Accesses {
+		home := int(ft.Touch(a.Addr, geom.CoreID(a.Thread)))
+		if home == a.Thread {
+			flush(a.Thread)
+			continue
+		}
+		if curLen[a.Thread] > 0 && curHome[a.Thread] == home {
+			curLen[a.Thread]++
+		} else {
+			flush(a.Thread)
+			curHome[a.Thread] = home
+			curLen[a.Thread] = 1
+		}
+	}
+	for th := range curLen {
+		flush(th)
+	}
+	if runs1 == 0 {
+		t.Error("ocean produced no run-length-1 migrations (boundary exchange missing)")
+	}
+	if runsLong == 0 {
+		t.Error("ocean produced no long runs (page-straddle effect missing)")
+	}
+}
+
+func TestBarnesTreeWalkStructure(t *testing.T) {
+	tr := Barnes(Config{Threads: 8, Scale: 16, Iters: 1, Seed: 3})
+	ft := placement.NewFirstTouch(PageBytes)
+	// The root page is built (and therefore homed) at thread 0; every other
+	// thread's walk must touch it remotely.
+	remoteByThread := make([]int, tr.NumThreads)
+	for _, a := range tr.Accesses {
+		home := ft.Touch(a.Addr, geom.CoreID(a.Thread))
+		if int(home) != a.Thread {
+			remoteByThread[a.Thread]++
+		}
+	}
+	for th := 1; th < tr.NumThreads; th++ {
+		if remoteByThread[th] == 0 {
+			t.Errorf("thread %d never accessed the shared tree remotely", th)
+		}
+	}
+}
+
+func TestRadixScattersRemotely(t *testing.T) {
+	tr := Radix(Config{Threads: 8, Scale: 64, Iters: 1, Seed: 7})
+	ft := placement.NewFirstTouch(PageBytes)
+	remote := 0
+	for _, a := range tr.Accesses {
+		home := ft.Touch(a.Addr, geom.CoreID(a.Thread))
+		if int(home) != a.Thread {
+			remote++
+		}
+	}
+	if remote == 0 {
+		t.Error("radix produced no remote accesses")
+	}
+}
+
+func TestFFTTransposeTouchesAllPartners(t *testing.T) {
+	tr := FFT(Config{Threads: 4, Scale: 16, Iters: 1, Seed: 1})
+	ft := placement.NewFirstTouch(PageBytes)
+	// Record, per thread, the set of remote homes it accesses.
+	partners := make([]map[int]bool, tr.NumThreads)
+	for i := range partners {
+		partners[i] = make(map[int]bool)
+	}
+	for _, a := range tr.Accesses {
+		home := int(ft.Touch(a.Addr, geom.CoreID(a.Thread)))
+		if home != a.Thread {
+			partners[a.Thread][home] = true
+		}
+	}
+	// With a 16x16 matrix over 4 threads (4 rows each, 64 words/row region)
+	// pages are large relative to partitions, so remote homes exist but may
+	// collapse; require at least one thread with a remote partner.
+	any := false
+	for _, p := range partners {
+		if len(p) > 0 {
+			any = true
+		}
+	}
+	if !any {
+		t.Error("fft transpose produced no remote accesses")
+	}
+}
+
+func TestPingPongValidatesThreads(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("pingpong with 1 thread did not panic")
+		}
+	}()
+	PingPong(Config{Threads: 1, Scale: 4, Iters: 1})
+}
+
+func TestConfigValidatePanics(t *testing.T) {
+	for _, cfg := range []Config{
+		{Threads: -1, Scale: 4, Iters: 1},
+		{Threads: 4, Scale: -1, Iters: 1},
+		{Threads: 4, Scale: 4, Iters: -1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %+v did not panic", cfg)
+				}
+			}()
+			Private(cfg)
+		}()
+	}
+}
+
+func TestWithStackDeltas(t *testing.T) {
+	tr := Ocean(Config{Threads: 4, Scale: 32, Iters: 1, Seed: 1})
+	st := WithStackDeltas(tr, 99)
+	if st.Len() != tr.Len() {
+		t.Fatalf("length changed: %d vs %d", st.Len(), tr.Len())
+	}
+	height := make([]int, st.NumThreads)
+	for i, a := range st.Accesses {
+		if a.Addr != tr.Accesses[i].Addr || a.Thread != tr.Accesses[i].Thread {
+			t.Fatal("accesses reordered")
+		}
+		if a.StackDelta < -5 || a.StackDelta > 2 {
+			t.Fatalf("delta %d out of range", a.StackDelta)
+		}
+		height[a.Thread] += int(a.StackDelta)
+		if height[a.Thread] < 0 {
+			t.Fatalf("access %d: thread %d stack went negative", i, a.Thread)
+		}
+	}
+	// Deterministic.
+	st2 := WithStackDeltas(tr, 99)
+	for i := range st.Accesses {
+		if st.Accesses[i] != st2.Accesses[i] {
+			t.Fatal("stack deltas nondeterministic")
+		}
+	}
+}
+
+func TestRNG(t *testing.T) {
+	r := newRNG(1)
+	seen := map[uint64]bool{}
+	for i := 0; i < 1000; i++ {
+		seen[r.next()] = true
+	}
+	if len(seen) != 1000 {
+		t.Errorf("rng produced %d unique values of 1000", len(seen))
+	}
+	for i := 0; i < 100; i++ {
+		if v := r.intn(7); v < 0 || v >= 7 {
+			t.Fatalf("intn out of range: %d", v)
+		}
+		if f := r.float(); f < 0 || f >= 1 {
+			t.Fatalf("float out of range: %v", f)
+		}
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("intn(0) did not panic")
+			}
+		}()
+		r.intn(0)
+	}()
+}
+
+func TestAddressRegionsDisjoint(t *testing.T) {
+	// Private arenas must never collide with the shared region for any
+	// plausible thread count.
+	if PrivateAddr(1023, 0) >= SharedAddr(0) {
+		t.Error("private arenas overlap shared region")
+	}
+	if PrivateAddr(2, 1<<17) >= PrivateAddr(3, 0) {
+		t.Error("adjacent private arenas overlap")
+	}
+}
