@@ -19,8 +19,49 @@ import (
 	"repro/internal/placement"
 	"repro/internal/sim"
 	"repro/internal/stackm"
+	"repro/internal/sweep"
 	"repro/internal/workload"
 )
+
+// BenchmarkSweepParallelism measures the experiment-sweep harness itself: a
+// multi-cell sweep (T1's length grid plus T2's and T4's workload grids, 16
+// independent cells) at increasing worker counts. Results are byte-identical
+// at every level (the sweep package's regression tests pin that); only
+// wall-clock changes, so BENCH_*.json tracks the parallel speedup
+// trajectory. On a machine with >= 4 cores, parallel=4 should be >= 2x
+// parallel=1; on a single-core box the levels coincide.
+func BenchmarkSweepParallelism(b *testing.B) {
+	p := sim.SmallPlatform()
+	exps, err := sweep.Match("t1|t2|t4")
+	if err != nil {
+		b.Fatal(err)
+	}
+	params := sweep.Params{Scale: 48, Iters: 1, Lengths: []int{2000, 4000, 8000, 16000}}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("parallel=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				results := sweep.Run(p, exps, sweep.Options{Parallel: workers, Params: params})
+				if len(results) != 3 {
+					b.Fatal("sweep incomplete")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSweepAllSerial regenerates every registered experiment through
+// the registry on one worker — the end-to-end cost of `figures all` and the
+// serial baseline the parallel levels above are compared against.
+func BenchmarkSweepAllSerial(b *testing.B) {
+	p := sim.SmallPlatform()
+	params := sweep.Params{Scale: 48, Iters: 1, Lengths: []int{2000, 4000}}
+	for i := 0; i < b.N; i++ {
+		results := sweep.Run(p, sweep.All(), sweep.Options{Parallel: 1, Params: params})
+		if len(results) != 8 {
+			b.Fatal("sweep incomplete")
+		}
+	}
+}
 
 // BenchmarkFigure1EM2AccessFlow drives the Figure 1 access flow (local hit,
 // migration, migration-with-eviction) on the 64-core platform.

@@ -7,9 +7,11 @@
 //	em2sim -workload ocean -scheme always-migrate -cores 64 -threads 64
 //	em2sim -workload pingpong -scheme distance:3 -mem
 //	em2sim -workload radix -scheme oracle
+//	em2sim -workload ocean -json            # machine-readable result
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -35,6 +37,7 @@ func main() {
 	guests := flag.Int("guests", 0, "guest contexts per core (0 = unlimited/model)")
 	mem := flag.Bool("mem", false, "charge cache/DRAM latencies (full fidelity)")
 	hist := flag.Bool("hist", false, "print the run-length histogram")
+	jsonOut := flag.Bool("json", false, "emit the result as JSON")
 	flag.Parse()
 
 	gen, err := workload.Get(*wl)
@@ -94,6 +97,44 @@ func main() {
 	res, err := eng.Run(tr, nil)
 	if err != nil {
 		fail(err)
+	}
+
+	if *jsonOut {
+		counters := make(map[string]int64)
+		for _, n := range res.Counters.Names() {
+			counters[n] = res.Counters.Get(n)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(struct {
+			Workload       string           `json:"workload"`
+			Scheme         string           `json:"scheme"`
+			Placement      string           `json:"placement"`
+			Cores          int              `json:"cores"`
+			Threads        int              `json:"threads"`
+			Seed           uint64           `json:"seed"`
+			Accesses       int64            `json:"accesses"`
+			Migrations     int64            `json:"migrations"`
+			Evictions      int64            `json:"evictions"`
+			RemoteAccesses int64            `json:"remote_accesses"`
+			NetworkCycles  int64            `json:"network_cycles"`
+			MemoryCycles   int64            `json:"memory_cycles"`
+			TotalCycles    int64            `json:"total_cycles"`
+			Traffic        int64            `json:"traffic_flit_hops"`
+			BitsMoved      int64            `json:"bits_moved"`
+			Counters       map[string]int64 `json:"counters"`
+		}{
+			Workload: tr.Name, Scheme: scheme.Name(), Placement: *placeName,
+			Cores: cfg.Mesh.Cores(), Threads: *threads, Seed: *seed,
+			Accesses: res.Accesses, Migrations: res.Migrations,
+			Evictions: res.Evictions, RemoteAccesses: res.RemoteAccesses,
+			NetworkCycles: res.Cycles, MemoryCycles: res.MemoryCycles,
+			TotalCycles: res.TotalCycles(), Traffic: res.Traffic,
+			BitsMoved: res.BitsMoved, Counters: counters,
+		}); err != nil {
+			fail(err)
+		}
+		return
 	}
 
 	sum := tr.Summarize()

@@ -1,9 +1,24 @@
-// Command figures regenerates every figure and table of the reproduction:
-// the paper's Figure 1/2/3 and the derived tables T1–T5 of DESIGN.md.
+// Command figures regenerates every figure and table of the reproduction —
+// the paper's Figure 1/2/3 and the derived tables T1–T5 of DESIGN.md —
+// through the internal/sweep registry, fanning independent experiment cells
+// out across a worker pool.
 //
 // Usage:
 //
-//	figures [-platform paper|small] [-csv] [fig1 fig2 fig3 t1 t2 t3 t4 t5 | all]
+//	figures [flags] [fig1 fig2 fig3 t1 t2 t3 t4 t5 | all]
+//
+// Flags:
+//
+//	-platform paper|small   64-core paper platform or 16-core small one
+//	-parallel N             worker count (0 = GOMAXPROCS); output is
+//	                        byte-identical at every value
+//	-run REGEXP             run the experiments whose name matches the
+//	                        anchored pattern (e.g. -run 'fig.|t2')
+//	-seed N                 sweep base seed (default: the platform seed)
+//	-scale N, -iters N      override workload scale / iterations
+//	-json                   emit a JSON array of {experiment, cells, table}
+//	-csv                    emit CSV blocks instead of aligned text
+//	-list                   list registered experiments and exit
 package main
 
 import (
@@ -12,13 +27,27 @@ import (
 	"os"
 
 	"repro/internal/sim"
-	"repro/internal/stats"
+	"repro/internal/sweep"
 )
 
 func main() {
 	platform := flag.String("platform", "paper", "platform: paper (64 cores) or small (16 cores)")
-	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
+	parallel := flag.Int("parallel", 0, "sweep workers (0 = GOMAXPROCS)")
+	runPat := flag.String("run", "", "regexp selecting experiments to run")
+	seed := flag.Uint64("seed", 0, "sweep base seed (0 = platform seed)")
+	scale := flag.Int("scale", 0, "override workload scale (0 = experiment default)")
+	iters := flag.Int("iters", 0, "override workload iterations (0 = experiment default)")
+	jsonOut := flag.Bool("json", false, "emit JSON instead of aligned text")
+	csvOut := flag.Bool("csv", false, "emit CSV instead of aligned text")
+	list := flag.Bool("list", false, "list registered experiments and exit")
 	flag.Parse()
+
+	if *list {
+		for _, e := range sweep.All() {
+			fmt.Printf("%-5s %s\n", e.Name, e.Desc)
+		}
+		return
+	}
 
 	var p sim.Platform
 	switch *platform {
@@ -27,52 +56,57 @@ func main() {
 	case "small":
 		p = sim.SmallPlatform()
 	default:
-		fmt.Fprintf(os.Stderr, "unknown platform %q\n", *platform)
-		os.Exit(2)
+		fail(fmt.Errorf("unknown platform %q", *platform))
 	}
 
-	targets := flag.Args()
-	if len(targets) == 0 || (len(targets) == 1 && targets[0] == "all") {
-		targets = []string{"fig1", "fig2", "fig3", "t1", "t2", "t3", "t4", "t5"}
+	exps, err := selectExperiments(*runPat, flag.Args())
+	if err != nil {
+		fail(err)
 	}
 
-	emit := func(t *stats.Table) {
-		if *csv {
-			fmt.Printf("# %s\n%s\n", t.Title(), t.CSV())
-		} else {
-			fmt.Println(t.String())
+	results := sweep.Run(p, exps, sweep.Options{
+		Parallel: *parallel,
+		BaseSeed: *seed,
+		Params:   sweep.Params{Scale: *scale, Iters: *iters},
+	})
+
+	switch {
+	case *jsonOut:
+		err = sweep.WriteJSON(os.Stdout, results)
+	case *csvOut:
+		err = sweep.WriteCSV(os.Stdout, results)
+	default:
+		err = sweep.WriteText(os.Stdout, results)
+	}
+	if err != nil {
+		fail(err)
+	}
+}
+
+// selectExperiments resolves the -run pattern and/or positional names into
+// registry entries; both empty (or the literal "all") means everything.
+func selectExperiments(pattern string, names []string) ([]sweep.Experiment, error) {
+	if pattern != "" && len(names) > 0 {
+		return nil, fmt.Errorf("use either -run or positional experiment names, not both")
+	}
+	if pattern != "" {
+		return sweep.Match(pattern)
+	}
+	if len(names) == 0 || (len(names) == 1 && names[0] == "all") {
+		return sweep.All(), nil
+	}
+	var out []sweep.Experiment
+	for _, name := range names {
+		e, err := sweep.Get(name)
+		if err != nil {
+			return nil, err
 		}
+		out = append(out, e)
 	}
+	return out, nil
+}
 
-	for _, target := range targets {
-		switch target {
-		case "fig1":
-			emit(sim.Figure1(p))
-		case "fig2":
-			tbl, h := sim.Figure2(p, 256, 2)
-			emit(tbl)
-			f1, fl := sim.Figure2Shape(h)
-			fmt.Printf("shape: %.1f%% of non-native accesses at run length 1, %.1f%% in runs >= 8\n", 100*f1, 100*fl)
-			fmt.Printf("(paper: \"about half of the accesses migrate after one memory reference,\n while the other half keep accessing memory at the core where they have migrated\")\n\n")
-			if !*csv {
-				fmt.Println("run-length histogram (runs per length):")
-				fmt.Println(h.Render(60))
-			}
-		case "fig3":
-			emit(sim.Figure3(p))
-		case "t1":
-			emit(sim.TableT1(p, []int{1000, 4000, 16000, 64000}))
-		case "t2":
-			emit(sim.TableT2(p, []string{"ocean", "fft", "lu", "radix", "barnes", "pingpong", "uniform", "private"}, 64, 1))
-		case "t3":
-			emit(sim.TableT3(p, 64, 1))
-		case "t4":
-			emit(sim.TableT4(p, []string{"ocean", "pingpong", "radix", "private"}, 64, 1))
-		case "t5":
-			emit(sim.TableT5(p))
-		default:
-			fmt.Fprintf(os.Stderr, "unknown target %q (want fig1 fig2 fig3 t1..t5 or all)\n", target)
-			os.Exit(2)
-		}
-	}
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "figures:", err)
+	os.Exit(2)
 }

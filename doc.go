@@ -4,8 +4,8 @@
 // the stack-machine EM² variant, and the paper's analytical model with its
 // dynamic-programming decision oracles.
 //
-// See README.md for a tour, DESIGN.md for the system inventory and
-// per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.
-// The root-level benchmarks in bench_test.go regenerate every figure and
-// table; `go run ./cmd/figures all` prints them.
+// See README.md for a tour and DESIGN.md for the system inventory and
+// per-experiment index. The root-level benchmarks in bench_test.go
+// regenerate every figure and table; `go run ./cmd/figures all` prints
+// them through the internal/sweep parallel experiment harness.
 package repro

@@ -19,6 +19,15 @@ func testConfig() Config {
 	}
 }
 
+// sized returns full except under -short, keeping the contended
+// goroutine-heavy tests (spinlocks on few OS threads) well under a minute.
+func sized(full, short int) int {
+	if testing.Short() {
+		return short
+	}
+	return full
+}
+
 func run(t *testing.T, cfg Config, threads []ThreadSpec) (*Machine, *Result) {
 	t.Helper()
 	m, err := New(cfg, len(threads))
@@ -147,7 +156,7 @@ func TestMessagePassingLitmus(t *testing.T) {
 		lw   r2, 0(r0)    ; must observe 41
 		halt
 	`)
-	for i := 0; i < 20; i++ {
+	for i := 0; i < sized(20, 5); i++ {
 		_, res := run(t, testConfig(), []ThreadSpec{{Program: writer}, {Program: reader}})
 		if got := res.FinalRegs[1][2]; got != 41 {
 			t.Fatalf("iteration %d: reader saw data=%d after flag (SC violated)", i, got)
@@ -170,7 +179,7 @@ func TestStoreBufferingLitmus(t *testing.T) {
 		lw   r2, 0(r0)    ; r2 = x
 		halt
 	`)
-	for i := 0; i < 50; i++ {
+	for i := 0; i < sized(50, 10); i++ {
 		_, res := run(t, testConfig(), []ThreadSpec{{Program: t0}, {Program: t1}})
 		if res.FinalRegs[0][2] == 0 && res.FinalRegs[1][2] == 0 {
 			t.Fatalf("iteration %d: observed r2=0,r2=0 — forbidden under SC", i)
@@ -181,7 +190,7 @@ func TestStoreBufferingLitmus(t *testing.T) {
 // TestAtomicCounter: FAA at the home core is atomic; N threads × M
 // increments always sum exactly.
 func TestAtomicCounter(t *testing.T) {
-	const threads, incs = 8, 200
+	threads, incs := 8, sized(200, 50)
 	prog := isa.MustAssemble(fmt.Sprintf(`
 		addi r2, r0, %d    ; loop counter
 		addi r3, r0, 1     ; increment
@@ -198,7 +207,7 @@ func TestAtomicCounter(t *testing.T) {
 	cfg := testConfig()
 	cfg.GuestContexts = 1 // maximum eviction pressure
 	m, res := run(t, cfg, specs)
-	if got := m.Read(0); got != threads*incs {
+	if got := m.Read(0); got != uint32(threads*incs) {
 		t.Errorf("counter = %d, want %d", got, threads*incs)
 	}
 	if res.Evictions == 0 {
@@ -241,8 +250,9 @@ func TestNoDeadlockUnderEvictionPressure(t *testing.T) {
 func TestSwapSpinlock(t *testing.T) {
 	// A classic test-and-set lock built on SWAP, protecting a non-atomic
 	// read-modify-write of a shared word at 128 (core 2). The lock is at 64
-	// (core 1).
-	const threads, rounds = 6, 50
+	// (core 1). Spinning contexts burn wall-clock on few OS threads, so the
+	// short run shrinks the contention grid.
+	threads, rounds := sized(6, 3), sized(50, 8)
 	prog := isa.MustAssemble(fmt.Sprintf(`
 		addi r2, r0, %d
 		addi r3, r0, 1
@@ -263,7 +273,7 @@ func TestSwapSpinlock(t *testing.T) {
 		specs[i] = ThreadSpec{Program: prog}
 	}
 	m, _ := run(t, testConfig(), specs)
-	if got := m.Read(128); got != threads*rounds {
+	if got := m.Read(128); got != uint32(threads*rounds) {
 		t.Errorf("locked counter = %d, want %d", got, threads*rounds)
 	}
 }

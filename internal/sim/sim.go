@@ -1,14 +1,18 @@
 // Package sim is the experiment harness: one function per paper artifact
 // (Figures 1–3) and per derived table (T1–T5 of DESIGN.md §4), each
-// returning a stats.Table whose rows are what the paper reports. cmd/figures
-// is a thin CLI over this package, and the root-level benchmarks wrap these
-// functions so `go test -bench` regenerates everything.
+// returning a stats.Table whose rows are what the paper reports.
+//
+// Every experiment is decomposed into Cells (see cells.go): independent
+// units of work — typically one workload or one scale point — that are pure
+// functions of the platform and a derived seed. The serial entry points
+// below (Figure1, TableT2, ...) run the cells in order on one goroutine;
+// internal/sweep fans the same cells out across a worker pool and assembles
+// byte-identical tables. cmd/figures is a thin CLI over the sweep registry,
+// and the root-level benchmarks wrap these functions so `go test -bench`
+// regenerates everything.
 package sim
 
 import (
-	"fmt"
-	"time"
-
 	"repro/internal/core"
 	"repro/internal/dircc"
 	"repro/internal/geom"
@@ -79,24 +83,7 @@ func (p Platform) runScheme(tr *trace.Trace, s core.Scheme) *core.Result {
 // directed micro-trace and tabulates how many accesses took each path:
 // local hit, migration, and migration-with-eviction.
 func Figure1(p Platform) *stats.Table {
-	cfg := p.Core
-	cfg.GuestContexts = 1
-	cfg.ChargeMemory = false
-	tr := workload.Hotspot(workload.Config{Threads: p.Threads, Scale: 64, Iters: 2, Seed: p.Seed})
-	eng, err := core.NewEngine(cfg, p.firstTouch(), core.AlwaysMigrate{})
-	if err != nil {
-		panic(err)
-	}
-	counts := make(map[core.Outcome]int64)
-	if _, err := eng.Run(tr, func(_ int, _ core.AccessInfo, o core.Outcome) { counts[o]++ }); err != nil {
-		panic(err)
-	}
-	t := stats.NewTable("Figure 1 — the life of a memory access under EM2 (path counts)",
-		"path", "accesses")
-	t.AddRow("cacheable at current core -> access memory & continue", counts[core.OutcomeLocal])
-	t.AddRow("migrate to home core (guest context free)", counts[core.OutcomeMigrated])
-	t.AddRow("migrate to home core, evicting a guest to its native core", counts[core.OutcomeMigratedEvict])
-	return t
+	return Figure1Cells(p).RunSerial(p.Seed)
 }
 
 // Figure2 reproduces the run-length histogram of the paper's Figure 2: the
@@ -104,26 +91,11 @@ func Figure1(p Platform) *stats.Table {
 // binned by run length, on 64 cores/64 threads with first-touch placement.
 // It returns the rendered table plus the raw histogram.
 func Figure2(p Platform, scale, iters int) (*stats.Table, *stats.Hist) {
-	tr := workload.Ocean(workload.Config{Threads: p.Threads, Scale: scale, Iters: iters, Seed: p.Seed})
-	res := p.runScheme(tr, core.AlwaysMigrate{})
-	h := res.RunLengths
-
-	t := stats.NewTable(
-		fmt.Sprintf("Figure 2 — accesses to non-native cores by run length (ocean, %d cores/%d threads, first touch)",
-			p.Core.Mesh.Cores(), p.Threads),
-		"run length", "runs", "accesses (runs x length)", "share of non-native accesses")
-	var shown int64
-	for l := 1; l < h.Bound(); l++ {
-		if c := h.Count(l); c > 0 {
-			accesses := int64(l) * c
-			shown += accesses
-			t.AddRow(l, c, accesses, fmt.Sprintf("%.1f%%", 100*float64(accesses)/float64(h.Sum())))
-		}
-	}
-	if h.Overflow() > 0 {
-		tail := res.NonNative - shown
-		t.AddRow(fmt.Sprintf("%d+", h.Bound()), h.Overflow(), tail,
-			fmt.Sprintf("%.1f%%", 100*float64(tail)/float64(h.Sum())))
+	cs := Figure2Cells(p, scale, iters)
+	rows, h := figure2Run(p, scale, iters, CellSeed(p.Seed, cs.Name, 0))
+	t := cs.NewTable()
+	for _, row := range rows {
+		t.AddStrings(row)
 	}
 	return t, h
 }
@@ -153,53 +125,20 @@ func Figure2Shape(h *stats.Hist) (fracLen1, fracLong float64) {
 // Figure3 exercises the EM²-RA flow of the paper's Figure 3 with a hybrid
 // decision scheme and tabulates the path taken per access.
 func Figure3(p Platform) *stats.Table {
-	cfg := p.modelCore()
-	tr := workload.Ocean(workload.Config{Threads: p.Threads, Scale: 64, Iters: 1, Seed: p.Seed})
-	scheme := core.NewDistance(cfg.Mesh, 3)
-	eng, err := core.NewEngine(cfg, p.firstTouch(), scheme)
-	if err != nil {
-		panic(err)
-	}
-	counts := make(map[core.Outcome]int64)
-	if _, err := eng.Run(tr, func(_ int, _ core.AccessInfo, o core.Outcome) { counts[o]++ }); err != nil {
-		panic(err)
-	}
-	t := stats.NewTable("Figure 3 — the life of a memory access under EM2-RA (path counts, distance<=3 decision)",
-		"path", "accesses")
-	t.AddRow("cacheable at current core -> access memory & continue", counts[core.OutcomeLocal])
-	t.AddRow("decision: migrate to home core", counts[core.OutcomeMigrated]+counts[core.OutcomeMigratedEvict])
-	t.AddRow("decision: remote request + data/ack reply", counts[core.OutcomeRemote])
-	return t
+	return Figure3Cells(p).RunSerial(p.Seed)
 }
 
-// TableT1 measures the DP oracle's scaling: near-linear in trace length N
-// for the sparse variant and multiplied by the core count for the dense
-// recurrence, with O(N) scheme evaluation (§3's complexity claims).
+// TableT1 cross-validates the §3 dynamic program: the dense and sparse DP
+// variants must agree on the optimal cost, and the O(N) scheme evaluator
+// bounds it from above, across trace lengths. The table reports model costs
+// (deterministic); wall-clock scaling of the same code is measured by
+// BenchmarkTableT1OracleDP in the root benchmarks.
 func TableT1(p Platform, lengths []int) *stats.Table {
-	t := stats.NewTable("T1 — §3 dynamic program runtime (optimal decision sequence)",
-		"N (accesses)", "P (cores)", "dense DP", "sparse DP", "O(N) scheme eval")
-	cfg := p.modelCore()
-	for _, n := range lengths {
-		steps := syntheticSteps(n, cfg.Mesh.Cores(), p.Seed)
-		t0 := time.Now()
-		dense := oracle.OptimalDense(cfg, steps, 0)
-		dDense := time.Since(t0)
-		t1 := time.Now()
-		sparse := oracle.OptimalSparse(cfg, steps, 0)
-		dSparse := time.Since(t1)
-		t2 := time.Now()
-		oracle.EvaluateScheme(cfg, steps, 0, core.AlwaysMigrate{}, 0)
-		dEval := time.Since(t2)
-		if dense.Cost != sparse.Cost {
-			panic("sim: dense/sparse optimum mismatch")
-		}
-		t.AddRow(n, cfg.Mesh.Cores(), dDense.String(), dSparse.String(), dEval.String())
-	}
-	return t
+	return TableT1Cells(p, lengths).RunSerial(p.Seed)
 }
 
 // syntheticSteps builds a bimodal step sequence (isolated accesses + runs)
-// for DP timing.
+// for the DP.
 func syntheticSteps(n, cores int, seed uint64) []oracle.Step {
 	steps := make([]oracle.Step, 0, n)
 	state := seed
@@ -225,98 +164,24 @@ func syntheticSteps(n, cores int, seed uint64) []oracle.Step {
 // (§3's claim: the hybrid, decided well, beats both pure EM² and pure
 // remote access; the oracle upper-bounds everything).
 func TableT2(p Platform, workloads []string, scale, iters int) *stats.Table {
-	cfg := p.modelCore()
-	t := stats.NewTable("T2 — decision schemes vs DP oracle (total network cycles, lower is better)",
-		"workload", "always-migrate", "always-remote", "distance<=3", "history>=2", "ORACLE (DP)")
-	for _, name := range workloads {
-		g, err := workload.Get(name)
-		if err != nil {
-			panic(err)
-		}
-		tr := g(workload.Config{Threads: p.Threads, Scale: scale, Iters: iters, Seed: p.Seed})
-		am := p.runScheme(tr, core.AlwaysMigrate{}).Cycles
-		ar := p.runScheme(tr, core.AlwaysRemote{}).Cycles
-		di := p.runScheme(tr, core.NewDistance(cfg.Mesh, 3)).Cycles
-		hi := p.runScheme(tr, core.NewHistory(2)).Cycles
-		opt := oracle.OptimalForTrace(cfg, tr, p.firstTouch()).Cost
-		t.AddRow(name, am, ar, di, hi, opt)
-	}
-	return t
+	return TableT2Cells(p, workloads, scale, iters).RunSerial(p.Seed)
 }
 
 // TableT3 compares stack-depth schemes against the depth DP (§4's claim:
 // the same model framework bounds depth-decision schemes).
 func TableT3(p Platform, scale, iters int) *stats.Table {
-	ccfg := p.modelCore()
-	scfg := p.Stack
-	base := workload.Ocean(workload.Config{Threads: p.Threads, Scale: scale, Iters: iters, Seed: p.Seed})
-	tr := workload.WithStackDeltas(base, p.Seed+1)
-	steps := stackm.StepsForTrace(tr, p.firstTouch(), ccfg.Mesh.Cores())
-
-	t := stats.NewTable("T3 — stack-depth schemes vs depth DP (ocean with stack deltas)",
-		"scheme", "cycles", "migrations", "forced returns", "mean depth", "bits moved")
-	for _, mk := range []func() stackm.DepthScheme{
-		func() stackm.DepthScheme { return stackm.MinimalDepth{} },
-		func() stackm.DepthScheme { return stackm.FixedDepth{K: 2} },
-		func() stackm.DepthScheme { return stackm.FixedDepth{K: 4} },
-		func() stackm.DepthScheme { return stackm.HalfDepth{Capacity: scfg.Capacity} },
-		func() stackm.DepthScheme { return stackm.FullDepth{} },
-	} {
-		c := stackm.SchemeCostForTrace(ccfg, scfg, steps, ccfg.Mesh.Cores(), mk)
-		t.AddRow(mk().Name(), c.Cycles, c.Migrations, c.ForcedReturns,
-			fmt.Sprintf("%.2f", c.MeanDepth()), c.BitsMoved)
-	}
-	opt := stackm.OptimalDepthCostForTrace(ccfg, scfg, steps, ccfg.Mesh.Cores())
-	t.AddRow("ORACLE (depth DP)", opt, "-", "-", "-", "-")
-	return t
+	return TableT3Cells(p, scale, iters).RunSerial(p.Seed)
 }
 
 // TableT4 compares EM² against the directory-coherence baseline on the §2
 // axes: network cycles, traffic, and data replication.
 func TableT4(p Platform, workloads []string, scale, iters int) *stats.Table {
-	t := stats.NewTable("T4 — EM2 vs directory cache coherence (same mesh, links, and placement)",
-		"workload", "EM2 cycles", "EM2 traffic", "EM2 repl", "CC cycles", "CC traffic", "CC repl", "CC inval+fwd")
-	for _, name := range workloads {
-		g, err := workload.Get(name)
-		if err != nil {
-			panic(err)
-		}
-		tr := g(workload.Config{Threads: p.Threads, Scale: scale, Iters: iters, Seed: p.Seed})
-
-		em := p.runScheme(tr, core.AlwaysMigrate{})
-
-		ccEng, err := dircc.NewEngine(p.CC, p.firstTouch())
-		if err != nil {
-			panic(err)
-		}
-		cc, err := ccEng.Run(tr)
-		if err != nil {
-			panic(err)
-		}
-		t.AddRow(name, em.Cycles, em.Traffic, "1.00",
-			cc.Cycles, cc.Traffic, fmt.Sprintf("%.2f", cc.ReplicationFactor),
-			cc.Invalidations+cc.Forwards)
-	}
-	return t
+	return TableT4Cells(p, workloads, scale, iters).RunSerial(p.Seed)
 }
 
 // TableT5 tabulates migrated context sizes: the register-file context the
 // paper cites (1–2 Kbit) against stack contexts at increasing depths —
 // the motivation for §4.
 func TableT5(p Platform) *stats.Table {
-	t := stats.NewTable("T5 — migrated context size (bits) and one-way migration latency across the 8x8 mesh diameter",
-		"context", "bits", "flits", "latency (cycles)")
-	cfg := p.Core
-	hops := cfg.Mesh.Diameter()
-	row := func(name string, bits int) {
-		t.AddRow(name, bits, cfg.NoC.Flits(bits), cfg.NoC.Latency(hops, bits))
-	}
-	row("register file (32x32b + PC)", cfg.ContextBits)
-	row("register file + TLB (paper upper bound)", 2048)
-	for _, d := range []int{1, 2, 4, 8, 16} {
-		if d <= p.Stack.Capacity {
-			row(fmt.Sprintf("stack, depth %d", d), p.Stack.CtxBits(d))
-		}
-	}
-	return t
+	return TableT5Cells(p).RunSerial(p.Seed)
 }

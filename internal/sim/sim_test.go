@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -27,7 +28,11 @@ func TestFigure1CoversAllPaths(t *testing.T) {
 // mass, and together they dominate).
 func TestFigure2Shape(t *testing.T) {
 	p := DefaultPlatform()
-	tbl, h := Figure2(p, 256, 2)
+	scale, iters := 256, 2
+	if testing.Short() {
+		scale, iters = 128, 1
+	}
+	tbl, h := Figure2(p, scale, iters)
 	if h.Total() == 0 {
 		t.Fatal("no runs recorded")
 	}
@@ -73,7 +78,11 @@ func TestTableT1RunsAndAgrees(t *testing.T) {
 
 func TestTableT2OracleWinsEverywhere(t *testing.T) {
 	p := SmallPlatform()
-	tbl := TableT2(p, []string{"ocean", "pingpong", "uniform"}, 32, 1)
+	workloads := []string{"ocean", "pingpong", "uniform"}
+	if testing.Short() {
+		workloads = workloads[:2]
+	}
+	tbl := TableT2(p, workloads, 32, 1)
 	for _, row := range tbl.Rows() {
 		// ORACLE column (last) must be <= every scheme column.
 		oracleCost := atoi(t, row[len(row)-1])
@@ -145,6 +154,73 @@ func TestPlatformHelpers(t *testing.T) {
 	// runScheme propagates engine errors as panics; smoke-test the happy path.
 	_ = p
 	_ = core.AlwaysMigrate{}
+}
+
+// TestCellSeedDerivation pins the determinism contract: seeds are stable
+// across calls and distinct across experiments and cell indices, so no two
+// cells of a sweep ever share a trace by accident.
+func TestCellSeedDerivation(t *testing.T) {
+	seen := make(map[uint64]string)
+	for _, name := range []string{"fig1", "fig2", "t1", "t2"} {
+		for i := 0; i < 8; i++ {
+			s := CellSeed(2011, name, i)
+			if s != CellSeed(2011, name, i) {
+				t.Fatalf("CellSeed(2011, %q, %d) unstable", name, i)
+			}
+			key := name + "/" + string(rune('0'+i))
+			if prev, dup := seen[s]; dup {
+				t.Errorf("seed collision: %s and %s both map to %d", prev, key, s)
+			}
+			seen[s] = key
+		}
+	}
+	if CellSeed(1, "fig1", 0) == CellSeed(2, "fig1", 0) {
+		t.Error("base seed does not reach the derived seed")
+	}
+}
+
+// TestWrappersMatchCellPath: the serial per-experiment functions are thin
+// wrappers over the cell decomposition, so their tables must match a serial
+// cell run byte-for-byte — the same property the sweep runner extends to
+// parallel execution.
+func TestWrappersMatchCellPath(t *testing.T) {
+	p := SmallPlatform()
+	for _, tt := range []struct {
+		name    string
+		wrapper func() string
+		cells   func() string
+	}{
+		{"fig1", func() string { return Figure1(p).String() },
+			func() string { return Figure1Cells(p).RunSerial(p.Seed).String() }},
+		{"fig3", func() string { return Figure3(p).String() },
+			func() string { return Figure3Cells(p).RunSerial(p.Seed).String() }},
+		{"t1", func() string { return TableT1(p, []int{300, 600}).String() },
+			func() string { return TableT1Cells(p, []int{300, 600}).RunSerial(p.Seed).String() }},
+		{"t5", func() string { return TableT5(p).String() },
+			func() string { return TableT5Cells(p).RunSerial(p.Seed).String() }},
+	} {
+		if w, c := tt.wrapper(), tt.cells(); w != c {
+			t.Errorf("%s: wrapper and cell path disagree:\n--- wrapper ---\n%s\n--- cells ---\n%s", tt.name, w, c)
+		}
+	}
+}
+
+// TestCellsArePure runs one multi-cell experiment's cells twice in reverse
+// order and checks the rows are identical — the no-shared-state property
+// the parallel runner relies on.
+func TestCellsArePure(t *testing.T) {
+	p := SmallPlatform()
+	cs := TableT4Cells(p, []string{"pingpong", "private"}, 32, 1)
+	first := make([][][]string, len(cs.Cells))
+	for i, c := range cs.Cells {
+		first[i] = c.Run(CellSeed(p.Seed, cs.Name, i))
+	}
+	for i := len(cs.Cells) - 1; i >= 0; i-- {
+		again := cs.Cells[i].Run(CellSeed(p.Seed, cs.Name, i))
+		if fmt.Sprint(again) != fmt.Sprint(first[i]) {
+			t.Errorf("cell %d (%s) is not a pure function of its seed", i, cs.Cells[i].Label)
+		}
+	}
 }
 
 func atoi(t *testing.T, s string) int64 {

@@ -226,7 +226,11 @@ func TestDepthDPLowerBoundsSchemes(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+	count := 50
+	if testing.Short() {
+		count = 15
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: count}); err != nil {
 		t.Error(err)
 	}
 }
@@ -234,8 +238,12 @@ func TestDepthDPLowerBoundsSchemes(t *testing.T) {
 func TestDepthDPOnWorkload(t *testing.T) {
 	ccfg := modelConfig()
 	scfg := DefaultConfig()
+	scale := 32
+	if testing.Short() {
+		scale = 16
+	}
 	tr := workload.WithStackDeltas(
-		workload.Ocean(workload.Config{Threads: 16, Scale: 32, Iters: 1, Seed: 3}), 7)
+		workload.Ocean(workload.Config{Threads: 16, Scale: scale, Iters: 1, Seed: 3}), 7)
 	steps := StepsForTrace(tr, placement.NewFirstTouch(4096), ccfg.Mesh.Cores())
 	opt := OptimalDepthCostForTrace(ccfg, scfg, steps, ccfg.Mesh.Cores())
 	for _, mk := range []func() DepthScheme{
@@ -365,7 +373,11 @@ func TestStackCacheTransparency(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(f, nil); err != nil {
+	cfg := &quick.Config{}
+	if testing.Short() {
+		cfg.MaxCount = 25
+	}
+	if err := quick.Check(f, cfg); err != nil {
 		t.Error(err)
 	}
 }

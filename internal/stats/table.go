@@ -26,6 +26,19 @@ func (t *Table) Title() string { return t.title }
 // AddRow appends a row; values are formatted with %v, floats with 4
 // significant digits.
 func (t *Table) AddRow(cells ...interface{}) {
+	t.rows = append(t.rows, FormatRow(cells...))
+}
+
+// AddStrings appends a pre-formatted row. The experiment cells of
+// internal/sim produce rows in this form so a sweep can format once and
+// assemble tables from out-of-order cell results.
+func (t *Table) AddStrings(row []string) {
+	t.rows = append(t.rows, row)
+}
+
+// FormatRow renders cell values exactly the way AddRow would: %v for
+// everything, floats with 4 significant digits.
+func FormatRow(cells ...interface{}) []string {
 	row := make([]string, len(cells))
 	for i, c := range cells {
 		switch v := c.(type) {
@@ -37,7 +50,7 @@ func (t *Table) AddRow(cells ...interface{}) {
 			row[i] = fmt.Sprint(c)
 		}
 	}
-	t.rows = append(t.rows, row)
+	return row
 }
 
 // NumRows returns the number of data rows added so far.

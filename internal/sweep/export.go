@@ -1,0 +1,54 @@
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/stats"
+)
+
+// exportJSON is the wire form of one experiment result. The table field
+// marshals via stats.Table.MarshalJSON (title/headers/rows), so the export
+// carries no timing or machine-local data and is deterministic for a
+// deterministic sweep.
+type exportJSON struct {
+	Experiment string       `json:"experiment"`
+	Cells      int          `json:"cells"`
+	Table      *stats.Table `json:"table"`
+}
+
+// WriteJSON renders results as an indented JSON array, one element per
+// experiment.
+func WriteJSON(w io.Writer, results []Result) error {
+	out := make([]exportJSON, len(results))
+	for i, r := range results {
+		out[i] = exportJSON{Experiment: r.Experiment, Cells: r.Cells, Table: r.Table}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// WriteCSV renders results as concatenated CSV blocks, each preceded by a
+// `# <title>` comment line — the format cmd/figures -csv has always
+// emitted.
+func WriteCSV(w io.Writer, results []Result) error {
+	for _, r := range results {
+		if _, err := fmt.Fprintf(w, "# %s\n%s\n", r.Table.Title(), r.Table.CSV()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteText renders results as aligned text tables separated by blank
+// lines.
+func WriteText(w io.Writer, results []Result) error {
+	for _, r := range results {
+		if _, err := fmt.Fprintln(w, r.Table.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

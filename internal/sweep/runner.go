@@ -1,0 +1,130 @@
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Options configures a sweep run.
+type Options struct {
+	// Parallel is the worker count. Zero or negative means GOMAXPROCS.
+	// Results are identical at every value; only wall-clock time changes.
+	Parallel int
+	// BaseSeed seeds the whole sweep; per-cell seeds are derived from it
+	// with sim.CellSeed. Zero means the platform's seed.
+	BaseSeed uint64
+	// Params overrides per-experiment parameters; zero fields fall back to
+	// each experiment's registered defaults.
+	Params Params
+}
+
+// Result is one experiment's assembled output.
+type Result struct {
+	Experiment string
+	Desc       string
+	Cells      int
+	Table      *stats.Table
+}
+
+// cellJob addresses one cell of one experiment in a sweep.
+type cellJob struct {
+	exp  int
+	cell int
+	seed uint64
+	run  func(seed uint64) [][]string
+}
+
+// Run executes the given experiments' cells across a worker pool and
+// assembles one table per experiment, in the order given. A panic in any
+// cell (experiment cells panic on engine misconfiguration) aborts the
+// sweep: remaining cells are skipped, and the panic — annotated with the
+// experiment, cell index, and the cell's stack — is re-raised on the
+// calling goroutine after the pool drains.
+func Run(p sim.Platform, exps []Experiment, opts Options) []Result {
+	workers := opts.Parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	base := opts.BaseSeed
+	if base == 0 {
+		base = p.Seed
+	}
+
+	// Decompose every experiment up front; constructors are cheap (the work
+	// is inside each cell's Run).
+	sets := make([]sim.CellSet, len(exps))
+	var jobs []cellJob
+	for i, e := range exps {
+		sets[i] = e.Cells(p, opts.Params.Merged(e.Defaults))
+		for j, c := range sets[i].Cells {
+			jobs = append(jobs, cellJob{
+				exp:  i,
+				cell: j,
+				seed: sim.CellSeed(base, sets[i].Name, j),
+				run:  c.Run,
+			})
+		}
+	}
+
+	// rows[i][j] is cell j of experiment i; each slot is written exactly
+	// once, by whichever worker drew that job, so no lock is needed.
+	rows := make([][][][]string, len(sets))
+	for i := range sets {
+		rows[i] = make([][][]string, len(sets[i].Cells))
+	}
+
+	jobCh := make(chan cellJob)
+	var wg sync.WaitGroup
+	var panicOnce sync.Once
+	var failed atomic.Bool
+	var panicked interface{}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobCh {
+				if failed.Load() {
+					continue // a cell already panicked; drain without running
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							panicOnce.Do(func() {
+								panicked = fmt.Sprintf("sweep: %s cell %d panicked: %v\n%s",
+									sets[j.exp].Name, j.cell, r, debug.Stack())
+								failed.Store(true)
+							})
+						}
+					}()
+					rows[j.exp][j.cell] = j.run(j.seed)
+				}()
+			}
+		}()
+	}
+	for _, j := range jobs {
+		jobCh <- j
+	}
+	close(jobCh)
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+
+	out := make([]Result, len(sets))
+	for i, cs := range sets {
+		t := cs.NewTable()
+		for _, cellRows := range rows[i] {
+			for _, r := range cellRows {
+				t.AddStrings(r)
+			}
+		}
+		out[i] = Result{Experiment: cs.Name, Desc: exps[i].Desc, Cells: len(cs.Cells), Table: t}
+	}
+	return out
+}

@@ -1,0 +1,173 @@
+// Package sweep runs experiment grids in parallel. It keeps a registry of
+// every named experiment of internal/sim (the paper's Figures 1–3 and the
+// derived tables T1–T5) together with its parameter space, decomposes each
+// experiment into its independent cells, and fans the cells of a whole
+// sweep out across a bounded worker pool.
+//
+// Determinism is the design center: each cell's seed is derived as
+// hash(baseSeed, experiment, cellIndex) (sim.CellSeed), cells are pure
+// functions of (platform, params, seed), and results are reassembled in
+// cell order — so a sweep renders byte-identical tables whether it runs on
+// 1 worker or GOMAXPROCS workers. The regression tests in this package and
+// the golden files under testdata/ pin that property.
+package sweep
+
+import (
+	"fmt"
+	"regexp"
+
+	"repro/internal/sim"
+)
+
+// Params spans the parameter space an experiment is registered with. Zero
+// fields fall back to the experiment's registered defaults, so callers can
+// override just the scale or just the workload list.
+type Params struct {
+	Scale     int      // problem-size knob (workload-scale experiments)
+	Iters     int      // outer iterations
+	Workloads []string // workload grid (t2, t4)
+	Lengths   []int    // trace-length grid (t1)
+}
+
+// Merged returns p with zero fields replaced by defaults from d.
+func (p Params) Merged(d Params) Params {
+	if p.Scale == 0 {
+		p.Scale = d.Scale
+	}
+	if p.Iters == 0 {
+		p.Iters = d.Iters
+	}
+	if len(p.Workloads) == 0 {
+		p.Workloads = d.Workloads
+	}
+	if len(p.Lengths) == 0 {
+		p.Lengths = d.Lengths
+	}
+	return p
+}
+
+// Experiment is one registry entry: a named experiment, its default
+// parameter space (the paper's evaluation points), and the cell
+// decomposition used by both the serial wrappers in internal/sim and the
+// parallel runner here.
+type Experiment struct {
+	Name     string // registry key: fig1, fig2, fig3, t1..t5
+	Desc     string // one-line description for -list
+	Defaults Params
+	Cells    func(p sim.Platform, pr Params) sim.CellSet
+}
+
+// registry lists every experiment in presentation order (the order
+// `figures all` prints).
+var registry = []Experiment{
+	{
+		Name: "fig1",
+		Desc: "Figure 1: EM2 access-path counts (local / migrate / migrate+evict)",
+		Cells: func(p sim.Platform, _ Params) sim.CellSet {
+			return sim.Figure1Cells(p)
+		},
+	},
+	{
+		Name:     "fig2",
+		Desc:     "Figure 2: run-length histogram of non-native accesses (ocean)",
+		Defaults: Params{Scale: 256, Iters: 2},
+		Cells: func(p sim.Platform, pr Params) sim.CellSet {
+			return sim.Figure2Cells(p, pr.Scale, pr.Iters)
+		},
+	},
+	{
+		Name: "fig3",
+		Desc: "Figure 3: EM2-RA access-path counts under the hybrid decision",
+		Cells: func(p sim.Platform, _ Params) sim.CellSet {
+			return sim.Figure3Cells(p)
+		},
+	},
+	{
+		Name:     "t1",
+		Desc:     "T1: §3 DP optimum, dense vs sparse agreement, O(N) evaluation",
+		Defaults: Params{Lengths: []int{1000, 4000, 16000, 64000}},
+		Cells: func(p sim.Platform, pr Params) sim.CellSet {
+			return sim.TableT1Cells(p, pr.Lengths)
+		},
+	},
+	{
+		Name:     "t2",
+		Desc:     "T2: decision schemes vs DP oracle across workloads",
+		Defaults: Params{Scale: 64, Iters: 1, Workloads: []string{"ocean", "fft", "lu", "radix", "barnes", "pingpong", "uniform", "private"}},
+		Cells: func(p sim.Platform, pr Params) sim.CellSet {
+			return sim.TableT2Cells(p, pr.Workloads, pr.Scale, pr.Iters)
+		},
+	},
+	{
+		Name:     "t3",
+		Desc:     "T3: stack-depth schemes vs depth DP (ocean with stack deltas)",
+		Defaults: Params{Scale: 64, Iters: 1},
+		Cells: func(p sim.Platform, pr Params) sim.CellSet {
+			return sim.TableT3Cells(p, pr.Scale, pr.Iters)
+		},
+	},
+	{
+		Name:     "t4",
+		Desc:     "T4: EM2 vs directory coherence (cycles, traffic, replication)",
+		Defaults: Params{Scale: 64, Iters: 1, Workloads: []string{"ocean", "pingpong", "radix", "private"}},
+		Cells: func(p sim.Platform, pr Params) sim.CellSet {
+			return sim.TableT4Cells(p, pr.Workloads, pr.Scale, pr.Iters)
+		},
+	},
+	{
+		Name: "t5",
+		Desc: "T5: migrated context sizes and mesh-diameter migration latency",
+		Cells: func(p sim.Platform, _ Params) sim.CellSet {
+			return sim.TableT5Cells(p)
+		},
+	},
+}
+
+// All returns every registered experiment in presentation order.
+func All() []Experiment {
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// Get returns the named experiment.
+func Get(name string) (Experiment, error) {
+	for _, e := range registry {
+		if e.Name == name {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("sweep: unknown experiment %q (have %v)", name, Names())
+}
+
+// Names returns the registered experiment names in presentation order.
+func Names() []string {
+	out := make([]string, len(registry))
+	for i, e := range registry {
+		out[i] = e.Name
+	}
+	return out
+}
+
+// Match returns the experiments whose name matches the anchored regular
+// expression pattern, in presentation order. An empty pattern matches
+// everything.
+func Match(pattern string) ([]Experiment, error) {
+	if pattern == "" {
+		return All(), nil
+	}
+	re, err := regexp.Compile("^(?:" + pattern + ")$")
+	if err != nil {
+		return nil, fmt.Errorf("sweep: bad experiment pattern %q: %v", pattern, err)
+	}
+	var out []Experiment
+	for _, e := range registry {
+		if re.MatchString(e.Name) {
+			out = append(out, e)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("sweep: pattern %q matches no experiment (have %v)", pattern, Names())
+	}
+	return out, nil
+}
