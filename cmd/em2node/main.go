@@ -1,0 +1,56 @@
+// Command em2node serves one node of a distributed EM² cluster: it runs
+// the core loops and memory shards of the cores its manifest entry owns,
+// with migrating contexts and remote accesses crossing TCP to the other
+// nodes, then exits when the coordinator shuts the run down.
+//
+// Usage:
+//
+//	em2node -manifest cluster.json -node 0
+//
+// The manifest is shared by every node and by the driver (see
+// `em2sim -cluster`, or machine.RunCluster for embedding):
+//
+//	{
+//	  "w": 2, "h": 2,
+//	  "nodes": [
+//	    {"addr": "127.0.0.1:9000", "cores": [0, 1]},
+//	    {"addr": "127.0.0.1:9001", "cores": [2, 3]}
+//	  ]
+//	}
+//
+// Start one em2node per manifest entry (any order — peers retry their
+// dials), then run the driver against the same manifest. A node serves
+// exactly one run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/machine"
+	"repro/internal/transport"
+)
+
+func main() {
+	manifest := flag.String("manifest", "", "cluster manifest (JSON)")
+	node := flag.Int("node", -1, "index of this node in the manifest")
+	flag.Parse()
+
+	if *manifest == "" || *node < 0 {
+		fmt.Fprintln(os.Stderr, "em2node: -manifest and -node are required")
+		os.Exit(2)
+	}
+	man, err := transport.LoadManifest(*manifest)
+	if err != nil {
+		fail(err)
+	}
+	if err := machine.ServeNode(man, *node); err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "em2node:", err)
+	os.Exit(1)
+}

@@ -8,6 +8,14 @@
 //	em2sim -workload pingpong -scheme distance:3 -mem
 //	em2sim -workload radix -scheme oracle
 //	em2sim -workload ocean -json            # machine-readable result
+//
+// Cluster mode instead drives the concurrent runtime across N real node
+// processes on TCP loopback (em2sim re-executes itself as the nodes), runs
+// an internal/isa litmus program with contexts serialized over the wire,
+// and validates the recorded execution with the SC checker:
+//
+//	em2sim -cluster 2 -cluster-prog counter -cores 4 -threads 8
+//	em2sim -cluster 4 -cluster-prog rand-priv:7 -cores 16
 package main
 
 import (
@@ -15,13 +23,18 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
+	"path/filepath"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/geom"
+	"repro/internal/machine"
 	"repro/internal/oracle"
 	"repro/internal/placement"
+	"repro/internal/transport"
 	"repro/internal/workload"
 )
 
@@ -38,7 +51,39 @@ func main() {
 	mem := flag.Bool("mem", false, "charge cache/DRAM latencies (full fidelity)")
 	hist := flag.Bool("hist", false, "print the run-length histogram")
 	jsonOut := flag.Bool("json", false, "emit the result as JSON")
+	cluster := flag.Int("cluster", 0, "run the concurrent runtime across N node processes over TCP loopback")
+	clusterProg := flag.String("cluster-prog", "counter", "cluster program: counter, mp, sb, rand:SEED, rand-priv:SEED")
+	serveNode := flag.Int("serve-node", -1, "internal: serve one cluster node of -serve-manifest and exit")
+	serveManifest := flag.String("serve-manifest", "", "internal: manifest path for -serve-node")
 	flag.Parse()
+
+	if *serveNode >= 0 {
+		man, err := transport.LoadManifest(*serveManifest)
+		if err != nil {
+			fail(err)
+		}
+		if err := machine.ServeNode(man, *serveNode); err != nil {
+			fail(err)
+		}
+		return
+	}
+	if *cluster > 0 {
+		// Trace mode defaults to first-touch, which cannot run across
+		// nodes; in cluster mode an unset -placement means striped:64,
+		// while an explicit choice (including first-touch) is honored and
+		// validated by RunCluster.
+		clusterPlace := "striped:64"
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "placement" {
+				clusterPlace = *placeName
+			}
+		})
+		if err := runCluster(*cluster, *clusterProg, *cores, *threads, *guests,
+			*schemeName, clusterPlace, *jsonOut); err != nil {
+			fail(err)
+		}
+		return
+	}
 
 	gen, err := workload.Get(*wl)
 	if err != nil {
@@ -148,6 +193,206 @@ func main() {
 	if *hist {
 		fmt.Printf("run-length histogram:\n%s", res.RunLengths.Render(60))
 	}
+}
+
+// litmusFor resolves a -cluster-prog name into a litmus program. stride is
+// the address offset that homes the two-address litmuses' second word on
+// the far node, so the flagship cluster programs provably cross the wire.
+func litmusFor(name string, threads int, stride uint32) (machine.Litmus, error) {
+	base, arg, hasArg := strings.Cut(name, ":")
+	seed := uint64(1)
+	if hasArg {
+		v, err := strconv.ParseUint(arg, 10, 64)
+		if err != nil {
+			return machine.Litmus{}, fmt.Errorf("bad program seed %q", name)
+		}
+		seed = v
+	}
+	switch base {
+	case "counter":
+		if threads <= 0 {
+			threads = 8
+		}
+		return machine.AtomicCounterLitmus(threads, 50), nil
+	case "mp":
+		return machine.MessagePassingLitmus(stride), nil
+	case "sb":
+		return machine.StoreBufferingLitmus(stride), nil
+	case "rand":
+		return machine.RandomLitmus(seed, machine.RandOpts{Threads: threads}), nil
+	case "rand-priv":
+		return machine.RandomLitmus(seed, machine.RandOpts{Threads: threads, PrivateWrites: true}), nil
+	default:
+		return machine.Litmus{}, fmt.Errorf("unknown cluster program %q", name)
+	}
+}
+
+// runCluster launches an N-node loopback cluster (re-executing this binary
+// as the node processes), drives one litmus program through it with
+// contexts crossing real TCP sockets, and validates the recorded execution
+// with machine.CheckSC.
+func runCluster(nodes int, progName string, cores, threads, guests int, scheme, place string, jsonOut bool) error {
+	mesh := geom.SquareMesh(cores)
+	// Under striped:64, address 64*k is homed at core k; LocalManifest
+	// splits cores into contiguous blocks, so the first core of the last
+	// node is the nearest provably-remote home for a two-address litmus.
+	farCore := (nodes - 1) * mesh.Cores() / nodes
+	stride := uint32(64 * farCore)
+	if farCore == 0 {
+		stride = 64
+	}
+	lit, err := litmusFor(progName, threads, stride)
+	if err != nil {
+		return err
+	}
+	man, err := transport.LocalManifest(nodes, mesh.Width(), mesh.Height())
+	if err != nil {
+		return err
+	}
+	dir, err := os.MkdirTemp("", "em2sim-cluster-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "manifest.json")
+	if err := man.WriteFile(path); err != nil {
+		return err
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	procs := make([]*exec.Cmd, nodes)
+	// earlyExit fires if any node dies before the run completes (port
+	// stolen, bad manifest, crash): fail fast with the real cause instead
+	// of waiting out the coordinator's dial/run timeout.
+	earlyExit := make(chan error, nodes)
+	for i := range procs {
+		procs[i] = exec.Command(exe, "-serve-manifest", path, "-serve-node", strconv.Itoa(i))
+		procs[i].Stderr = os.Stderr
+		if err := procs[i].Start(); err != nil {
+			return err
+		}
+		go func(i int) { earlyExit <- fmt.Errorf("node %d exited: %v", i, procs[i].Wait()) }(i)
+	}
+	// Each monitor goroutine owns its Cmd's one allowed Wait; cleanup only
+	// kills and then drains the monitors' exit notifications.
+	exitsDrained := 0
+	defer func() {
+		for _, p := range procs {
+			if p.Process != nil {
+				p.Process.Kill()
+			}
+		}
+		for ; exitsDrained < len(procs); exitsDrained++ {
+			<-earlyExit
+		}
+	}()
+
+	type outcome struct {
+		res *machine.ClusterResult
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		res, err := machine.RunCluster(man, machine.ClusterConfig{
+			GuestContexts: guests,
+			Scheme:        scheme,
+			Placement:     place,
+			LogEvents:     true,
+		}, lit.Threads, lit.Mem)
+		done <- outcome{res, err}
+	}()
+	var res *machine.ClusterResult
+	select {
+	case o := <-done:
+		if o.err != nil {
+			return o.err
+		}
+		res = o.res
+	case err := <-earlyExit:
+		exitsDrained++
+		// Nodes also exit right after a successful run's shutdown
+		// broadcast, so give the run outcome a moment to win the race
+		// before declaring the exit premature.
+		select {
+		case o := <-done:
+			if o.err != nil {
+				return o.err
+			}
+			res = o.res
+		case <-time.After(2 * time.Second):
+			return err
+		}
+	}
+	scErr := machine.CheckSCFrom(lit.Mem, res.Events)
+	var checkErr error
+	if lit.Check != nil {
+		checkErr = lit.Check(func(a uint32) uint32 { return res.Mem[a] }, res.FinalRegs)
+	}
+
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		status := func(err error) string {
+			if err != nil {
+				return err.Error()
+			}
+			return "ok"
+		}
+		if err := enc.Encode(struct {
+			Program      string             `json:"program"`
+			Scheme       string             `json:"scheme"`
+			Placement    string             `json:"placement"`
+			Nodes        int                `json:"nodes"`
+			Cores        int                `json:"cores"`
+			Threads      int                `json:"threads"`
+			Instructions int64              `json:"instructions"`
+			Migrations   int64              `json:"migrations"`
+			Evictions    int64              `json:"evictions"`
+			RemoteOps    int64              `json:"remote_ops"`
+			LocalOps     int64              `json:"local_ops"`
+			Events       int                `json:"events"`
+			SC           string             `json:"sc"`
+			Check        string             `json:"check"`
+			PerNode      []map[string]int64 `json:"per_node"`
+		}{
+			Program: lit.Name, Scheme: scheme, Placement: place,
+			Nodes: nodes, Cores: mesh.Cores(), Threads: len(lit.Threads),
+			Instructions: res.Instructions, Migrations: res.Migrations, Evictions: res.Evictions,
+			RemoteOps: res.RemoteReads + res.RemoteWrites, LocalOps: res.LocalOps,
+			Events: len(res.Events), SC: status(scErr), Check: status(checkErr),
+			PerNode: res.NodeCounters,
+		}); err != nil {
+			return err
+		}
+	} else {
+		fmt.Printf("cluster  : %d nodes, %v, program %s (%d threads), scheme %s, placement %s\n",
+			nodes, mesh, lit.Name, len(lit.Threads), scheme, place)
+		fmt.Printf("result   : instructions=%d migrations=%d evictions=%d remote=%d local=%d\n",
+			res.Instructions, res.Migrations, res.Evictions,
+			res.RemoteReads+res.RemoteWrites, res.LocalOps)
+		for i, c := range res.NodeCounters {
+			fmt.Printf("node %-4d: instructions=%d migrations=%d evictions=%d\n",
+				i, c["instructions"], c["migrations"], c["evictions"])
+		}
+		if scErr != nil {
+			fmt.Printf("SC check : FAILED: %v\n", scErr)
+		} else {
+			fmt.Printf("SC check : OK (%d events)\n", len(res.Events))
+		}
+		if lit.Check != nil {
+			if checkErr != nil {
+				fmt.Printf("litmus   : FAILED: %v\n", checkErr)
+			} else {
+				fmt.Printf("litmus   : OK\n")
+			}
+		}
+	}
+	if scErr != nil {
+		return scErr
+	}
+	return checkErr
 }
 
 func indent(s string) string {

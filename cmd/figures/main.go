@@ -22,8 +22,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/sim"
@@ -31,22 +33,35 @@ import (
 )
 
 func main() {
-	platform := flag.String("platform", "paper", "platform: paper (64 cores) or small (16 cores)")
-	parallel := flag.Int("parallel", 0, "sweep workers (0 = GOMAXPROCS)")
-	runPat := flag.String("run", "", "regexp selecting experiments to run")
-	seed := flag.Uint64("seed", 0, "sweep base seed (0 = platform seed)")
-	scale := flag.Int("scale", 0, "override workload scale (0 = experiment default)")
-	iters := flag.Int("iters", 0, "override workload iterations (0 = experiment default)")
-	jsonOut := flag.Bool("json", false, "emit JSON instead of aligned text")
-	csvOut := flag.Bool("csv", false, "emit CSV instead of aligned text")
-	list := flag.Bool("list", false, "list registered experiments and exit")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the whole command with injectable argv and streams, so the golden
+// test can pin the bytes of `figures -json` exactly as a user sees them.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("figures", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	platform := fs.String("platform", "paper", "platform: paper (64 cores) or small (16 cores)")
+	parallel := fs.Int("parallel", 0, "sweep workers (0 = GOMAXPROCS)")
+	runPat := fs.String("run", "", "regexp selecting experiments to run")
+	seed := fs.Uint64("seed", 0, "sweep base seed (0 = platform seed)")
+	scale := fs.Int("scale", 0, "override workload scale (0 = experiment default)")
+	iters := fs.Int("iters", 0, "override workload iterations (0 = experiment default)")
+	jsonOut := fs.Bool("json", false, "emit JSON instead of aligned text")
+	csvOut := fs.Bool("csv", false, "emit CSV instead of aligned text")
+	list := fs.Bool("list", false, "list registered experiments and exit")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
 
 	if *list {
 		for _, e := range sweep.All() {
-			fmt.Printf("%-5s %s\n", e.Name, e.Desc)
+			fmt.Fprintf(stdout, "%-5s %s\n", e.Name, e.Desc)
 		}
-		return
+		return 0
 	}
 
 	var p sim.Platform
@@ -56,12 +71,14 @@ func main() {
 	case "small":
 		p = sim.SmallPlatform()
 	default:
-		fail(fmt.Errorf("unknown platform %q", *platform))
+		fmt.Fprintln(stderr, "figures:", fmt.Errorf("unknown platform %q", *platform))
+		return 2
 	}
 
-	exps, err := selectExperiments(*runPat, flag.Args())
+	exps, err := selectExperiments(*runPat, fs.Args())
 	if err != nil {
-		fail(err)
+		fmt.Fprintln(stderr, "figures:", err)
+		return 2
 	}
 
 	results := sweep.Run(p, exps, sweep.Options{
@@ -72,15 +89,17 @@ func main() {
 
 	switch {
 	case *jsonOut:
-		err = sweep.WriteJSON(os.Stdout, results)
+		err = sweep.WriteJSON(stdout, results)
 	case *csvOut:
-		err = sweep.WriteCSV(os.Stdout, results)
+		err = sweep.WriteCSV(stdout, results)
 	default:
-		err = sweep.WriteText(os.Stdout, results)
+		err = sweep.WriteText(stdout, results)
 	}
 	if err != nil {
-		fail(err)
+		fmt.Fprintln(stderr, "figures:", err)
+		return 2
 	}
+	return 0
 }
 
 // selectExperiments resolves the -run pattern and/or positional names into
@@ -104,9 +123,4 @@ func selectExperiments(pattern string, names []string) ([]sweep.Experiment, erro
 		out = append(out, e)
 	}
 	return out, nil
-}
-
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "figures:", err)
-	os.Exit(2)
 }

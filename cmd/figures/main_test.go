@@ -1,0 +1,77 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files under testdata/")
+
+// TestJSONGolden pins the bytes of `figures -json` — the machine-readable
+// export downstream tooling scrapes — the way the rendered tables are
+// already pinned in internal/sweep/testdata. Output must be byte-identical
+// at any -parallel level, so the golden runs with workers enabled.
+// Refresh with `go test ./cmd/figures -run JSONGolden -update`.
+func TestJSONGolden(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{
+		"-platform", "small", "-parallel", "4", "-json", "-run", "fig1|fig3|t5",
+	}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("run exited %d: %s", code, errOut.String())
+	}
+	path := filepath.Join("testdata", "figures_small.json.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, out.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%s: %v (run with -update to create)", path, err)
+	}
+	if !bytes.Equal(out.Bytes(), want) {
+		t.Errorf("JSON export drifted from golden file:\n--- got ---\n%s\n--- want ---\n%s", out.Bytes(), want)
+	}
+}
+
+// TestJSONGoldenSerialMatches re-renders the same export single-threaded:
+// the bytes must not depend on the worker count.
+func TestJSONGoldenSerialMatches(t *testing.T) {
+	render := func(parallel string) []byte {
+		var out, errOut bytes.Buffer
+		code := run([]string{
+			"-platform", "small", "-parallel", parallel, "-json", "-run", "fig1|fig3|t5",
+		}, &out, &errOut)
+		if code != 0 {
+			t.Fatalf("run exited %d: %s", code, errOut.String())
+		}
+		return out.Bytes()
+	}
+	if !bytes.Equal(render("1"), render("4")) {
+		t.Error("JSON export differs between -parallel 1 and -parallel 4")
+	}
+}
+
+func TestListAndBadFlags(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("-list exited %d", code)
+	}
+	if out.Len() == 0 {
+		t.Error("-list produced no output")
+	}
+	if code := run([]string{"-platform", "nope"}, &out, &errOut); code == 0 {
+		t.Error("unknown platform accepted")
+	}
+	if code := run([]string{"-run", "fig1", "fig3"}, &out, &errOut); code == 0 {
+		t.Error("-run plus positional names accepted")
+	}
+}

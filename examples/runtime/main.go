@@ -1,7 +1,10 @@
-// Runtime demonstrates the concurrent EM² runtime: real programs (in the
-// repository's mini-ISA) executing on goroutine cores, with contexts
-// migrating between cores whenever they touch remotely-homed memory — and
-// sequential consistency verified on the recorded execution.
+// Runtime demonstrates the concurrent EM² runtime on both transports: the
+// same program (in the repository's mini-ISA) first executes on goroutine
+// cores with contexts migrating over Go channels, then on a two-node TCP
+// loopback cluster with contexts genuinely serialized over sockets — and
+// both executions are verified sequentially consistent on their recorded
+// events. (The nodes run in-process here for a self-contained example; see
+// cmd/em2node and `em2sim -cluster` for separate OS processes.)
 package main
 
 import (
@@ -11,16 +14,10 @@ import (
 	"repro/internal/isa"
 	"repro/internal/machine"
 	"repro/internal/placement"
+	"repro/internal/transport"
 )
 
 func main() {
-	cfg := machine.Config{
-		Mesh:          geom.SquareMesh(16),
-		GuestContexts: 2,
-		Placement:     placement.NewStriped(64, 16),
-		LogEvents:     true,
-	}
-
 	// Eight threads atomically increment three counters homed at three
 	// different cores; under EM² each FAA executes at the counter's home.
 	prog := isa.MustAssemble(`
@@ -41,6 +38,14 @@ func main() {
 	for i := range threads {
 		threads[i] = machine.ThreadSpec{Program: prog}
 	}
+
+	// --- In one process: cores are goroutines, channels are the networks.
+	cfg := machine.Config{
+		Mesh:          geom.SquareMesh(16),
+		GuestContexts: 2,
+		Placement:     placement.NewStriped(64, 16),
+		LogEvents:     true,
+	}
 	m, err := machine.New(cfg, len(threads))
 	if err != nil {
 		panic(err)
@@ -49,14 +54,79 @@ func main() {
 	if err != nil {
 		panic(err)
 	}
-
-	fmt.Printf("\ninstructions=%d migrations=%d evictions=%d local-ops=%d\n",
+	fmt.Printf("\nin-process: instructions=%d migrations=%d evictions=%d local-ops=%d\n",
 		res.Instructions, res.Migrations, res.Evictions, res.LocalOps)
 	for _, addr := range []uint32{0, 256, 512} {
-		fmt.Printf("counter @%-4d = %d (want %d)\n", addr, m.Read(addr), 8*100)
+		fmt.Printf("  counter @%-4d = %d (want %d)\n", addr, m.Read(addr), 8*100)
 	}
 	if err := machine.CheckSC(res.Events); err != nil {
 		panic(err)
 	}
-	fmt.Printf("sequential consistency: OK (%d events checked)\n", len(res.Events))
+	fmt.Printf("  sequential consistency: OK (%d events checked)\n", len(res.Events))
+
+	// --- Across the transport: two nodes on TCP loopback, eight cores
+	// each; every cross-node migration ships the context's wire encoding.
+	man, err := transport.LocalManifest(2, 4, 4)
+	if err != nil {
+		panic(err)
+	}
+	nodeErrs := make(chan error, len(man.Nodes))
+	for i := range man.Nodes {
+		go func(i int) { nodeErrs <- machine.ServeNode(man, i) }(i)
+	}
+	// Watch the nodes while the run is in flight: a node that fails at
+	// startup (e.g. its probed port was taken) surfaces immediately
+	// instead of masquerading as a run timeout.
+	type clusterOutcome struct {
+		res *machine.ClusterResult
+		err error
+	}
+	runDone := make(chan clusterOutcome, 1)
+	go func() {
+		res, err := machine.RunCluster(man, machine.ClusterConfig{
+			GuestContexts: 2,
+			Placement:     "striped:64",
+			LogEvents:     true,
+		}, threads, nil)
+		runDone <- clusterOutcome{res, err}
+	}()
+	var cres *machine.ClusterResult
+	nodesLeft := len(man.Nodes)
+	for cres == nil {
+		select {
+		case o := <-runDone:
+			if o.err != nil {
+				panic(o.err)
+			}
+			cres = o.res
+		case err := <-nodeErrs:
+			if err != nil {
+				panic(err)
+			}
+			nodesLeft--
+		}
+	}
+	for ; nodesLeft > 0; nodesLeft-- {
+		if err := <-nodeErrs; err != nil {
+			panic(err)
+		}
+	}
+	fmt.Printf("\nTCP cluster: instructions=%d migrations=%d evictions=%d local-ops=%d\n",
+		cres.Instructions, cres.Migrations, cres.Evictions, cres.LocalOps)
+	for i, c := range cres.NodeCounters {
+		fmt.Printf("  node %d: instructions=%d migrations=%d\n", i, c["instructions"], c["migrations"])
+	}
+	for _, addr := range []uint32{0, 256, 512} {
+		fmt.Printf("  counter @%-4d = %d (want %d)\n", addr, cres.Mem[addr], 8*100)
+	}
+	if err := machine.CheckSC(cres.Events); err != nil {
+		panic(err)
+	}
+	fmt.Printf("  sequential consistency: OK (%d events checked)\n", len(cres.Events))
+
+	if res.Instructions != cres.Instructions {
+		panic(fmt.Sprintf("transports disagree on retired instructions: %d vs %d",
+			res.Instructions, cres.Instructions))
+	}
+	fmt.Println("\nboth transports retired the same instruction count — same machine, different wire")
 }

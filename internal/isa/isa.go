@@ -151,6 +151,11 @@ func Decode(w uint32) (Instr, error) {
 	}
 	i := Instr{Op: op}
 	switch op {
+	case NOP, HALT:
+		// No operands: stray bits do not survive a decode, so the decoded
+		// form is canonical (decode∘encode∘decode = decode).
+	case JR:
+		i.Rd = uint8(w >> 21 & 31)
 	case JMP, JAL:
 		i.Imm = signExtend(w&0x03FF_FFFF, 26)
 	case ADD, SUB, MUL, AND, OR, XOR, SLT, SLL, SRL:

@@ -1,0 +1,314 @@
+package machine
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/isa"
+	"repro/internal/placement"
+	"repro/internal/transport"
+)
+
+// ParsePlacement builds a placement policy from its wire name. Cluster
+// nodes must all compute the same home for every address from the name
+// alone, so only the static, stateless policies are admissible here:
+//
+//	striped[:LINEBYTES]       (default line 64)
+//	page-striped[:PAGEBYTES]  (default page 4096)
+//
+// First-touch is rejected: its page table lives in one process, and two
+// nodes binding the same page to different homes would break the
+// single-home invariant that gives EM² sequential consistency.
+func ParsePlacement(spec string, cores int) (placement.Policy, error) {
+	name, arg, hasArg := strings.Cut(spec, ":")
+	n := 0
+	if hasArg {
+		v, err := strconv.Atoi(arg)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("machine: bad placement argument %q", spec)
+		}
+		n = v
+	}
+	switch name {
+	case "striped":
+		if n == 0 {
+			n = 64
+		}
+		return placement.NewStriped(n, cores), nil
+	case "page-striped":
+		if n == 0 {
+			n = placement.DefaultPageBytes
+		}
+		return placement.NewPageStriped(n, cores), nil
+	case "first-touch":
+		return nil, fmt.Errorf("machine: first-touch placement is per-process state and cannot be replicated across cluster nodes; use striped or page-striped")
+	default:
+		return nil, fmt.Errorf("machine: unknown placement %q", spec)
+	}
+}
+
+// ParseScheme builds a migrate-vs-remote decision scheme from its wire
+// name: always-migrate, always-remote, or distance:N. Only stateless
+// schemes are admissible — every node must decide identically without
+// shared history.
+func ParseScheme(spec string, mesh geom.Mesh) (core.Scheme, error) {
+	switch {
+	case spec == "always-migrate":
+		return core.AlwaysMigrate{}, nil
+	case spec == "always-remote":
+		return core.AlwaysRemote{}, nil
+	case strings.HasPrefix(spec, "distance:"):
+		n, err := strconv.Atoi(strings.TrimPrefix(spec, "distance:"))
+		if err != nil {
+			return nil, fmt.Errorf("machine: bad distance scheme %q", spec)
+		}
+		return core.NewDistance(mesh, n), nil
+	default:
+		return nil, fmt.Errorf("machine: unknown scheme %q", spec)
+	}
+}
+
+// encodePrograms packs thread programs into their 32-bit ISA encoding and
+// verifies each instruction survives the wire (immediates that overflow
+// their field would silently execute differently on the far side).
+func encodePrograms(threads []ThreadSpec) ([][]uint32, error) {
+	out := make([][]uint32, len(threads))
+	for t := range threads {
+		prog := threads[t].Program
+		if len(prog) == 0 {
+			return nil, fmt.Errorf("machine: thread %d has an empty program", t)
+		}
+		out[t] = make([]uint32, len(prog))
+		for i, in := range prog {
+			w := in.Encode()
+			back, err := isa.Decode(w)
+			if err != nil || back != in {
+				return nil, fmt.Errorf("machine: thread %d instruction %d (%v) does not survive the wire encoding", t, i, in)
+			}
+			out[t][i] = w
+		}
+	}
+	return out, nil
+}
+
+// decodePrograms is the node-side inverse of encodePrograms.
+func decodePrograms(spec *transport.LoadSpec) ([]ThreadSpec, error) {
+	if len(spec.Programs) != spec.NumThreads || len(spec.Regs) != spec.NumThreads {
+		return nil, fmt.Errorf("machine: load spec carries %d programs and %d reg maps for %d threads",
+			len(spec.Programs), len(spec.Regs), spec.NumThreads)
+	}
+	threads := make([]ThreadSpec, spec.NumThreads)
+	for t, words := range spec.Programs {
+		prog := make([]isa.Instr, len(words))
+		for i, w := range words {
+			in, err := isa.Decode(w)
+			if err != nil {
+				return nil, fmt.Errorf("machine: thread %d instruction %d: %v", t, i, err)
+			}
+			prog[i] = in
+		}
+		threads[t] = ThreadSpec{Program: prog, Regs: spec.Regs[t]}
+	}
+	return threads, nil
+}
+
+// ServeNode runs one cluster node to completion: listen per the manifest,
+// receive the coordinator's LoadSpec, execute the owned cores' loops with
+// contexts and remote accesses crossing the TCP transport, report HALTs,
+// answer the collect request, and exit on shutdown. This is the whole of
+// cmd/em2node.
+func ServeNode(man transport.Manifest, idx int) error {
+	tn, err := transport.ListenNode(man, idx)
+	if err != nil {
+		return err
+	}
+	defer tn.Close()
+
+	var spec *transport.LoadSpec
+	select {
+	case spec = <-tn.Loads():
+	case <-tn.ShutdownC():
+		return nil // coordinator aborted before loading
+	}
+	cfg := Config{
+		Mesh:          geom.NewMesh(man.W, man.H),
+		GuestContexts: spec.GuestContexts,
+		Quantum:       spec.Quantum,
+		LogEvents:     spec.LogEvents,
+	}
+	if cfg.Placement, err = ParsePlacement(spec.Placement, cfg.Mesh.Cores()); err != nil {
+		return err
+	}
+	if cfg.Scheme, err = ParseScheme(spec.Scheme, cfg.Mesh); err != nil {
+		return err
+	}
+	threads, err := decodePrograms(spec)
+	if err != nil {
+		return err
+	}
+
+	tn.Prepare(spec.NumThreads)
+	part, err := NewPart(cfg, tn)
+	if err != nil {
+		return err
+	}
+	for a, v := range spec.Mem {
+		part.Preload(a, v, 0) // keeps only the addresses this node homes
+	}
+	if err := part.Start(threads, func(h transport.HaltMsg) { tn.SendHalt(h) }); err != nil {
+		return err
+	}
+	tn.Ready() // open the data plane: Prepare'd inboxes + handler are live
+
+	select {
+	case <-tn.CollectRequests():
+	case <-tn.ShutdownC():
+		part.Stop() // coordinator aborted mid-run (timeout, error)
+		return nil
+	}
+	if err := tn.SendCollect(part.Collect(idx)); err != nil {
+		return err
+	}
+	<-tn.ShutdownC()
+	part.Stop()
+	return nil
+}
+
+// ClusterConfig describes a cluster run. Scheme and Placement travel by
+// name (see ParseScheme/ParsePlacement); zero values select pure EM² over
+// 64-byte striping with a 60 s timeout.
+type ClusterConfig struct {
+	GuestContexts int
+	Quantum       int
+	Scheme        string
+	Placement     string
+	LogEvents     bool
+	Timeout       time.Duration
+}
+
+// ClusterResult is a cluster run's outcome: the aggregate Result plus the
+// merged final memory image and the per-node counter breakdown.
+type ClusterResult struct {
+	Result
+	Mem          map[uint32]uint32
+	NodeCounters []map[string]int64
+}
+
+// RunCluster drives an already-listening cluster through one run: load,
+// inject, await HALTs, collect, shut down. The node processes (ServeNode /
+// cmd/em2node) must be starting or started on the manifest's addresses;
+// dialing retries until Timeout. Thread t starts at core t mod cores, as
+// in Machine.Run.
+func RunCluster(man transport.Manifest, cfg ClusterConfig, threads []ThreadSpec, mem map[uint32]uint32) (*ClusterResult, error) {
+	if err := man.Validate(); err != nil {
+		return nil, err
+	}
+	if len(threads) == 0 {
+		return nil, fmt.Errorf("machine: no threads")
+	}
+	if err := validateSpecs(threads); err != nil {
+		return nil, err
+	}
+	if cfg.Scheme == "" {
+		cfg.Scheme = "always-migrate"
+	}
+	if cfg.Placement == "" {
+		cfg.Placement = "striped:64"
+	}
+	if cfg.Timeout == 0 {
+		cfg.Timeout = 60 * time.Second
+	}
+	mesh := geom.NewMesh(man.W, man.H)
+	// Fail fast on the coordinator for anything a node would reject: build
+	// and validate the exact Config every node will build from the spec.
+	var err error
+	nodeCfg := Config{Mesh: mesh, GuestContexts: cfg.GuestContexts, Quantum: cfg.Quantum}
+	if nodeCfg.Placement, err = ParsePlacement(cfg.Placement, mesh.Cores()); err != nil {
+		return nil, err
+	}
+	if nodeCfg.Scheme, err = ParseScheme(cfg.Scheme, mesh); err != nil {
+		return nil, err
+	}
+	if err := nodeCfg.Validate(); err != nil {
+		return nil, err
+	}
+	programs, err := encodePrograms(threads)
+	if err != nil {
+		return nil, err
+	}
+
+	co, err := transport.DialCluster(man, cfg.Timeout)
+	if err != nil {
+		return nil, err
+	}
+	defer co.Close()
+	defer co.Shutdown()
+
+	regs := make([]map[int]uint32, len(threads))
+	for t := range threads {
+		regs[t] = threads[t].Regs
+	}
+	if err := co.Load(&transport.LoadSpec{
+		GuestContexts: cfg.GuestContexts,
+		Quantum:       cfg.Quantum,
+		Scheme:        cfg.Scheme,
+		Placement:     cfg.Placement,
+		LogEvents:     cfg.LogEvents,
+		NumThreads:    len(threads),
+		Programs:      programs,
+		Regs:          regs,
+		Mem:           mem,
+	}); err != nil {
+		return nil, err
+	}
+
+	cores := mesh.Cores()
+	for t := range threads {
+		ctx := transport.Context{Thread: int32(t), Native: int32(t % cores)}
+		for r, v := range threads[t].Regs {
+			ctx.Arch.Regs[r] = v
+		}
+		if err := co.InjectEviction(geom.CoreID(t%cores), ctx); err != nil {
+			return nil, err
+		}
+	}
+
+	res := &ClusterResult{Mem: make(map[uint32]uint32)}
+	res.FinalRegs = make([][isa.NumRegs]uint32, len(threads))
+	timer := time.NewTimer(cfg.Timeout)
+	defer timer.Stop()
+	for halted := 0; halted < len(threads); halted++ {
+		select {
+		case h := <-co.Halts():
+			if h.Thread < 0 || h.Thread >= len(threads) {
+				return nil, fmt.Errorf("machine: halt report for unknown thread %d", h.Thread)
+			}
+			res.FinalRegs[h.Thread] = h.Regs
+		case <-timer.C:
+			return nil, fmt.Errorf("machine: cluster run timed out with %d of %d threads halted", halted, len(threads))
+		}
+	}
+
+	reps, err := co.Collect(cfg.Timeout)
+	if err != nil {
+		return nil, err
+	}
+	for _, rep := range reps {
+		res.Instructions += rep.Counters["instructions"]
+		res.Migrations += rep.Counters["migrations"]
+		res.Evictions += rep.Counters["evictions"]
+		res.RemoteReads += rep.Counters["remote_reads"]
+		res.RemoteWrites += rep.Counters["remote_writes"]
+		res.LocalOps += rep.Counters["local_ops"]
+		res.Events = append(res.Events, rep.Events...)
+		for a, v := range rep.Mem {
+			res.Mem[a] = v
+		}
+		res.NodeCounters = append(res.NodeCounters, rep.Counters)
+	}
+	return res, nil
+}

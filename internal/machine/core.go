@@ -7,32 +7,50 @@ import (
 	"repro/internal/core"
 	"repro/internal/geom"
 	"repro/internal/isa"
+	"repro/internal/transport"
 )
 
+// context is a thread's architectural state — exactly what a hardware
+// migration serializes (isa.ContextBits worth) — plus the runtime routing
+// metadata that rides with it on the wire (transport.Context).
+type context struct {
+	thread int
+	pc     int32
+	regs   [isa.NumRegs]uint32
+	spec   *ThreadSpec
+	native geom.CoreID
+	memSeq int64 // per-thread memory-op counter (program order for SC)
+}
+
+// archContext extracts the architectural half of a context.
+func archContext(c *context) isa.Context {
+	return isa.Context{PC: c.pc, Regs: c.regs}
+}
+
 // coreNode is one core: an execution loop plus the per-core ends of the
-// migration and eviction virtual networks.
+// migration and eviction virtual networks, obtained from the transport.
 type coreNode struct {
 	id      geom.CoreID
-	m       *Machine
-	migIn   chan *context // guest-bound migrations (paper's migration VN)
-	evictIn chan *context // native returns (paper's eviction VN)
+	p       *Part
+	migIn   <-chan transport.Context // guest-bound migrations (paper's migration VN)
+	evictIn <-chan transport.Context // native returns (paper's eviction VN)
 	runq    []*context
 	guests  int
 }
 
 // loop is the core goroutine: accept arrivals, time-slice resident contexts.
 func (n *coreNode) loop() {
-	defer n.m.coreWG.Done()
+	defer n.p.wg.Done()
 	for {
 		n.drain()
 		if len(n.runq) == 0 {
 			// Idle: block until an arrival or shutdown.
 			select {
 			case c := <-n.evictIn:
-				n.acceptNative(c)
+				n.acceptNative(n.p.fromWire(c))
 			case c := <-n.migIn:
-				n.acceptGuest(c)
-			case <-n.m.done:
+				n.acceptGuest(n.p.fromWire(c))
+			case <-n.p.done:
 				return
 			}
 			continue
@@ -53,13 +71,13 @@ func (n *coreNode) drain() {
 	for {
 		select {
 		case c := <-n.evictIn:
-			n.acceptNative(c)
+			n.acceptNative(n.p.fromWire(c))
 			continue
 		default:
 		}
 		select {
 		case c := <-n.migIn:
-			n.acceptGuest(c)
+			n.acceptGuest(n.p.fromWire(c))
 			continue
 		default:
 		}
@@ -86,8 +104,8 @@ func (n *coreNode) acceptGuest(c *context) {
 		n.runq = append(n.runq, c)
 		return
 	}
-	if n.m.cfg.GuestContexts > 0 {
-		for n.guests >= n.m.cfg.GuestContexts {
+	if n.p.cfg.GuestContexts > 0 {
+		for n.guests >= n.p.cfg.GuestContexts {
 			victim := n.evictOneGuest()
 			if victim == nil {
 				break // all resident guests are mid-flight; accept anyway
@@ -105,8 +123,10 @@ func (n *coreNode) evictOneGuest() *context {
 		if g.native != n.id {
 			n.runq = append(n.runq[:i], n.runq[i+1:]...)
 			n.guests--
-			n.m.evictions.Add(1)
-			n.m.nodes[g.native].evictIn <- g // capacity ≥ #threads: never blocks
+			n.p.evictions.Add(1)
+			// Eviction inboxes hold every thread in the system, so this
+			// send never blocks (in-process) / never stalls the wire (TCP).
+			n.p.tr.SendEviction(g.native, n.p.toWire(g))
 			return g
 		}
 	}
@@ -125,7 +145,7 @@ func (n *coreNode) requeue(c *context) {
 // (requeued), halts, or migrates away.
 func (n *coreNode) execute(c *context) {
 	prog := c.spec.Program
-	for step := 0; step < n.m.cfg.Quantum; step++ {
+	for step := 0; step < n.p.cfg.Quantum; step++ {
 		if c.pc < 0 || int(c.pc) >= len(prog) {
 			panic(fmt.Sprintf("machine: thread %d pc %d outside program of %d instructions",
 				c.thread, c.pc, len(prog)))
@@ -133,7 +153,7 @@ func (n *coreNode) execute(c *context) {
 		in := prog[c.pc]
 		if in.IsMem() {
 			addr := c.regs[in.Rs] + uint32(in.Imm)
-			home := n.m.place.touch(cache.Addr(addr), c.native)
+			home := n.p.place.touch(cache.Addr(addr), c.native)
 			if home != n.id {
 				info := core.AccessInfo{
 					Thread: c.thread,
@@ -143,70 +163,69 @@ func (n *coreNode) execute(c *context) {
 				}
 				info.Access.Addr = cache.Addr(addr)
 				info.Access.Write = in.IsWrite()
-				if n.m.cfg.Scheme.Decide(info) == core.Migrate {
+				if n.p.cfg.Scheme.Decide(info) == core.Migrate {
 					// Ship the context; the instruction re-executes at home,
 					// where the access will be local.
-					n.m.migrations.Add(1)
-					n.m.nodes[home].migIn <- c
+					n.p.migrations.Add(1)
+					if err := n.p.tr.SendMigration(home, n.p.toWire(c)); err != nil {
+						return // transport torn down mid-run
+					}
 					return
 				}
-				n.remoteOp(c, in, addr, home)
-				c.pc++
-				n.m.instructions.Add(1)
-				continue
+				if in.IsWrite() {
+					n.p.remoteWrites.Add(1)
+				} else {
+					n.p.remoteReads.Add(1)
+				}
+			} else {
+				n.p.localOps.Add(1)
 			}
-			n.localOp(c, in, addr)
+			if !n.applyMem(c, in, addr, home) {
+				return
+			}
 			c.pc++
-			n.m.instructions.Add(1)
+			n.p.instructions.Add(1)
 			continue
 		}
 		if in.Op == isa.HALT {
-			n.m.instructions.Add(1)
-			n.m.mu.Lock()
-			n.m.finalRegs[c.thread] = c.regs
-			n.m.mu.Unlock()
-			n.m.haltWG.Done()
+			n.p.instructions.Add(1)
+			n.p.onHalt(transport.HaltMsg{Thread: c.thread, Regs: c.regs})
 			return
 		}
 		executeALU(c, in)
-		n.m.instructions.Add(1)
+		n.p.instructions.Add(1)
 	}
 	n.requeue(c)
 }
 
-func (n *coreNode) localOp(c *context, in isa.Instr, addr uint32) {
-	n.m.localOps.Add(1)
-	n.applyMem(c, in, addr, n.m.shards[n.id])
-}
-
-func (n *coreNode) remoteOp(c *context, in isa.Instr, addr uint32, home geom.CoreID) {
-	if in.IsWrite() {
-		n.m.remoteWrites.Add(1)
-	} else {
-		n.m.remoteReads.Add(1)
-	}
-	n.applyMem(c, in, addr, n.m.shards[home])
-}
-
-// applyMem performs the memory instruction against a shard. The shard's
-// lock is the home-core serialization point; it is never held across a
-// channel operation.
-func (n *coreNode) applyMem(c *context, in isa.Instr, addr uint32, s *shard) {
+// applyMem performs the memory instruction against addr's home shard via
+// the transport: a direct locked call when this endpoint owns home, a wire
+// round trip otherwise. Either way the home shard's lock is the
+// serialization point. Returns false if the transport failed (teardown).
+func (n *coreNode) applyMem(c *context, in isa.Instr, addr uint32, home geom.CoreID) bool {
+	req := transport.MemRequest{Thread: int32(c.thread), TSeq: c.memSeq, Addr: addr}
 	switch in.Op {
 	case isa.LW:
-		v := s.read(c, addr)
-		writeReg(c, in.Rd, v)
+		req.Op = transport.OpRead
 	case isa.SW:
-		s.write(c, addr, c.regs[in.Rd])
+		req.Op, req.Arg = transport.OpWrite, c.regs[in.Rd]
 	case isa.FAA:
-		old := s.fetchAdd(c, addr, c.regs[in.Rt])
-		writeReg(c, in.Rd, old)
+		req.Op, req.Arg = transport.OpFAA, c.regs[in.Rt]
 	case isa.SWAP:
-		old := s.swap(c, addr, c.regs[in.Rt])
-		writeReg(c, in.Rd, old)
+		req.Op, req.Arg = transport.OpSwap, c.regs[in.Rt]
 	default:
 		panic(fmt.Sprintf("machine: %v is not a memory instruction", in.Op))
 	}
+	rep, err := n.p.tr.Remote(home, req)
+	if err != nil {
+		return false
+	}
+	c.memSeq++
+	switch in.Op {
+	case isa.LW, isa.FAA, isa.SWAP:
+		writeReg(c, in.Rd, rep.Value)
+	}
+	return true
 }
 
 // executeALU interprets a non-memory, non-halt instruction.

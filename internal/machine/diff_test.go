@@ -1,0 +1,208 @@
+package machine
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/isa"
+	"repro/internal/transport"
+)
+
+// runOnTCP executes lit on an nodes-wide TCP-loopback cluster whose node
+// endpoints run in-process (goroutines hosting ServeNode) — real sockets,
+// real gob frames, real ContextWireBytes serialization, without process-
+// spawn overhead. The separate multi-process test lives in cluster_test.go.
+func runOnTCP(t *testing.T, nodes, w, h int, cfg ClusterConfig, lit Litmus) *ClusterResult {
+	t.Helper()
+	man, err := transport.LocalManifest(nodes, w, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs := make(chan error, nodes)
+	for i := 0; i < nodes; i++ {
+		go func(i int) { errs <- ServeNode(man, i) }(i)
+	}
+	res, err := RunCluster(man, cfg, lit.Threads, lit.Mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < nodes; i++ {
+		select {
+		case err := <-errs:
+			if err != nil {
+				t.Fatalf("node exited: %v", err)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatal("node did not exit after shutdown")
+		}
+	}
+	if err := CheckSCFrom(lit.Mem, res.Events); err != nil {
+		t.Fatalf("%s over TCP: SC violation: %v", lit.Name, err)
+	}
+	if lit.Check != nil {
+		read := func(a uint32) uint32 { return res.Mem[a] }
+		if err := lit.Check(read, res.FinalRegs); err != nil {
+			t.Fatalf("%s over TCP: %v", lit.Name, err)
+		}
+	}
+	return res
+}
+
+// TestDifferentialInProcVsTCP runs the same programs on the in-process
+// channel transport and on a TCP cluster, demanding SC-equivalent results
+// (both executions pass the SC checker) and — for programs with
+// schedule-independent outcomes — bit-identical final memory images and
+// register files.
+func TestDifferentialInProcVsTCP(t *testing.T) {
+	cases := []Litmus{
+		MessagePassingLitmus(128), // flag homed on the far node
+		AtomicCounterLitmus(4, sized(40, 10)),
+	}
+	for seed := 0; seed < sized(6, 2); seed++ {
+		cases = append(cases, RandomLitmus(uint64(seed), RandOpts{PrivateWrites: true}))
+	}
+	for seed := 0; seed < sized(4, 2); seed++ {
+		cases = append(cases, RandomLitmus(uint64(seed), RandOpts{}))
+	}
+
+	for _, lit := range cases {
+		t.Run(lit.Name, func(t *testing.T) {
+			cfg := litmusConfig()
+			m, inproc := runLitmus(t, cfg, lit)
+			tcp := runOnTCP(t, 2, 2, 2, ClusterConfig{
+				GuestContexts: cfg.GuestContexts,
+				Quantum:       cfg.Quantum,
+				Scheme:        "always-migrate",
+				Placement:     "striped:64",
+				LogEvents:     true,
+			}, lit)
+
+			inMem, tcpMem := m.MemImage(), tcp.Mem
+			if lit.Deterministic {
+				if !reflect.DeepEqual(inMem, tcpMem) {
+					t.Fatalf("final memory images differ:\n in-proc %v\n tcp     %v",
+						inMem, tcpMem)
+				}
+				if !reflect.DeepEqual(inproc.FinalRegs, tcp.FinalRegs) {
+					t.Fatalf("final registers differ:\n in-proc %v\n tcp     %v",
+						inproc.FinalRegs, tcp.FinalRegs)
+				}
+			} else {
+				// Schedule-dependent programs must still agree on which
+				// addresses exist (same footprint, both SC — checked above).
+				if len(inMem) != len(tcpMem) {
+					t.Fatalf("memory footprints differ: %d vs %d words", len(inMem), len(tcpMem))
+				}
+			}
+			// Op totals are deliberately not compared even for
+			// deterministic programs: a spin loop (MP's reader) retires a
+			// schedule-dependent number of loads while still producing a
+			// deterministic outcome.
+		})
+	}
+}
+
+// TestServeNodeShutdownWithoutRun: a coordinator that aborts before
+// loading (or before collecting) must still release the node processes —
+// ServeNode returns instead of parking forever on Loads/CollectRequests.
+func TestServeNodeShutdownWithoutRun(t *testing.T) {
+	man, err := transport.LocalManifest(2, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs := make(chan error, len(man.Nodes))
+	for i := range man.Nodes {
+		go func(i int) { errs <- ServeNode(man, i) }(i)
+	}
+	co, err := transport.DialCluster(man, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	co.Shutdown()
+	co.Close()
+	for range man.Nodes {
+		select {
+		case err := <-errs:
+			if err != nil {
+				t.Errorf("node returned %v on abort", err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("node did not exit after shutdown-without-load")
+		}
+	}
+}
+
+// TestClusterSchemeAndPlacementParsing pins the wire-name parsers.
+func TestClusterSchemeAndPlacementParsing(t *testing.T) {
+	cfg := litmusConfig()
+	if _, err := ParsePlacement("striped:32", 4); err != nil {
+		t.Error(err)
+	}
+	if _, err := ParsePlacement("page-striped", 4); err != nil {
+		t.Error(err)
+	}
+	if _, err := ParsePlacement("first-touch", 4); err == nil {
+		t.Error("first-touch accepted for a cluster")
+	}
+	if _, err := ParsePlacement("striped:x", 4); err == nil {
+		t.Error("bad striped arg accepted")
+	}
+	if _, err := ParseScheme("distance:2", cfg.Mesh); err != nil {
+		t.Error(err)
+	}
+	if _, err := ParseScheme("oracle", cfg.Mesh); err == nil {
+		t.Error("oracle scheme accepted for a cluster")
+	}
+}
+
+// TestClusterRemoteAccessScheme runs a TCP cluster under always-remote:
+// contexts stay put and every non-local access is a wire round trip.
+func TestClusterRemoteAccessScheme(t *testing.T) {
+	lit := AtomicCounterLitmus(4, sized(20, 8))
+	res := runOnTCP(t, 2, 2, 2, ClusterConfig{
+		Scheme:    "always-remote",
+		LogEvents: true,
+	}, lit)
+	if res.Migrations != 0 {
+		t.Errorf("always-remote migrated %d times", res.Migrations)
+	}
+	if res.RemoteReads+res.RemoteWrites == 0 {
+		t.Error("always-remote performed no remote accesses")
+	}
+}
+
+// TestRunClusterValidation: coordinator-side fail-fast paths.
+func TestRunClusterValidation(t *testing.T) {
+	man, err := transport.LocalManifest(2, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lit := MessagePassingLitmus(64)
+	if _, err := RunCluster(man, ClusterConfig{}, nil, nil); err == nil {
+		t.Error("no threads accepted")
+	}
+	if _, err := RunCluster(man, ClusterConfig{Placement: "first-touch"}, lit.Threads, nil); err == nil {
+		t.Error("first-touch accepted")
+	}
+	if _, err := RunCluster(man, ClusterConfig{Scheme: "nope"}, lit.Threads, nil); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+	if _, err := RunCluster(man, ClusterConfig{GuestContexts: -1}, lit.Threads, nil); err == nil {
+		t.Error("negative guest contexts accepted (nodes would all reject the load)")
+	}
+	// An atomic with an immediate too wide for its 11-bit field would
+	// silently execute a different address on the far side; the encoder
+	// check must reject it before anything ships.
+	wide := []ThreadSpec{{Program: []isa.Instr{
+		{Op: isa.FAA, Rd: 4, Rs: 0, Rt: 3, Imm: 5000},
+		{Op: isa.HALT},
+	}}}
+	if _, err := RunCluster(man, ClusterConfig{}, wide, nil); err == nil {
+		t.Error("wire-unsafe immediate accepted")
+	}
+	bad := ThreadSpec{Program: lit.Threads[0].Program, Regs: map[int]uint32{0: 1}}
+	if _, err := RunCluster(man, ClusterConfig{}, []ThreadSpec{bad}, nil); err == nil {
+		t.Error("write to r0 accepted")
+	}
+}

@@ -1,0 +1,227 @@
+package machine
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/isa"
+)
+
+// Litmus is a named multi-threaded test program: threads, an initial
+// memory image, and an optional outcome check. The litmus battery runs
+// these on the in-process machine and on TCP clusters; every execution is
+// additionally validated with CheckSC.
+type Litmus struct {
+	Name    string
+	Threads []ThreadSpec
+	Mem     map[uint32]uint32
+	// Deterministic marks programs whose final memory image and final
+	// register files are schedule-independent — the ones usable for
+	// differential comparison between transports.
+	Deterministic bool
+	// Check validates the outcome; read returns a final memory word. Nil
+	// means the SC check (and, if Deterministic, the differential
+	// comparison) is the whole assertion.
+	Check func(read func(uint32) uint32, regs [][isa.NumRegs]uint32) error
+}
+
+// MessagePassingLitmus is the MP litmus test: once the reader observes the
+// flag, it must observe the data — the paper's headline SC guarantee. Data
+// lives at 0, the flag at stride (a different home under 64-byte striping
+// when stride ≥ 64). Both the final memory image and the final registers
+// are deterministic.
+func MessagePassingLitmus(stride uint32) Litmus {
+	writer := isa.MustAssemble(fmt.Sprintf(`
+		addi r1, r0, 41
+		sw   r1, 0(r0)    ; data = 41
+		addi r2, r0, 1
+		sw   r2, %d(r0)   ; flag = 1
+		halt
+	`, stride))
+	reader := isa.MustAssemble(fmt.Sprintf(`
+	spin:
+		lw   r1, %d(r0)
+		beq  r1, r0, spin
+		lw   r2, 0(r0)    ; must observe 41
+		halt
+	`, stride))
+	return Litmus{
+		Name:          "mp",
+		Threads:       []ThreadSpec{{Program: writer}, {Program: reader}},
+		Deterministic: true,
+		Check: func(read func(uint32) uint32, regs [][isa.NumRegs]uint32) error {
+			if got := regs[1][2]; got != 41 {
+				return fmt.Errorf("mp: reader saw data=%d after flag (SC violated)", got)
+			}
+			return nil
+		},
+	}
+}
+
+// StoreBufferingLitmus is the SB litmus test: r2=0 in both threads is
+// forbidden under SC (it is the signature TSO relaxation). The final
+// memory image (x=1, y=1) is deterministic; the registers are not.
+func StoreBufferingLitmus(stride uint32) Litmus {
+	prog := func(mine, other uint32) []isa.Instr {
+		return isa.MustAssemble(fmt.Sprintf(`
+			addi r1, r0, 1
+			sw   r1, %d(r0)
+			lw   r2, %d(r0)
+			halt
+		`, mine, other))
+	}
+	return Litmus{
+		Name:    "sb",
+		Threads: []ThreadSpec{{Program: prog(0, stride)}, {Program: prog(stride, 0)}},
+		Check: func(read func(uint32) uint32, regs [][isa.NumRegs]uint32) error {
+			if regs[0][2] == 0 && regs[1][2] == 0 {
+				return fmt.Errorf("sb: observed r2=0 in both threads — forbidden under SC")
+			}
+			return nil
+		},
+	}
+}
+
+// AtomicCounterLitmus has every thread FAA-increment one shared counter
+// incs times: the final counter value is exact iff the RMW is atomic at
+// the home core. The memory image is deterministic; the FAA return
+// registers are not.
+func AtomicCounterLitmus(threads, incs int) Litmus {
+	prog := isa.MustAssemble(fmt.Sprintf(`
+		addi r2, r0, %d
+		addi r3, r0, 1
+	loop:
+		faa  r4, 0(r0), r3
+		addi r2, r2, -1
+		bne  r2, r0, loop
+		halt
+	`, incs))
+	specs := make([]ThreadSpec, threads)
+	for i := range specs {
+		specs[i] = ThreadSpec{Program: prog}
+	}
+	return Litmus{
+		Name:    "counter",
+		Threads: specs,
+		Check: func(read func(uint32) uint32, regs [][isa.NumRegs]uint32) error {
+			if got, want := read(0), uint32(threads*incs); got != want {
+				return fmt.Errorf("counter: %d after %d×%d atomic increments, want %d", got, threads, incs, want)
+			}
+			return nil
+		},
+	}
+}
+
+// RandOpts parameterizes RandomLitmus; zero fields take defaults.
+type RandOpts struct {
+	Threads int // number of threads (default 3)
+	Ops     int // memory/ALU ops per loop body (default 8)
+	Iters   int // loop iterations (default 4)
+	Addrs   int // shared addresses, stride 64 so homes differ (default 6)
+	// PrivateWrites restricts every store/RMW to addresses private to the
+	// writing thread. Shared words are then read-only (preload values), so
+	// every load, register, and the final memory image are deterministic —
+	// the shape the differential transport test compares bit-for-bit.
+	PrivateWrites bool
+}
+
+func (o RandOpts) withDefaults() RandOpts {
+	if o.Threads == 0 {
+		o.Threads = 3
+	}
+	if o.Ops == 0 {
+		o.Ops = 8
+	}
+	if o.Iters == 0 {
+		o.Iters = 4
+	}
+	if o.Addrs == 0 {
+		o.Addrs = 6
+	}
+	// privateBase packs per-thread write regions into [512, 1024) so the
+	// atomics' 11-bit immediates encode; that caps PrivateWrites at four
+	// threads. (Shared mode writes only to the shared pool, so any thread
+	// count works: higher threads merely read their — unwritten — private
+	// words.)
+	if o.PrivateWrites && o.Threads > 4 {
+		o.Threads = 4
+	}
+	if o.Addrs > 8 {
+		o.Addrs = 8
+	}
+	return o
+}
+
+// privateBase returns thread t's private address region: above the shared
+// pool, disjoint between threads, and small enough that every address fits
+// the 11-bit immediate of the atomic instructions (so the same program
+// survives the wire encoding unchanged).
+func privateBase(t int) uint32 { return 512 + 128*uint32(t) }
+
+// RandomLitmus generates a small random multi-threaded program from seed.
+// Every program terminates by construction: the only backward branch is a
+// bounded loop counter, and loop bodies are branch-free. Shared addresses
+// are 64 bytes apart, so under striped:64 placement each lives at a
+// different home core and the program exercises migration, remote access,
+// eviction, and home-shard serialization all at once.
+func RandomLitmus(seed uint64, o RandOpts) Litmus {
+	o = o.withDefaults()
+	rng := rand.New(rand.NewSource(int64(seed)))
+
+	shared := make([]uint32, o.Addrs)
+	mem := make(map[uint32]uint32, o.Addrs)
+	for i := range shared {
+		shared[i] = uint32(i) * 64
+		mem[shared[i]] = uint32(rng.Intn(1 << 12)) // preloaded read fodder
+	}
+
+	threads := make([]ThreadSpec, o.Threads)
+	for t := range threads {
+		priv := make([]uint32, 2)
+		for i := range priv {
+			priv[i] = privateBase(t) + uint32(i)*64
+		}
+		readPool := append(append([]uint32(nil), shared...), priv...)
+		writePool := shared
+		if o.PrivateWrites {
+			writePool = priv
+		}
+
+		// Temp registers r4..r11; r2 is the loop counter, r3 the constant 1.
+		tmp := func() uint8 { return uint8(4 + rng.Intn(8)) }
+		pick := func(pool []uint32) int32 { return int32(pool[rng.Intn(len(pool))]) }
+
+		prog := []isa.Instr{
+			{Op: isa.ADDI, Rd: 2, Rs: 0, Imm: int32(o.Iters)},
+			{Op: isa.ADDI, Rd: 3, Rs: 0, Imm: 1},
+		}
+		for i := 0; i < o.Ops; i++ {
+			switch rng.Intn(6) {
+			case 0, 1: // loads dominate, as in real sharing patterns
+				prog = append(prog, isa.Instr{Op: isa.LW, Rd: tmp(), Rs: 0, Imm: pick(readPool)})
+			case 2:
+				prog = append(prog, isa.Instr{Op: isa.SW, Rd: tmp(), Rs: 0, Imm: pick(writePool)})
+			case 3:
+				prog = append(prog, isa.Instr{Op: isa.FAA, Rd: tmp(), Rs: 0, Rt: 3, Imm: pick(writePool)})
+			case 4:
+				prog = append(prog, isa.Instr{Op: isa.SWAP, Rd: tmp(), Rs: 0, Rt: tmp(), Imm: pick(writePool)})
+			case 5:
+				ops := []isa.Op{isa.ADD, isa.SUB, isa.XOR, isa.AND, isa.OR}
+				prog = append(prog, isa.Instr{Op: ops[rng.Intn(len(ops))], Rd: tmp(), Rs: tmp(), Rt: tmp()})
+			}
+		}
+		prog = append(prog,
+			isa.Instr{Op: isa.ADDI, Rd: 2, Rs: 2, Imm: -1},
+			// Back to the first body instruction (index 2): imm is relative
+			// to the next pc.
+			isa.Instr{Op: isa.BNE, Rd: 2, Rs: 0, Imm: int32(2 - (len(prog) + 2))},
+			isa.Instr{Op: isa.HALT},
+		)
+		threads[t] = ThreadSpec{Program: prog}
+	}
+	name := fmt.Sprintf("rand-%d", seed)
+	if o.PrivateWrites {
+		name = fmt.Sprintf("rand-priv-%d", seed)
+	}
+	return Litmus{Name: name, Threads: threads, Mem: mem, Deterministic: o.PrivateWrites}
+}

@@ -1,10 +1,18 @@
 // Package machine is a concurrent implementation of the Execution Migration
-// Machine: cores are goroutines, the migration and eviction virtual networks
-// are Go channels, and user programs written in the internal/isa instruction
-// set really execute with their architectural context (PC + register file)
+// Machine: cores execute user programs written in the internal/isa
+// instruction set with their architectural context (PC + register file)
 // shipped between cores whenever they touch memory homed elsewhere.
 //
-// The runtime preserves the paper's structural guarantees:
+// The execution engine is written against the transport abstraction in
+// internal/transport, so the same core loop runs in two shapes:
+//
+//   - In one process (Machine): cores are goroutines and the migration and
+//     eviction virtual networks are Go channels (transport.Local).
+//   - Across processes (ServeNode/RunCluster): each node process runs the
+//     cores of its manifest entry, and contexts cross real TCP sockets in
+//     their fixed wire encoding (transport.Node).
+//
+// The runtime preserves the paper's structural guarantees in both shapes:
 //
 //   - Single home: every word lives in exactly one per-core shard, and every
 //     access — local, migrated-to, or remote — is serialized at that shard.
@@ -15,25 +23,19 @@
 //     evictions travel on a dedicated channel (the paper's separate virtual
 //     network) whose capacity covers every thread that could ever be evicted
 //     toward that core, so an eviction send never blocks (experiment M2).
-//
-// Remote accesses are serialized at the home shard under its lock — the
-// same serialization point an RPC to a per-core server goroutine would give,
-// without holding any lock across a channel operation. Message-level
-// network behaviour (latency, virtual channels) is modelled by the
-// trace-driven engine in internal/core and internal/noc; this package is
-// about real concurrent execution semantics.
+//     Over TCP the channel capacity becomes a wire credit: inbound readers
+//     always find inbox space, sockets always drain (DESIGN.md §6).
 package machine
 
 import (
 	"fmt"
 	"sync"
-	"sync/atomic"
 
-	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/geom"
 	"repro/internal/isa"
 	"repro/internal/placement"
+	"repro/internal/transport"
 )
 
 // Config describes the runtime.
@@ -41,7 +43,7 @@ type Config struct {
 	Mesh          geom.Mesh
 	GuestContexts int              // guest contexts per core; 0 = unlimited
 	Placement     placement.Policy // wrapped with a lock internally
-	Scheme        core.Scheme      // nil = pure EM² (always migrate)
+	Scheme        core.Scheme      // nil = pure EM² (always migrate); Decide must be safe for concurrent use
 	Quantum       int              // instructions per scheduling slice (default 64)
 	LogEvents     bool             // record memory events for the SC checker
 }
@@ -63,10 +65,24 @@ func (c Config) Validate() error {
 	return nil
 }
 
+func defaultScheme() core.Scheme { return core.AlwaysMigrate{} }
+
 // ThreadSpec describes one thread to run.
 type ThreadSpec struct {
 	Program []isa.Instr
 	Regs    map[int]uint32 // initial register values
+}
+
+// validateSpecs checks every thread's initial register map.
+func validateSpecs(threads []ThreadSpec) error {
+	for t := range threads {
+		for r := range threads[t].Regs {
+			if r <= 0 || r >= isa.NumRegs {
+				return fmt.Errorf("machine: thread %d: bad initial register r%d", t, r)
+			}
+		}
+	}
+	return nil
 }
 
 // Result aggregates a run.
@@ -85,137 +101,108 @@ type Result struct {
 	Events []Event
 }
 
-// context is a thread's architectural state — exactly what a hardware
-// migration serializes (isa.ContextBits worth).
-type context struct {
-	thread int
-	pc     int32
-	regs   [isa.NumRegs]uint32
-	spec   *ThreadSpec
-	native geom.CoreID
-	memSeq int64 // per-thread memory-op counter (program order for SC)
-}
-
-// Machine is a runnable EM² instance. Create with New, run with Run.
+// Machine is a runnable in-process EM² instance: one Part spanning every
+// core over the channel transport. Create with New, run with Run.
 type Machine struct {
-	cfg    Config
-	place  *lockedPolicy
-	shards []*shard
-	nodes  []*coreNode
-	done   chan struct{}
-	haltWG sync.WaitGroup
-	coreWG sync.WaitGroup
-
-	instructions atomic.Int64
-	migrations   atomic.Int64
-	evictions    atomic.Int64
-	remoteReads  atomic.Int64
-	remoteWrites atomic.Int64
-	localOps     atomic.Int64
+	cfg        Config
+	numThreads int
+	tr         *transport.Local
+	part       *Part
+	ran        bool
 
 	mu        sync.Mutex
 	finalRegs map[int][isa.NumRegs]uint32
+	haltWG    sync.WaitGroup
 }
 
-// lockedPolicy makes any placement.Policy safe for concurrent Touch.
-type lockedPolicy struct {
-	mu sync.Mutex
-	p  placement.Policy
-}
-
-func (l *lockedPolicy) touch(a cache.Addr, by geom.CoreID) geom.CoreID {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.p.Touch(a, by)
-}
-
-// New builds a machine for the given thread count.
+// New builds a machine for the given thread count (the count sizes the
+// virtual-network inboxes, which is what makes eviction sends safe).
 func New(cfg Config, numThreads int) (*Machine, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
 	if numThreads <= 0 {
 		return nil, fmt.Errorf("machine: need at least one thread")
 	}
-	if cfg.Quantum == 0 {
-		cfg.Quantum = 64
+	tr := transport.NewLocal(cfg.Mesh.Cores(), numThreads)
+	part, err := NewPart(cfg, tr) // NewPart validates cfg
+	if err != nil {
+		return nil, err
 	}
-	if cfg.Scheme == nil {
-		cfg.Scheme = core.AlwaysMigrate{}
-	}
-	m := &Machine{
-		cfg:       cfg,
-		place:     &lockedPolicy{p: cfg.Placement},
-		shards:    make([]*shard, cfg.Mesh.Cores()),
-		nodes:     make([]*coreNode, cfg.Mesh.Cores()),
-		done:      make(chan struct{}),
-		finalRegs: make(map[int][isa.NumRegs]uint32),
-	}
-	for i := range m.shards {
-		m.shards[i] = newShard(geom.CoreID(i), cfg.LogEvents)
-	}
-	for i := range m.nodes {
-		m.nodes[i] = &coreNode{
-			id:      geom.CoreID(i),
-			m:       m,
-			migIn:   make(chan *context, numThreads),
-			evictIn: make(chan *context, numThreads),
-		}
-	}
-	return m, nil
+	return &Machine{
+		cfg:        cfg,
+		numThreads: numThreads,
+		tr:         tr,
+		part:       part,
+		finalRegs:  make(map[int][isa.NumRegs]uint32),
+	}, nil
 }
 
 // Preload stores a word at addr before the run, binding the page to `by`
 // under first-touch placements — the runtime equivalent of the parallel
 // initialization phase of the trace workloads.
 func (m *Machine) Preload(addr uint32, value uint32, by geom.CoreID) {
-	home := m.place.touch(cache.Addr(addr), by)
-	m.shards[home].write(nil, addr, value)
+	m.part.Preload(addr, value, by)
 }
 
 // Read returns the current word at addr without logging an event, for
 // inspecting results after a run.
 func (m *Machine) Read(addr uint32) uint32 {
-	home := m.place.touch(cache.Addr(addr), 0)
-	return m.shards[home].peek(addr)
+	v, _ := m.part.Peek(addr)
+	return v
+}
+
+// MemImage returns a copy of the machine's entire memory contents — every
+// word any shard holds — for whole-state comparisons (the differential
+// transport tests).
+func (m *Machine) MemImage() map[uint32]uint32 {
+	return m.part.MemImage()
 }
 
 // Run executes the threads to completion and returns aggregate results.
-// Thread t starts at core t mod cores.
+// Thread t starts at core t mod cores. A machine runs once.
 func (m *Machine) Run(threads []ThreadSpec) (*Result, error) {
 	if len(threads) == 0 {
 		return nil, fmt.Errorf("machine: no threads")
 	}
-	cores := m.cfg.Mesh.Cores()
-	for i := range m.nodes {
-		m.coreWG.Add(1)
-		go m.nodes[i].loop()
+	if len(threads) > m.numThreads {
+		return nil, fmt.Errorf("machine: %d threads on a machine sized for %d", len(threads), m.numThreads)
 	}
+	if m.ran {
+		return nil, fmt.Errorf("machine: Run called twice")
+	}
+
+	cores := m.cfg.Mesh.Cores()
+	// Part.Start is the single validation authority for thread specs; it
+	// spawns nothing on error.
+	if err := m.part.Start(threads, func(h transport.HaltMsg) {
+		m.mu.Lock()
+		m.finalRegs[h.Thread] = h.Regs
+		m.mu.Unlock()
+		m.haltWG.Done()
+	}); err != nil {
+		return nil, err
+	}
+	m.ran = true
+	// Counted before the first injection below; halts only follow injection.
 	m.haltWG.Add(len(threads))
 	for t := range threads {
-		spec := &threads[t]
-		ctx := &context{thread: t, spec: spec, native: geom.CoreID(t % cores)}
-		for r, v := range spec.Regs {
-			if r <= 0 || r >= isa.NumRegs {
-				return nil, fmt.Errorf("machine: thread %d: bad initial register r%d", t, r)
-			}
-			ctx.regs[r] = v
+		ctx := transport.Context{Thread: int32(t), Native: int32(t % cores)}
+		for r, v := range threads[t].Regs {
+			ctx.Arch.Regs[r] = v
 		}
 		// Initial placement: the native context, via the eviction channel
 		// (a native arrival is always accepted).
-		m.nodes[ctx.native].evictIn <- ctx
+		m.tr.SendEviction(geom.CoreID(t%cores), ctx)
 	}
 	m.haltWG.Wait()
-	close(m.done)
-	m.coreWG.Wait()
+	m.part.Stop()
 
+	coll := m.part.Collect(0)
 	res := &Result{
-		Instructions: m.instructions.Load(),
-		Migrations:   m.migrations.Load(),
-		Evictions:    m.evictions.Load(),
-		RemoteReads:  m.remoteReads.Load(),
-		RemoteWrites: m.remoteWrites.Load(),
-		LocalOps:     m.localOps.Load(),
+		Instructions: coll.Counters["instructions"],
+		Migrations:   coll.Counters["migrations"],
+		Evictions:    coll.Counters["evictions"],
+		RemoteReads:  coll.Counters["remote_reads"],
+		RemoteWrites: coll.Counters["remote_writes"],
+		LocalOps:     coll.Counters["local_ops"],
 		FinalRegs:    make([][isa.NumRegs]uint32, len(threads)),
 	}
 	m.mu.Lock()
@@ -224,9 +211,7 @@ func (m *Machine) Run(threads []ThreadSpec) (*Result, error) {
 	}
 	m.mu.Unlock()
 	if m.cfg.LogEvents {
-		for _, s := range m.shards {
-			res.Events = append(res.Events, s.events...)
-		}
+		res.Events = coll.Events
 	}
 	return res, nil
 }

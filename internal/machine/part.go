@@ -1,0 +1,197 @@
+package machine
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/cache"
+	"repro/internal/geom"
+	"repro/internal/placement"
+	"repro/internal/transport"
+)
+
+// lockedPolicy makes any placement.Policy safe for concurrent Touch.
+type lockedPolicy struct {
+	mu sync.Mutex
+	p  placement.Policy
+}
+
+func (l *lockedPolicy) touch(a cache.Addr, by geom.CoreID) geom.CoreID {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.p.Touch(a, by)
+}
+
+// Part runs the cores a transport endpoint owns: their execution loops,
+// their shards, and the memory handler that serves remote accesses to
+// those shards. The whole machine is one Part over a transport.Local; a
+// cluster is one Part per node process over transport.Node endpoints, all
+// loaded with the same programs (code is replicated, data is not).
+type Part struct {
+	cfg   Config
+	tr    transport.Transport
+	place *lockedPolicy
+	// shards is indexed by core id — the hottest lookup in the machine —
+	// with nil entries for cores other endpoints own.
+	shards []*shard
+	nodes  []*coreNode
+	specs  []ThreadSpec
+	onHalt func(transport.HaltMsg)
+	done   chan struct{}
+	wg     sync.WaitGroup
+
+	instructions atomic.Int64
+	migrations   atomic.Int64
+	evictions    atomic.Int64
+	remoteReads  atomic.Int64
+	remoteWrites atomic.Int64
+	localOps     atomic.Int64
+}
+
+// NewPart builds the part for the cores tr owns and installs its memory
+// handler on the transport. Call Preload as needed, then Start.
+func NewPart(cfg Config, tr transport.Transport) (*Part, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Mesh.Cores() != tr.Cores() {
+		return nil, fmt.Errorf("machine: mesh has %d cores, transport %d", cfg.Mesh.Cores(), tr.Cores())
+	}
+	if cfg.Quantum == 0 {
+		cfg.Quantum = 64
+	}
+	if cfg.Scheme == nil {
+		cfg.Scheme = defaultScheme()
+	}
+	p := &Part{
+		cfg:    cfg,
+		tr:     tr,
+		place:  &lockedPolicy{p: cfg.Placement},
+		shards: make([]*shard, tr.Cores()),
+		done:   make(chan struct{}),
+	}
+	for _, id := range tr.Owned() {
+		p.shards[id] = newShard(id, cfg.LogEvents)
+	}
+	tr.HandleMem(func(core geom.CoreID, req transport.MemRequest) transport.MemReply {
+		if int(core) < 0 || int(core) >= len(p.shards) || p.shards[core] == nil {
+			panic(fmt.Sprintf("machine: memory request for core %d not owned by this part", core))
+		}
+		return p.shards[core].apply(req)
+	})
+	return p, nil
+}
+
+// Preload stores a word at addr before the run if this part owns addr's
+// home, binding the page to `by` under dynamic placements. Safe to call on
+// every part of a cluster with the full image: each keeps only its slice.
+func (p *Part) Preload(addr uint32, value uint32, by geom.CoreID) {
+	home := p.place.touch(cache.Addr(addr), by)
+	if s := p.shards[home]; s != nil {
+		s.apply(transport.MemRequest{Thread: -1, Op: transport.OpWrite, Addr: addr, Arg: value})
+	}
+}
+
+// Peek returns the current word at addr and whether this part homes it.
+func (p *Part) Peek(addr uint32) (uint32, bool) {
+	home := p.place.touch(cache.Addr(addr), 0)
+	if s := p.shards[home]; s != nil {
+		return s.peek(addr), true
+	}
+	return 0, false
+}
+
+// Start spawns the core loops. threads is the full cluster-wide thread
+// list (any thread can migrate in); onHalt fires on the core where a
+// thread executes HALT, with its final register file.
+func (p *Part) Start(threads []ThreadSpec, onHalt func(transport.HaltMsg)) error {
+	if err := validateSpecs(threads); err != nil {
+		return err
+	}
+	p.specs = threads
+	p.onHalt = onHalt
+	for _, id := range p.tr.Owned() {
+		n := &coreNode{
+			id:      id,
+			p:       p,
+			migIn:   p.tr.MigrationIn(id),
+			evictIn: p.tr.EvictionIn(id),
+		}
+		p.nodes = append(p.nodes, n)
+		p.wg.Add(1)
+		go n.loop()
+	}
+	return nil
+}
+
+// Stop winds the core loops down; resident contexts finish their current
+// quantum first. Call only when no thread is still running (all halted).
+func (p *Part) Stop() {
+	close(p.done)
+	p.wg.Wait()
+}
+
+// Collect returns this part's post-run state: counters, the event logs of
+// its shards in core order, and its slice of the memory image.
+func (p *Part) Collect(node int) transport.CollectReply {
+	rep := transport.CollectReply{
+		Node: node,
+		Counters: map[string]int64{
+			"instructions":  p.instructions.Load(),
+			"migrations":    p.migrations.Load(),
+			"evictions":     p.evictions.Load(),
+			"remote_reads":  p.remoteReads.Load(),
+			"remote_writes": p.remoteWrites.Load(),
+			"local_ops":     p.localOps.Load(),
+		},
+		Mem: make(map[uint32]uint32),
+	}
+	for _, id := range p.tr.Owned() {
+		mem, events := p.shards[id].snapshot()
+		rep.Events = append(rep.Events, events...)
+		for a, v := range mem {
+			rep.Mem[a] = v
+		}
+	}
+	return rep
+}
+
+// MemImage returns a copy of every word this part's shards hold, without
+// duplicating event logs or counters.
+func (p *Part) MemImage() map[uint32]uint32 {
+	out := make(map[uint32]uint32)
+	for _, id := range p.tr.Owned() {
+		for a, v := range p.shards[id].image() {
+			out[a] = v
+		}
+	}
+	return out
+}
+
+// toWire serializes a resident context for the transport.
+func (p *Part) toWire(c *context) transport.Context {
+	return transport.Context{
+		Thread: int32(c.thread),
+		Native: int32(c.native),
+		MemSeq: c.memSeq,
+		Arch:   archContext(c),
+	}
+}
+
+// fromWire rebuilds a resident context from its wire form; the program is
+// looked up locally because code is replicated to every part.
+func (p *Part) fromWire(w transport.Context) *context {
+	t := int(w.Thread)
+	if t < 0 || t >= len(p.specs) {
+		panic(fmt.Sprintf("machine: context for unknown thread %d", t))
+	}
+	return &context{
+		thread: t,
+		pc:     w.Arch.PC,
+		regs:   w.Arch.Regs,
+		spec:   &p.specs[t],
+		native: geom.CoreID(w.Native),
+		memSeq: w.MemSeq,
+	}
+}

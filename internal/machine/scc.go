@@ -21,7 +21,14 @@ import (
 //     explains every thread's observations — the definition of SC.
 //
 // It returns nil for SC executions and a descriptive error otherwise.
-func CheckSC(events []Event) error {
+// CheckSC assumes memory starts zeroed; executions that Preload initial
+// values must use CheckSCFrom with the preloaded image.
+func CheckSC(events []Event) error { return CheckSCFrom(nil, events) }
+
+// CheckSCFrom is CheckSC for an execution whose memory began as init
+// (preloads are applied before the run and are deliberately not logged as
+// events, so value legality must replay from the preloaded image).
+func CheckSCFrom(init map[uint32]uint32, events []Event) error {
 	if len(events) == 0 {
 		return nil
 	}
@@ -44,7 +51,7 @@ func CheckSC(events []Event) error {
 					addr, evs[0].Home, evs[i].Home)
 			}
 		}
-		var cur uint32
+		cur := init[addr]
 		for _, e := range evs {
 			switch e.Kind {
 			case EvRead:

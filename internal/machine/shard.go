@@ -1,39 +1,35 @@
 package machine
 
 import (
+	"fmt"
 	"sync"
 
 	"repro/internal/geom"
+	"repro/internal/transport"
 )
 
-// EventKind classifies a logged memory event.
-type EventKind int
+// EventKind classifies a logged memory event. The type lives in
+// internal/transport (events cross the wire when a cluster run is
+// collected); these aliases keep the historical machine API.
+type EventKind = transport.EventKind
 
 // Event kinds.
 const (
-	EvRead EventKind = iota
-	EvWrite
-	EvRMW
+	EvRead  = transport.EvRead
+	EvWrite = transport.EvWrite
+	EvRMW   = transport.EvRMW
 )
 
-// Event is one serialized memory operation at a home shard. Seq is the
-// shard-local serialization index: restricted to one address it is the
-// address's total modification/read order, the witness order the SC checker
-// uses.
-type Event struct {
-	Thread int
-	TSeq   int64 // per-thread memory-op index (program order)
-	Addr   uint32
-	Kind   EventKind
-	Read   uint32 // value read (EvRead, EvRMW)
-	Wrote  uint32 // value written (EvWrite, EvRMW)
-	Seq    int64
-	Home   geom.CoreID
-}
+// Event is one serialized memory operation at a home shard — see
+// transport.Event. Seq is the shard-local serialization index: restricted
+// to one address it is the address's total modification/read order, the
+// witness order the SC checker uses.
+type Event = transport.Event
 
 // shard is one core's slice of the global address space. All data for
 // addresses homed at this core lives here and nowhere else — EM²'s
-// single-home coherence invariant in executable form.
+// single-home coherence invariant in executable form. Every access, no
+// matter which transport carried the request, is serialized under mu.
 type shard struct {
 	home   geom.CoreID
 	mu     sync.Mutex
@@ -47,64 +43,77 @@ func newShard(home geom.CoreID, log bool) *shard {
 	return &shard{home: home, mem: make(map[uint32]uint32), log: log}
 }
 
-// read returns mem[addr], logging against ctx when provided.
-func (s *shard) read(ctx *context, addr uint32) uint32 {
+// apply performs one memory request under the shard lock — the home-core
+// serialization point — and logs it against (req.Thread, req.TSeq). A
+// negative Thread marks a preload: applied, never logged.
+func (s *shard) apply(req transport.MemRequest) transport.MemReply {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	v := s.mem[addr]
-	s.record(ctx, Event{Addr: addr, Kind: EvRead, Read: v})
-	return v
+	old := s.mem[req.Addr]
+	var rep transport.MemReply
+	e := Event{Addr: req.Addr}
+	switch req.Op {
+	case transport.OpRead:
+		e.Kind, e.Read = EvRead, old
+		rep.Value = old
+	case transport.OpWrite:
+		s.mem[req.Addr] = req.Arg
+		e.Kind, e.Wrote = EvWrite, req.Arg
+	case transport.OpFAA:
+		s.mem[req.Addr] = old + req.Arg
+		e.Kind, e.Read, e.Wrote = EvRMW, old, old+req.Arg
+		rep.Value = old
+	case transport.OpSwap:
+		s.mem[req.Addr] = req.Arg
+		e.Kind, e.Read, e.Wrote = EvRMW, old, req.Arg
+		rep.Value = old
+	default:
+		panic(fmt.Sprintf("machine: unknown memory op %d", req.Op))
+	}
+	s.seq++
+	if req.Thread < 0 {
+		return rep
+	}
+	if s.log {
+		e.Thread = int(req.Thread)
+		e.TSeq = req.TSeq
+		e.Seq = s.seq
+		e.Home = s.home
+		s.events = append(s.events, e)
+	}
+	return rep
 }
 
-// write stores mem[addr] = v. ctx may be nil for preloads (not logged).
-func (s *shard) write(ctx *context, addr uint32, v uint32) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.mem[addr] = v
-	s.record(ctx, Event{Addr: addr, Kind: EvWrite, Wrote: v})
-}
-
-// fetchAdd atomically returns mem[addr] and adds delta.
-func (s *shard) fetchAdd(ctx *context, addr uint32, delta uint32) uint32 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	old := s.mem[addr]
-	s.mem[addr] = old + delta
-	s.record(ctx, Event{Addr: addr, Kind: EvRMW, Read: old, Wrote: old + delta})
-	return old
-}
-
-// swap atomically returns mem[addr] and stores v.
-func (s *shard) swap(ctx *context, addr uint32, v uint32) uint32 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	old := s.mem[addr]
-	s.mem[addr] = v
-	s.record(ctx, Event{Addr: addr, Kind: EvRMW, Read: old, Wrote: v})
-	return old
-}
-
-// peek reads without locking discipline for post-run inspection.
+// peek reads a word for post-run inspection.
 func (s *shard) peek(addr uint32) uint32 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.mem[addr]
 }
 
-// record appends an event; the caller holds s.mu. Preloads (nil ctx) are
-// not part of the execution and are not logged.
-func (s *shard) record(ctx *context, e Event) {
-	s.seq++
-	if ctx == nil {
-		return
+// snapshot copies the shard's memory contents and event log under the
+// lock. Collection can overlap the tail of remote-request handler
+// goroutines (their appends happen before the requester's next step, but
+// that ordering crosses the wire, not this process's memory model), so the
+// reader must take the same mutex the writers do.
+func (s *shard) snapshot() (map[uint32]uint32, []Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.imageLocked(), append([]Event(nil), s.events...)
+}
+
+// image copies only the memory contents, for callers that do not want the
+// event log duplicated.
+func (s *shard) image() map[uint32]uint32 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.imageLocked()
+}
+
+func (s *shard) imageLocked() map[uint32]uint32 {
+	m := make(map[uint32]uint32, len(s.mem))
+	for a, v := range s.mem {
+		m[a] = v
 	}
-	e.Thread = ctx.thread
-	e.TSeq = ctx.memSeq
-	ctx.memSeq++
-	if !s.log {
-		return
-	}
-	e.Seq = s.seq
-	e.Home = s.home
-	s.events = append(s.events, e)
+	return m
 }

@@ -1,0 +1,38 @@
+package transport_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/transport"
+)
+
+// FuzzWireContext: any byte string DecodeContext accepts must re-encode to
+// exactly the same bytes (the wire form is canonical — there is one
+// encoding per context, which is what lets the differential tests compare
+// transports bit-for-bit).
+func FuzzWireContext(f *testing.F) {
+	f.Add(transport.Context{}.EncodeWire())
+	c := transport.Context{Thread: 5, Native: 2, MemSeq: 99}
+	c.Arch.PC = -3
+	for i := range c.Arch.Regs {
+		c.Arch.Regs[i] = 0xDEAD0000 + uint32(i)
+	}
+	f.Add(c.EncodeWire())
+	f.Add(make([]byte, transport.ContextWireBytes))
+	f.Add([]byte{1, 2, 3})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		ctx, err := transport.DecodeContext(b)
+		if err != nil {
+			return
+		}
+		back := ctx.EncodeWire()
+		if !bytes.Equal(b, back) {
+			t.Fatalf("decode/encode not canonical:\n in  %x\n out %x", b, back)
+		}
+		again, err := transport.DecodeContext(back)
+		if err != nil || again != ctx {
+			t.Fatalf("re-decode diverged: %+v vs %+v (%v)", again, ctx, err)
+		}
+	})
+}

@@ -1,0 +1,74 @@
+package transport
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+)
+
+// Local is the in-process transport: every core lives in this endpoint and
+// the two virtual networks are Go channels, exactly the plumbing the
+// original goroutine machine used. Remote accesses are a direct call into
+// the registered handler — the shard lock remains the only serialization
+// point, as before the transport extraction.
+type Local struct {
+	mig   []chan Context
+	evict []chan Context
+	owned []geom.CoreID
+	h     func(core geom.CoreID, req MemRequest) MemReply
+}
+
+// NewLocal builds an in-process transport for the given core count. Both
+// inboxes of every core get capacity for all numThreads threads, which is
+// what makes eviction sends (and therefore guest acceptance) non-blocking.
+func NewLocal(cores, numThreads int) *Local {
+	l := &Local{
+		mig:   make([]chan Context, cores),
+		evict: make([]chan Context, cores),
+		owned: make([]geom.CoreID, cores),
+	}
+	for i := range l.mig {
+		l.mig[i] = make(chan Context, numThreads)
+		l.evict[i] = make(chan Context, numThreads)
+		l.owned[i] = geom.CoreID(i)
+	}
+	return l
+}
+
+// Cores implements Transport.
+func (l *Local) Cores() int { return len(l.mig) }
+
+// Owned implements Transport.
+func (l *Local) Owned() []geom.CoreID { return l.owned }
+
+// Owns implements Transport.
+func (l *Local) Owns(core geom.CoreID) bool { return int(core) >= 0 && int(core) < len(l.mig) }
+
+// MigrationIn implements Transport.
+func (l *Local) MigrationIn(core geom.CoreID) <-chan Context { return l.mig[core] }
+
+// EvictionIn implements Transport.
+func (l *Local) EvictionIn(core geom.CoreID) <-chan Context { return l.evict[core] }
+
+// SendMigration implements Transport.
+func (l *Local) SendMigration(dst geom.CoreID, c Context) error {
+	l.mig[dst] <- c
+	return nil
+}
+
+// SendEviction implements Transport.
+func (l *Local) SendEviction(dst geom.CoreID, c Context) error {
+	l.evict[dst] <- c
+	return nil
+}
+
+// Remote implements Transport as a direct handler call.
+func (l *Local) Remote(dst geom.CoreID, req MemRequest) (MemReply, error) {
+	if l.h == nil {
+		return MemReply{}, fmt.Errorf("transport: no memory handler installed")
+	}
+	return l.h(dst, req), nil
+}
+
+// HandleMem implements Transport.
+func (l *Local) HandleMem(h func(core geom.CoreID, req MemRequest) MemReply) { l.h = h }

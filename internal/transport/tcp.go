@@ -1,0 +1,751 @@
+package transport
+
+import (
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/isa"
+)
+
+// Manifest describes a cluster: the mesh dimensions and which node process
+// owns (serves the shards and runs the core loops of) which cores. The
+// core sets must partition the mesh exactly.
+type Manifest struct {
+	W     int        `json:"w"`
+	H     int        `json:"h"`
+	Nodes []NodeSpec `json:"nodes"`
+}
+
+// NodeSpec is one node process: its listen address and owned cores.
+type NodeSpec struct {
+	Addr  string        `json:"addr"`
+	Cores []geom.CoreID `json:"cores"`
+}
+
+// Cores returns the total core count of the manifest's mesh.
+func (m Manifest) Cores() int { return m.W * m.H }
+
+// Validate checks that the node core sets partition the mesh.
+func (m Manifest) Validate() error {
+	if m.W <= 0 || m.H <= 0 {
+		return fmt.Errorf("transport: bad mesh %dx%d", m.W, m.H)
+	}
+	if len(m.Nodes) == 0 {
+		return fmt.Errorf("transport: manifest has no nodes")
+	}
+	seen := make(map[geom.CoreID]int)
+	for i, n := range m.Nodes {
+		if n.Addr == "" {
+			return fmt.Errorf("transport: node %d has no address", i)
+		}
+		for _, c := range n.Cores {
+			if int(c) < 0 || int(c) >= m.Cores() {
+				return fmt.Errorf("transport: node %d owns core %d outside %dx%d mesh", i, c, m.W, m.H)
+			}
+			if prev, dup := seen[c]; dup {
+				return fmt.Errorf("transport: core %d owned by nodes %d and %d", c, prev, i)
+			}
+			seen[c] = i
+		}
+	}
+	if len(seen) != m.Cores() {
+		return fmt.Errorf("transport: %d of %d cores assigned to nodes", len(seen), m.Cores())
+	}
+	return nil
+}
+
+// routes returns the core→node index map. The manifest must be valid.
+func (m Manifest) routes() []int {
+	r := make([]int, m.Cores())
+	for i, n := range m.Nodes {
+		for _, c := range n.Cores {
+			r[c] = i
+		}
+	}
+	return r
+}
+
+// WriteFile stores the manifest as JSON.
+func (m Manifest) WriteFile(path string) error {
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// LoadManifest reads a JSON manifest and validates it.
+func LoadManifest(path string) (Manifest, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return Manifest{}, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(b, &m); err != nil {
+		return Manifest{}, fmt.Errorf("transport: %s: %v", path, err)
+	}
+	return m, m.Validate()
+}
+
+// LocalManifest builds a loopback manifest for an N-node cluster on a WxH
+// mesh: cores are split into contiguous blocks and each node gets a free
+// 127.0.0.1 port (allocated by briefly listening on :0 — the standard
+// loopback trick; the window between release and the node's bind is
+// harmless on a test host).
+func LocalManifest(nodes, w, h int) (Manifest, error) {
+	cores := w * h
+	if nodes <= 0 || nodes > cores {
+		return Manifest{}, fmt.Errorf("transport: %d nodes for %d cores", nodes, cores)
+	}
+	m := Manifest{W: w, H: h, Nodes: make([]NodeSpec, nodes)}
+	for i := range m.Nodes {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return Manifest{}, err
+		}
+		m.Nodes[i].Addr = ln.Addr().String()
+		ln.Close()
+		lo, hi := i*cores/nodes, (i+1)*cores/nodes
+		for c := lo; c < hi; c++ {
+			m.Nodes[i].Cores = append(m.Nodes[i].Cores, geom.CoreID(c))
+		}
+	}
+	return m, m.Validate()
+}
+
+// LoadSpec is the coordinator's "load this run" broadcast: machine
+// configuration plus every thread's program (in the ISA's 32-bit binary
+// encoding — programs are replicated to all nodes, like instruction memory)
+// and the initial memory image, of which each node preloads the addresses
+// it homes.
+type LoadSpec struct {
+	GuestContexts int
+	Quantum       int
+	Scheme        string // parsed by machine.ParseScheme on each node
+	Placement     string // parsed by machine.ParsePlacement on each node
+	LogEvents     bool
+	NumThreads    int
+	Programs      [][]uint32       // Programs[t]: thread t's instructions, isa.Encode form
+	Regs          []map[int]uint32 // initial register values per thread
+	Mem           map[uint32]uint32
+}
+
+// HaltMsg reports a thread's HALT to the coordinator, carrying its final
+// register file from whichever core it was resident on.
+type HaltMsg struct {
+	Thread int
+	Regs   [isa.NumRegs]uint32
+}
+
+// CollectReply is one node's post-run state: its counters, the event logs
+// of its shards, and its slice of the final memory image.
+type CollectReply struct {
+	Node     int
+	Counters map[string]int64
+	Events   []Event
+	Mem      map[uint32]uint32
+}
+
+// --- wire protocol -------------------------------------------------------
+
+const coordinatorID = -1
+
+type msgKind uint8
+
+const (
+	kHello msgKind = iota + 1
+	kMigration
+	kEviction
+	kMemReq
+	kMemRep
+	kLoad
+	kHalt
+	kCollect
+	kCollectRep
+	kShutdown
+)
+
+// wireMsg is the single gob frame type; unused fields stay zero. Contexts
+// ride as their fixed ContextWireBytes encoding, so what crosses the wire
+// per migration is exactly the byte string a hardware transfer would ship.
+type wireMsg struct {
+	Kind msgKind
+	From int // kHello: sender's node index, or coordinatorID
+	Dst  geom.CoreID
+	ID   uint64
+	Ctx  []byte
+	Req  MemRequest
+	Rep  MemReply
+	Load *LoadSpec
+	Halt *HaltMsg
+	Coll *CollectReply
+}
+
+// conn is one gob-framed TCP connection with serialized writes.
+type conn struct {
+	c   net.Conn
+	enc *gob.Encoder
+	dec *gob.Decoder
+	wmu sync.Mutex
+}
+
+func newConn(c net.Conn) *conn {
+	return &conn{c: c, enc: gob.NewEncoder(c), dec: gob.NewDecoder(c)}
+}
+
+func (c *conn) send(m *wireMsg) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	return c.enc.Encode(m)
+}
+
+// peerSlot holds a connection that may not exist yet; ready closes when it
+// does, so senders can block until the mesh is wired up.
+type peerSlot struct {
+	once  sync.Once
+	ready chan struct{}
+	c     *conn
+}
+
+func newPeerSlot() *peerSlot { return &peerSlot{ready: make(chan struct{})} }
+
+func (p *peerSlot) set(c *conn) bool {
+	ok := false
+	p.once.Do(func() { p.c = c; close(p.ready); ok = true })
+	return ok
+}
+
+func (p *peerSlot) get(cancel <-chan struct{}) (*conn, error) {
+	select {
+	case <-p.ready:
+		return p.c, nil
+	case <-cancel:
+		return nil, fmt.Errorf("transport: shut down while waiting for peer")
+	}
+}
+
+// dialRetry dials addr until it succeeds or the deadline passes — node and
+// coordinator processes start in arbitrary order.
+func dialRetry(addr string, timeout time.Duration) (net.Conn, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		c, err := net.DialTimeout("tcp", addr, timeout)
+		if err == nil {
+			return c, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("transport: dial %s: %v", addr, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// --- node endpoint -------------------------------------------------------
+
+// Node is the TCP transport endpoint of one node process. It implements
+// Transport for the cores its manifest entry owns and additionally carries
+// the coordinator's control plane: Load, Halt, Collect, Shutdown.
+//
+// Lifecycle (see machine.ServeNode): ListenNode, receive the LoadSpec from
+// Loads(), build the machine part (which installs the memory handler and
+// calls Prepare), call Ready, serve the run, answer CollectRequests, exit
+// on ShutdownC.
+type Node struct {
+	man   Manifest
+	idx   int
+	ln    net.Listener
+	route []int
+	owned []geom.CoreID
+
+	peers []*peerSlot // by node index
+	coord *peerSlot
+
+	ready    chan struct{} // closed by Ready(): inboxes + handler installed
+	mu       sync.Mutex
+	mig      map[geom.CoreID]chan Context
+	evict    map[geom.CoreID]chan Context
+	handler  func(core geom.CoreID, req MemRequest) MemReply
+	nextID   atomic.Uint64
+	pending  map[uint64]chan MemReply
+	loads    chan *LoadSpec
+	collects chan struct{}
+	shutdown chan struct{}
+	closed   atomic.Bool
+}
+
+// ListenNode starts the endpoint for man.Nodes[idx]: it listens on the
+// manifest address, dials every lower-index peer (with retry, so start
+// order does not matter), and accepts connections from higher-index peers
+// and the coordinator in the background.
+func ListenNode(man Manifest, idx int) (*Node, error) {
+	if err := man.Validate(); err != nil {
+		return nil, err
+	}
+	if idx < 0 || idx >= len(man.Nodes) {
+		return nil, fmt.Errorf("transport: node index %d of %d", idx, len(man.Nodes))
+	}
+	ln, err := net.Listen("tcp", man.Nodes[idx].Addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: node %d listen: %v", idx, err)
+	}
+	owned := append([]geom.CoreID(nil), man.Nodes[idx].Cores...)
+	sort.Slice(owned, func(i, j int) bool { return owned[i] < owned[j] })
+	n := &Node{
+		man:      man,
+		idx:      idx,
+		ln:       ln,
+		route:    man.routes(),
+		owned:    owned,
+		peers:    make([]*peerSlot, len(man.Nodes)),
+		coord:    newPeerSlot(),
+		ready:    make(chan struct{}),
+		pending:  make(map[uint64]chan MemReply),
+		loads:    make(chan *LoadSpec, 1),
+		collects: make(chan struct{}, 1),
+		shutdown: make(chan struct{}),
+	}
+	for i := range n.peers {
+		n.peers[i] = newPeerSlot()
+	}
+	go n.acceptLoop()
+	for j := 0; j < idx; j++ {
+		go n.dialPeer(j)
+	}
+	return n, nil
+}
+
+func (n *Node) acceptLoop() {
+	for {
+		c, err := n.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		cc := newConn(c)
+		go func() {
+			var hello wireMsg
+			if err := cc.dec.Decode(&hello); err != nil || hello.Kind != kHello {
+				c.Close()
+				return
+			}
+			switch {
+			case hello.From == coordinatorID:
+				if !n.coord.set(cc) {
+					c.Close()
+					return
+				}
+				n.readLoop(cc, true)
+				return
+			case hello.From >= 0 && hello.From < len(n.peers):
+				if !n.peers[hello.From].set(cc) {
+					c.Close()
+					return
+				}
+			default:
+				c.Close()
+				return
+			}
+			n.readLoop(cc, false)
+		}()
+	}
+}
+
+// dialPeer connects to a lower-index peer, retrying until it answers or
+// this endpoint is torn down — nodes may be started in any order, and how
+// long "any order" stretches is the operator's business (the coordinator's
+// run timeout bounds the overall wait).
+func (n *Node) dialPeer(j int) {
+	var c net.Conn
+	for {
+		var err error
+		c, err = net.DialTimeout("tcp", n.man.Nodes[j].Addr, 2*time.Second)
+		if err == nil {
+			break
+		}
+		select {
+		case <-n.shutdown:
+			return
+		case <-time.After(20 * time.Millisecond):
+		}
+		if n.closed.Load() {
+			return
+		}
+	}
+	cc := newConn(c)
+	if err := cc.send(&wireMsg{Kind: kHello, From: n.idx}); err != nil {
+		c.Close()
+		return
+	}
+	if !n.peers[j].set(cc) {
+		c.Close()
+		return
+	}
+	n.readLoop(cc, false)
+}
+
+// triggerShutdown closes the shutdown channel once, releasing every
+// blocked sender and ServeNode's control-plane waits.
+func (n *Node) triggerShutdown() {
+	if n.closed.CompareAndSwap(false, true) {
+		close(n.shutdown)
+	}
+}
+
+// readLoop drains one connection. Data-plane messages wait for Ready — the
+// coordinator's Load always gets through first because it arrives on its
+// own connection — and are delivered into per-core inboxes whose capacity
+// (one slot per thread) guarantees the push never blocks; that is the wire
+// credit that keeps every socket drained.
+func (n *Node) readLoop(c *conn, fromCoordinator bool) {
+	for {
+		var m wireMsg
+		if err := c.dec.Decode(&m); err != nil {
+			// The coordinator's connection dropping without a Shutdown
+			// frame means the driver died: release the node rather than
+			// wedging it on control-plane waits forever. Peer connections
+			// closing is normal teardown.
+			if fromCoordinator {
+				n.triggerShutdown()
+			}
+			return
+		}
+		switch m.Kind {
+		case kLoad:
+			select {
+			case n.loads <- m.Load:
+			default:
+			}
+		case kMigration, kEviction:
+			ctx, err := DecodeContext(m.Ctx)
+			if err != nil {
+				// A context that does not decode is protocol corruption
+				// (version skew, mangled frame): the thread it carried is
+				// gone, so fail loudly instead of letting the run time out
+				// with no cause.
+				fmt.Fprintf(os.Stderr, "transport: node %d: dropping undecodable context for core %d: %v\n",
+					n.idx, m.Dst, err)
+				n.triggerShutdown()
+				return
+			}
+			if !n.waitReady() {
+				return
+			}
+			if m.Kind == kMigration {
+				n.inbox(n.mig, m.Dst) <- ctx
+			} else {
+				n.inbox(n.evict, m.Dst) <- ctx
+			}
+		case kMemReq:
+			if !n.waitReady() {
+				return
+			}
+			go func(m wireMsg) {
+				rep := n.handler(m.Dst, m.Req)
+				c.send(&wireMsg{Kind: kMemRep, ID: m.ID, Rep: rep})
+			}(m)
+		case kMemRep:
+			n.mu.Lock()
+			ch := n.pending[m.ID]
+			delete(n.pending, m.ID)
+			n.mu.Unlock()
+			if ch != nil {
+				ch <- m.Rep
+			}
+		case kCollect:
+			select {
+			case n.collects <- struct{}{}:
+			default:
+			}
+		case kShutdown:
+			n.triggerShutdown()
+			return
+		}
+	}
+}
+
+func (n *Node) inbox(m map[geom.CoreID]chan Context, core geom.CoreID) chan Context {
+	ch := m[core]
+	if ch == nil {
+		panic(fmt.Sprintf("transport: node %d received message for core %d it does not own", n.idx, core))
+	}
+	return ch
+}
+
+// Prepare sizes the per-core inboxes for a run of numThreads threads. It
+// must be called (by the machine part) before Ready.
+func (n *Node) Prepare(numThreads int) {
+	n.mig = make(map[geom.CoreID]chan Context, len(n.owned))
+	n.evict = make(map[geom.CoreID]chan Context, len(n.owned))
+	for _, c := range n.owned {
+		n.mig[c] = make(chan Context, numThreads)
+		n.evict[c] = make(chan Context, numThreads)
+	}
+}
+
+// Ready opens the data plane: inbound migrations, evictions and memory
+// requests held by readLoop proceed. Call after Prepare and HandleMem.
+func (n *Node) Ready() { close(n.ready) }
+
+// waitReady blocks until the data plane opens, or reports false if the
+// endpoint shut down first (a node that rejected its LoadSpec never calls
+// Ready; its readLoops must not wedge forever).
+func (n *Node) waitReady() bool {
+	select {
+	case <-n.ready:
+		return true
+	case <-n.shutdown:
+		return false
+	}
+}
+
+// Loads returns the channel delivering the coordinator's LoadSpec.
+func (n *Node) Loads() <-chan *LoadSpec { return n.loads }
+
+// CollectRequests signals the coordinator's Collect broadcast.
+func (n *Node) CollectRequests() <-chan struct{} { return n.collects }
+
+// ShutdownC closes when the coordinator sends Shutdown.
+func (n *Node) ShutdownC() <-chan struct{} { return n.shutdown }
+
+// SendHalt reports a thread HALT to the coordinator.
+func (n *Node) SendHalt(h HaltMsg) error {
+	c, err := n.coord.get(n.shutdown)
+	if err != nil {
+		return err
+	}
+	return c.send(&wireMsg{Kind: kHalt, Halt: &h})
+}
+
+// SendCollect returns this node's post-run state to the coordinator.
+func (n *Node) SendCollect(rep CollectReply) error {
+	c, err := n.coord.get(n.shutdown)
+	if err != nil {
+		return err
+	}
+	return c.send(&wireMsg{Kind: kCollectRep, Coll: &rep})
+}
+
+// Close tears the endpoint down, releasing any goroutine blocked on the
+// shutdown channel (peer waits, in-flight Remote calls).
+func (n *Node) Close() error {
+	n.triggerShutdown()
+	err := n.ln.Close()
+	for _, p := range n.peers {
+		select {
+		case <-p.ready:
+			p.c.c.Close()
+		default:
+		}
+	}
+	select {
+	case <-n.coord.ready:
+		n.coord.c.c.Close()
+	default:
+	}
+	return err
+}
+
+// Cores implements Transport.
+func (n *Node) Cores() int { return n.man.Cores() }
+
+// Owned implements Transport.
+func (n *Node) Owned() []geom.CoreID { return n.owned }
+
+// Owns implements Transport.
+func (n *Node) Owns(core geom.CoreID) bool {
+	return int(core) >= 0 && int(core) < len(n.route) && n.route[core] == n.idx
+}
+
+// MigrationIn implements Transport; Prepare must have run.
+func (n *Node) MigrationIn(core geom.CoreID) <-chan Context { return n.inbox(n.mig, core) }
+
+// EvictionIn implements Transport; Prepare must have run.
+func (n *Node) EvictionIn(core geom.CoreID) <-chan Context { return n.inbox(n.evict, core) }
+
+// HandleMem implements Transport.
+func (n *Node) HandleMem(h func(core geom.CoreID, req MemRequest) MemReply) { n.handler = h }
+
+// SendMigration implements Transport: a channel push when dst is owned
+// locally, one gob frame to the owning node otherwise.
+func (n *Node) SendMigration(dst geom.CoreID, c Context) error {
+	return n.sendCtx(kMigration, dst, c)
+}
+
+// SendEviction implements Transport.
+func (n *Node) SendEviction(dst geom.CoreID, c Context) error {
+	return n.sendCtx(kEviction, dst, c)
+}
+
+func (n *Node) sendCtx(kind msgKind, dst geom.CoreID, c Context) error {
+	if n.Owns(dst) {
+		if kind == kMigration {
+			n.inbox(n.mig, dst) <- c
+		} else {
+			n.inbox(n.evict, dst) <- c
+		}
+		return nil
+	}
+	pc, err := n.peers[n.route[dst]].get(n.shutdown)
+	if err != nil {
+		return err
+	}
+	return pc.send(&wireMsg{Kind: kind, Dst: dst, Ctx: c.EncodeWire()})
+}
+
+// Remote implements Transport: a direct handler call for owned cores, a
+// request/reply round trip to the owning node otherwise.
+func (n *Node) Remote(dst geom.CoreID, req MemRequest) (MemReply, error) {
+	if n.Owns(dst) {
+		return n.handler(dst, req), nil
+	}
+	pc, err := n.peers[n.route[dst]].get(n.shutdown)
+	if err != nil {
+		return MemReply{}, err
+	}
+	id := n.nextID.Add(1)
+	ch := make(chan MemReply, 1)
+	n.mu.Lock()
+	n.pending[id] = ch
+	n.mu.Unlock()
+	if err := pc.send(&wireMsg{Kind: kMemReq, Dst: dst, ID: id, Req: req}); err != nil {
+		n.mu.Lock()
+		delete(n.pending, id)
+		n.mu.Unlock()
+		return MemReply{}, err
+	}
+	select {
+	case rep := <-ch:
+		return rep, nil
+	case <-n.shutdown:
+		return MemReply{}, fmt.Errorf("transport: shut down awaiting reply from core %d", dst)
+	}
+}
+
+// --- coordinator ---------------------------------------------------------
+
+// Coordinator is the driver side of a cluster run: it owns no cores but
+// connects to every node to broadcast the LoadSpec, inject the initial
+// contexts, gather HALT reports, and collect the post-run state.
+type Coordinator struct {
+	man   Manifest
+	route []int
+	conns []*conn
+	halts chan HaltMsg
+	colls chan CollectReply
+}
+
+// DialCluster connects to every node in the manifest, retrying until
+// timeout so the node processes may still be starting.
+func DialCluster(man Manifest, timeout time.Duration) (*Coordinator, error) {
+	if err := man.Validate(); err != nil {
+		return nil, err
+	}
+	co := &Coordinator{
+		man:   man,
+		route: man.routes(),
+		conns: make([]*conn, len(man.Nodes)),
+		halts: make(chan HaltMsg, 4096),
+		colls: make(chan CollectReply, len(man.Nodes)),
+	}
+	for i, ns := range man.Nodes {
+		c, err := dialRetry(ns.Addr, timeout)
+		if err != nil {
+			co.Close()
+			return nil, err
+		}
+		cc := newConn(c)
+		if err := cc.send(&wireMsg{Kind: kHello, From: coordinatorID}); err != nil {
+			co.Close()
+			return nil, err
+		}
+		co.conns[i] = cc
+		go co.readLoop(cc)
+	}
+	return co, nil
+}
+
+func (co *Coordinator) readLoop(c *conn) {
+	for {
+		var m wireMsg
+		if err := c.dec.Decode(&m); err != nil {
+			return
+		}
+		switch m.Kind {
+		case kHalt:
+			if m.Halt != nil {
+				co.halts <- *m.Halt
+			}
+		case kCollectRep:
+			if m.Coll != nil {
+				co.colls <- *m.Coll
+			}
+		}
+	}
+}
+
+// Load broadcasts the run description to every node.
+func (co *Coordinator) Load(spec *LoadSpec) error {
+	for _, c := range co.conns {
+		if err := c.send(&wireMsg{Kind: kLoad, Load: spec}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// InjectEviction places an initial context: like the in-process machine,
+// injection uses the eviction network of the thread's native core, whose
+// arrival is always accepted.
+func (co *Coordinator) InjectEviction(dst geom.CoreID, c Context) error {
+	return co.conns[co.route[dst]].send(&wireMsg{Kind: kEviction, Dst: dst, Ctx: c.EncodeWire()})
+}
+
+// Halts delivers HALT reports as threads finish.
+func (co *Coordinator) Halts() <-chan HaltMsg { return co.halts }
+
+// Collect broadcasts the collect request and gathers one reply per node.
+func (co *Coordinator) Collect(timeout time.Duration) ([]CollectReply, error) {
+	for _, c := range co.conns {
+		if err := c.send(&wireMsg{Kind: kCollect}); err != nil {
+			return nil, err
+		}
+	}
+	reps := make([]CollectReply, 0, len(co.conns))
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	for len(reps) < len(co.conns) {
+		select {
+		case r := <-co.colls:
+			reps = append(reps, r)
+		case <-timer.C:
+			return nil, fmt.Errorf("transport: collect: %d of %d nodes replied", len(reps), len(co.conns))
+		}
+	}
+	sort.Slice(reps, func(i, j int) bool { return reps[i].Node < reps[j].Node })
+	return reps, nil
+}
+
+// Shutdown tells every node to exit.
+func (co *Coordinator) Shutdown() {
+	for _, c := range co.conns {
+		if c != nil {
+			c.send(&wireMsg{Kind: kShutdown})
+		}
+	}
+}
+
+// Close drops the coordinator's connections.
+func (co *Coordinator) Close() {
+	for _, c := range co.conns {
+		if c != nil {
+			c.c.Close()
+		}
+	}
+}

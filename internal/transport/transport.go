@@ -1,0 +1,158 @@
+// Package transport carries the EM² machine's three message classes
+// between cores: context migrations (the migration virtual network),
+// context evictions (the separate eviction virtual network whose
+// unconditional consumption is the paper's deadlock-freedom argument), and
+// remote-access request/reply round trips. The concurrent runtime in
+// internal/machine is written against the Transport interface; two
+// implementations exist:
+//
+//   - Local: every core in one process, virtual networks are Go channels —
+//     the original goroutine machine.
+//   - Node/Coordinator (tcp.go): each core group is an OS process, messages
+//     travel as gob frames over TCP, and the migrated context really is the
+//     ContextWireBytes byte string a hardware transfer would serialize.
+//
+// The channel-capacity invariant carries over to the wire: every per-core
+// inbox has capacity for every thread in the system, so an inbound reader
+// never blocks delivering into it — the socket is always drained, writes
+// never stall, and the in-process deadlock-freedom argument becomes a
+// bounded-wire-credit argument (DESIGN.md §6).
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/isa"
+)
+
+// Context is the wire form of a migrating execution context: the
+// architectural state (isa.Context) plus the routing metadata the runtime
+// needs — owning thread, native core, and the thread's memory-operation
+// counter (program order for the SC checker).
+type Context struct {
+	Thread int32
+	Native int32
+	MemSeq int64
+	Arch   isa.Context
+}
+
+// ContextWireBytes is the exact encoded size of a Context: 16 bytes of
+// routing metadata plus the architectural context.
+const ContextWireBytes = 16 + isa.ContextWireBytes
+
+// EncodeWire returns the fixed-size big-endian encoding of c.
+func (c Context) EncodeWire() []byte {
+	b := make([]byte, 0, ContextWireBytes)
+	b = binary.BigEndian.AppendUint32(b, uint32(c.Thread))
+	b = binary.BigEndian.AppendUint32(b, uint32(c.Native))
+	b = binary.BigEndian.AppendUint64(b, uint64(c.MemSeq))
+	return c.Arch.AppendWire(b)
+}
+
+// DecodeContext is the inverse of EncodeWire: it requires exactly
+// ContextWireBytes of input and round-trips every value EncodeWire emits.
+func DecodeContext(b []byte) (Context, error) {
+	if len(b) != ContextWireBytes {
+		return Context{}, fmt.Errorf("transport: context wire length %d, want %d", len(b), ContextWireBytes)
+	}
+	var c Context
+	c.Thread = int32(binary.BigEndian.Uint32(b))
+	c.Native = int32(binary.BigEndian.Uint32(b[4:]))
+	c.MemSeq = int64(binary.BigEndian.Uint64(b[8:]))
+	arch, err := isa.DecodeContext(b[16:])
+	if err != nil {
+		return Context{}, err
+	}
+	c.Arch = arch
+	return c, nil
+}
+
+// MemOp names a remote-access operation kind.
+type MemOp uint8
+
+// The remote-access operations: the four memory instructions of the ISA.
+const (
+	OpRead MemOp = iota
+	OpWrite
+	OpFAA
+	OpSwap
+)
+
+// MemRequest is one remote access: performed and serialized at the home
+// core's shard, logged there against (Thread, TSeq). A negative Thread
+// marks a preload, which is applied but never logged.
+type MemRequest struct {
+	Thread int32
+	TSeq   int64
+	Op     MemOp
+	Addr   uint32
+	Arg    uint32 // store value, FAA delta, or SWAP operand
+}
+
+// MemReply carries the value half of the round trip: the loaded word for
+// OpRead, the old word for OpFAA/OpSwap, zero for OpWrite.
+type MemReply struct {
+	Value uint32
+}
+
+// EventKind classifies a logged memory event.
+type EventKind int
+
+// Event kinds.
+const (
+	EvRead EventKind = iota
+	EvWrite
+	EvRMW
+)
+
+// Event is one serialized memory operation at a home shard. Seq is the
+// shard-local serialization index: restricted to one address it is the
+// address's total modification/read order, the witness order the SC
+// checker uses. Events cross the wire in CollectReply, so the type lives
+// here; internal/machine aliases it.
+type Event struct {
+	Thread int
+	TSeq   int64 // per-thread memory-op index (program order)
+	Addr   uint32
+	Kind   EventKind
+	Read   uint32 // value read (EvRead, EvRMW)
+	Wrote  uint32 // value written (EvWrite, EvRMW)
+	Seq    int64
+	Home   geom.CoreID
+}
+
+// Transport moves contexts and remote accesses between cores. A transport
+// instance serves one *endpoint* — the set of cores it owns locally — and
+// routes sends to any core in the system. Implementations must be safe for
+// concurrent use by all local core goroutines.
+type Transport interface {
+	// Cores returns the total core count of the system.
+	Cores() int
+	// Owned returns the cores served by this endpoint, ascending.
+	Owned() []geom.CoreID
+	// Owns reports whether core is served by this endpoint.
+	Owns(core geom.CoreID) bool
+
+	// MigrationIn and EvictionIn return the inbox channels of a locally
+	// owned core. Each has capacity for every thread in the system, so a
+	// delivery never blocks while the machine invariant (at most one
+	// in-flight context per thread) holds.
+	MigrationIn(core geom.CoreID) <-chan Context
+	EvictionIn(core geom.CoreID) <-chan Context
+
+	// SendMigration ships c to dst's migration inbox (possibly remote).
+	SendMigration(dst geom.CoreID, c Context) error
+	// SendEviction ships c to dst's eviction inbox. dst must be c's native
+	// core; the eviction network's sizing makes this send non-blocking.
+	SendEviction(dst geom.CoreID, c Context) error
+
+	// Remote performs req at dst's home shard and returns the reply. For a
+	// locally owned dst this is a direct handler call; otherwise a
+	// request/reply round trip.
+	Remote(dst geom.CoreID, req MemRequest) (MemReply, error)
+	// HandleMem installs the function that serves MemRequests against
+	// locally owned shards. It must be installed before any traffic flows.
+	HandleMem(h func(core geom.CoreID, req MemRequest) MemReply)
+}

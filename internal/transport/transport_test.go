@@ -1,0 +1,217 @@
+package transport_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/isa"
+	"repro/internal/transport"
+)
+
+func sampleContext() transport.Context {
+	c := transport.Context{Thread: 3, Native: 1, MemSeq: 42}
+	c.Arch.PC = 17
+	for i := range c.Arch.Regs {
+		c.Arch.Regs[i] = uint32(i * 0x01010101)
+	}
+	return c
+}
+
+func TestContextWireRoundTrip(t *testing.T) {
+	for _, c := range []transport.Context{
+		{},
+		sampleContext(),
+		{Thread: -1, Native: -1, MemSeq: -7, Arch: isa.Context{PC: -1}},
+	} {
+		b := c.EncodeWire()
+		if len(b) != transport.ContextWireBytes {
+			t.Fatalf("encoded %d bytes, want %d", len(b), transport.ContextWireBytes)
+		}
+		back, err := transport.DecodeContext(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back != c {
+			t.Fatalf("round trip: got %+v, want %+v", back, c)
+		}
+	}
+	if _, err := transport.DecodeContext(make([]byte, 3)); err == nil {
+		t.Error("short context accepted")
+	}
+}
+
+func TestManifestValidate(t *testing.T) {
+	ok := transport.Manifest{W: 2, H: 1, Nodes: []transport.NodeSpec{
+		{Addr: "a", Cores: []geom.CoreID{0}},
+		{Addr: "b", Cores: []geom.CoreID{1}},
+	}}
+	if err := ok.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []transport.Manifest{
+		{W: 0, H: 1},
+		{W: 2, H: 1, Nodes: []transport.NodeSpec{{Addr: "a", Cores: []geom.CoreID{0}}}},                                          // core 1 unassigned
+		{W: 2, H: 1, Nodes: []transport.NodeSpec{{Addr: "a", Cores: []geom.CoreID{0, 1}}, {Addr: "b", Cores: []geom.CoreID{1}}}}, // duplicate
+		{W: 2, H: 1, Nodes: []transport.NodeSpec{{Addr: "a", Cores: []geom.CoreID{0, 5}}, {Addr: "b", Cores: []geom.CoreID{1}}}}, // out of range
+		{W: 2, H: 1, Nodes: []transport.NodeSpec{{Addr: "", Cores: []geom.CoreID{0}}, {Addr: "b", Cores: []geom.CoreID{1}}}},     // no addr
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("bad manifest %d accepted", i)
+		}
+	}
+}
+
+func TestLocalManifestPartition(t *testing.T) {
+	man, err := transport.LocalManifest(3, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := man.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := man.Cores(); got != 8 {
+		t.Fatalf("cores = %d", got)
+	}
+}
+
+func TestLocalTransport(t *testing.T) {
+	l := transport.NewLocal(4, 2)
+	if l.Cores() != 4 || !l.Owns(3) || l.Owns(4) {
+		t.Fatal("ownership wrong")
+	}
+	c := sampleContext()
+	if err := l.SendMigration(2, c); err != nil {
+		t.Fatal(err)
+	}
+	if got := <-l.MigrationIn(2); got != c {
+		t.Fatalf("migration round trip: %+v", got)
+	}
+	if err := l.SendEviction(1, c); err != nil {
+		t.Fatal(err)
+	}
+	if got := <-l.EvictionIn(1); got != c {
+		t.Fatalf("eviction round trip: %+v", got)
+	}
+	l.HandleMem(func(core geom.CoreID, req transport.MemRequest) transport.MemReply {
+		return transport.MemReply{Value: uint32(core) + req.Arg}
+	})
+	rep, err := l.Remote(3, transport.MemRequest{Arg: 39})
+	if err != nil || rep.Value != 42 {
+		t.Fatalf("remote = %v, %v", rep, err)
+	}
+}
+
+// TestTCPNodesExchange wires two real Node endpoints plus a Coordinator
+// over TCP loopback and pushes one of each message class through: load,
+// remote access round trip, context migration, halt, collect, shutdown.
+func TestTCPNodesExchange(t *testing.T) {
+	man, err := transport.LocalManifest(2, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs := make(chan error, 2)
+
+	// Node 0 owns core 0: serves memory, receives the migration, halts it.
+	go func() {
+		errs <- func() error {
+			n, err := transport.ListenNode(man, 0)
+			if err != nil {
+				return err
+			}
+			defer n.Close()
+			spec := <-n.Loads()
+			n.Prepare(spec.NumThreads)
+			n.HandleMem(func(core geom.CoreID, req transport.MemRequest) transport.MemReply {
+				return transport.MemReply{Value: req.Addr + req.Arg + uint32(core)}
+			})
+			n.Ready()
+			select {
+			case ctx := <-n.MigrationIn(0):
+				if ctx.Thread != 7 || ctx.MemSeq != 3 {
+					return fmt.Errorf("node 0: migrated context %+v", ctx)
+				}
+				if err := n.SendHalt(transport.HaltMsg{Thread: int(ctx.Thread), Regs: ctx.Arch.Regs}); err != nil {
+					return err
+				}
+			case <-time.After(10 * time.Second):
+				return fmt.Errorf("node 0: no migration arrived")
+			}
+			<-n.CollectRequests()
+			if err := n.SendCollect(transport.CollectReply{Node: 0, Counters: map[string]int64{"instructions": 11}}); err != nil {
+				return err
+			}
+			<-n.ShutdownC()
+			return nil
+		}()
+	}()
+
+	// Node 1 owns core 1: performs a remote access at core 0, then ships a
+	// context there.
+	go func() {
+		errs <- func() error {
+			n, err := transport.ListenNode(man, 1)
+			if err != nil {
+				return err
+			}
+			defer n.Close()
+			spec := <-n.Loads()
+			n.Prepare(spec.NumThreads)
+			n.HandleMem(func(geom.CoreID, transport.MemRequest) transport.MemReply { return transport.MemReply{} })
+			n.Ready()
+			rep, err := n.Remote(0, transport.MemRequest{Thread: 7, Op: transport.OpRead, Addr: 40, Arg: 2})
+			if err != nil {
+				return err
+			}
+			if rep.Value != 42 {
+				return fmt.Errorf("node 1: remote reply %d, want 42", rep.Value)
+			}
+			ctx := sampleContext()
+			ctx.Thread, ctx.Native, ctx.MemSeq = 7, 0, 3
+			if err := n.SendMigration(0, ctx); err != nil {
+				return err
+			}
+			<-n.CollectRequests()
+			if err := n.SendCollect(transport.CollectReply{Node: 1, Counters: map[string]int64{"instructions": 31}}); err != nil {
+				return err
+			}
+			<-n.ShutdownC()
+			return nil
+		}()
+	}()
+
+	co, err := transport.DialCluster(man, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer co.Close()
+	if err := co.Load(&transport.LoadSpec{NumThreads: 8}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case h := <-co.Halts():
+		if h.Thread != 7 {
+			t.Fatalf("halt for thread %d", h.Thread)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("no halt report")
+	}
+	reps, err := co.Collect(10 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != 2 || reps[0].Node != 0 || reps[1].Node != 1 {
+		t.Fatalf("collect replies %+v", reps)
+	}
+	if got := reps[0].Counters["instructions"] + reps[1].Counters["instructions"]; got != 42 {
+		t.Fatalf("summed counters = %d", got)
+	}
+	co.Shutdown()
+	for i := 0; i < 2; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
