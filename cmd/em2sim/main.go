@@ -8,20 +8,25 @@
 //	em2sim -workload pingpong -scheme distance:3 -mem
 //	em2sim -workload radix -scheme oracle
 //	em2sim -workload ocean -json            # machine-readable result
+//	em2sim -list-schemes                    # valid scheme/placement names
 //
 // Cluster mode instead drives the concurrent runtime across N real node
 // processes on TCP loopback (em2sim re-executes itself as the nodes), runs
-// an internal/isa litmus program with contexts serialized over the wire,
-// and validates the recorded execution with the SC checker:
+// an internal/isa litmus program with contexts serialized over the wire —
+// including per-thread predictor state for stateful schemes like
+// history:N — and validates the recorded execution with the SC checker:
 //
 //	em2sim -cluster 2 -cluster-prog counter -cores 4 -threads 8
-//	em2sim -cluster 4 -cluster-prog rand-priv:7 -cores 16
+//	em2sim -cluster 3 -scheme history:2
+//	em2sim -cluster 4 -cluster-prog rand-priv:7 -cores 16 -stats
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -39,33 +44,60 @@ import (
 )
 
 func main() {
-	wl := flag.String("workload", "ocean", "workload: "+strings.Join(workload.Names(), " "))
-	schemeName := flag.String("scheme", "always-migrate", "decision scheme: always-migrate, always-remote, distance:N, history:N, oracle")
-	placeName := flag.String("placement", "first-touch", "placement: first-touch, striped, page-striped")
-	cores := flag.Int("cores", 64, "core count (square mesh)")
-	threads := flag.Int("threads", 64, "thread count")
-	scale := flag.Int("scale", 128, "workload scale")
-	iters := flag.Int("iters", 2, "workload iterations")
-	seed := flag.Uint64("seed", 2011, "workload seed")
-	guests := flag.Int("guests", 0, "guest contexts per core (0 = unlimited/model)")
-	mem := flag.Bool("mem", false, "charge cache/DRAM latencies (full fidelity)")
-	hist := flag.Bool("hist", false, "print the run-length histogram")
-	jsonOut := flag.Bool("json", false, "emit the result as JSON")
-	cluster := flag.Int("cluster", 0, "run the concurrent runtime across N node processes over TCP loopback")
-	clusterProg := flag.String("cluster-prog", "counter", "cluster program: counter, mp, sb, rand:SEED, rand-priv:SEED")
-	serveNode := flag.Int("serve-node", -1, "internal: serve one cluster node of -serve-manifest and exit")
-	serveManifest := flag.String("serve-manifest", "", "internal: manifest path for -serve-node")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
+// tracePlacements are the placement names trace mode accepts (cluster mode
+// accepts machine.PlacementNames, which excludes first-touch).
+var tracePlacements = []string{"first-touch", "striped", "page-striped"}
+
+// run is the whole command with injectable argv and streams, so the CLI
+// tests can pin flag handling, error text, and output without a subprocess.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("em2sim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	wl := fs.String("workload", "ocean", "workload: "+strings.Join(workload.Names(), " "))
+	schemeName := fs.String("scheme", "always-migrate", "decision scheme: "+strings.Join(machine.SchemeNames(), ", ")+" (trace mode also: oracle)")
+	placeName := fs.String("placement", "first-touch", "placement: "+strings.Join(tracePlacements, ", "))
+	cores := fs.Int("cores", 64, "core count (square mesh)")
+	threads := fs.Int("threads", 64, "thread count")
+	scale := fs.Int("scale", 128, "workload scale")
+	iters := fs.Int("iters", 2, "workload iterations")
+	seed := fs.Uint64("seed", 2011, "workload seed")
+	guests := fs.Int("guests", 0, "guest contexts per core (0 = unlimited/model)")
+	mem := fs.Bool("mem", false, "charge cache/DRAM latencies (full fidelity)")
+	hist := fs.Bool("hist", false, "print the run-length histogram")
+	jsonOut := fs.Bool("json", false, "emit the result as JSON")
+	statsOut := fs.Bool("stats", false, "cluster mode: print the per-core runtime metrics table")
+	listSchemes := fs.Bool("list-schemes", false, "list decision schemes and placements and exit")
+	cluster := fs.Int("cluster", 0, "run the concurrent runtime across N node processes over TCP loopback")
+	clusterProg := fs.String("cluster-prog", "counter", "cluster program: counter, mp, sb, rand:SEED, rand-priv:SEED")
+	serveNode := fs.Int("serve-node", -1, "internal: serve one cluster node of -serve-manifest and exit")
+	serveManifest := fs.String("serve-manifest", "", "internal: manifest path for -serve-node")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "em2sim:", err)
+		return 1
+	}
+
+	if *listSchemes {
+		printSchemes(stdout)
+		return 0
+	}
 	if *serveNode >= 0 {
 		man, err := transport.LoadManifest(*serveManifest)
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
 		if err := machine.ServeNode(man, *serveNode); err != nil {
-			fail(err)
+			return fail(err)
 		}
-		return
+		return 0
 	}
 	if *cluster > 0 {
 		// Trace mode defaults to first-touch, which cannot run across
@@ -73,21 +105,21 @@ func main() {
 		// while an explicit choice (including first-touch) is honored and
 		// validated by RunCluster.
 		clusterPlace := "striped:64"
-		flag.Visit(func(f *flag.Flag) {
+		fs.Visit(func(f *flag.Flag) {
 			if f.Name == "placement" {
 				clusterPlace = *placeName
 			}
 		})
-		if err := runCluster(*cluster, *clusterProg, *cores, *threads, *guests,
-			*schemeName, clusterPlace, *jsonOut); err != nil {
-			fail(err)
+		if err := runCluster(stdout, *cluster, *clusterProg, *cores, *threads, *guests,
+			*schemeName, clusterPlace, *jsonOut, *statsOut); err != nil {
+			return fail(err)
 		}
-		return
+		return 0
 	}
 
 	gen, err := workload.Get(*wl)
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
 	tr := gen(workload.Config{Threads: *threads, Scale: *scale, Iters: *iters, Seed: *seed})
 
@@ -105,43 +137,29 @@ func main() {
 		case "page-striped":
 			return placement.NewPageStriped(workload.PageBytes, cfg.Mesh.Cores())
 		default:
-			fail(fmt.Errorf("unknown placement %q", *placeName))
 			return nil
 		}
 	}
+	if newPlace() == nil {
+		return fail(fmt.Errorf("unknown placement %q (valid placements: %s)",
+			*placeName, strings.Join(tracePlacements, ", ")))
+	}
 
 	var scheme core.Scheme
-	switch {
-	case *schemeName == "always-migrate":
-		scheme = core.AlwaysMigrate{}
-	case *schemeName == "always-remote":
-		scheme = core.AlwaysRemote{}
-	case strings.HasPrefix(*schemeName, "distance:"):
-		n, err := strconv.Atoi(strings.TrimPrefix(*schemeName, "distance:"))
-		if err != nil {
-			fail(err)
-		}
-		scheme = core.NewDistance(cfg.Mesh, n)
-	case strings.HasPrefix(*schemeName, "history:"):
-		n, err := strconv.Atoi(strings.TrimPrefix(*schemeName, "history:"))
-		if err != nil {
-			fail(err)
-		}
-		scheme = core.NewHistory(n)
-	case *schemeName == "oracle":
+	if *schemeName == "oracle" {
 		opt := oracle.OptimalForTrace(cfg, tr, newPlace())
 		scheme = core.NewFixed("oracle", opt.Decisions)
-	default:
-		fail(fmt.Errorf("unknown scheme %q", *schemeName))
+	} else if scheme, err = machine.ParseScheme(*schemeName, cfg.Mesh); err != nil {
+		return fail(fmt.Errorf("%v (trace mode also accepts: oracle)", err))
 	}
 
 	eng, err := core.NewEngine(cfg, newPlace(), scheme)
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
 	res, err := eng.Run(tr, nil)
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
 
 	if *jsonOut {
@@ -149,7 +167,7 @@ func main() {
 		for _, n := range res.Counters.Names() {
 			counters[n] = res.Counters.Get(n)
 		}
-		enc := json.NewEncoder(os.Stdout)
+		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(struct {
 			Workload       string           `json:"workload"`
@@ -177,22 +195,56 @@ func main() {
 			TotalCycles: res.TotalCycles(), Traffic: res.Traffic,
 			BitsMoved: res.BitsMoved, Counters: counters,
 		}); err != nil {
-			fail(err)
+			return fail(err)
 		}
-		return
+		return 0
 	}
 
 	sum := tr.Summarize()
-	fmt.Printf("workload : %s (%s)\n", tr.Name, sum)
-	fmt.Printf("platform : %v, %d guest contexts, scheme %s, placement %s\n",
+	fmt.Fprintf(stdout, "workload : %s (%s)\n", tr.Name, sum)
+	fmt.Fprintf(stdout, "platform : %v, %d guest contexts, scheme %s, placement %s\n",
 		cfg.Mesh, cfg.GuestContexts, scheme.Name(), *placeName)
-	fmt.Printf("result   : %s\n", res)
-	fmt.Printf("cycles   : network=%d memory=%d total=%d\n", res.Cycles, res.MemoryCycles, res.TotalCycles())
-	fmt.Printf("traffic  : %d flit-hops, %d context/request bits moved\n", res.Traffic, res.BitsMoved)
-	fmt.Printf("counters :\n%s", indent(res.Counters.String()))
+	fmt.Fprintf(stdout, "result   : %s\n", res)
+	fmt.Fprintf(stdout, "cycles   : network=%d memory=%d total=%d\n", res.Cycles, res.MemoryCycles, res.TotalCycles())
+	fmt.Fprintf(stdout, "traffic  : %d flit-hops, %d context/request bits moved\n", res.Traffic, res.BitsMoved)
+	fmt.Fprintf(stdout, "counters :\n%s", indent(res.Counters.String()))
 	if *hist {
-		fmt.Printf("run-length histogram:\n%s", res.RunLengths.Render(60))
+		fmt.Fprintf(stdout, "run-length histogram:\n%s", res.RunLengths.Render(60))
 	}
+	return 0
+}
+
+// wireNameDescs annotates the parser-authoritative wire names
+// (machine.SchemeNames / machine.PlacementNames) for -list-schemes. A name
+// the parsers grow without a blurb here still prints — the lists stay the
+// single source of truth for what exists.
+var wireNameDescs = map[string]string{
+	"always-migrate":           "pure EM²: every non-local access migrates (default)",
+	"always-remote":            "remote-access-only baseline: execution never moves",
+	"distance:N":               "migrate when hops(cur,home) <= N",
+	"history:N":                "migrate when the page's last run >= N; per-thread state migrates with the context",
+	"striped[:LINEBYTES]":      "home = (addr/LINEBYTES) mod cores (default line 64)",
+	"page-striped[:PAGEBYTES]": "home = (addr/PAGEBYTES) mod cores (default page 4096)",
+}
+
+// printSchemes renders the scheme and placement wire-name reference,
+// including which modes accept each name.
+func printSchemes(w io.Writer) {
+	row := func(name string) { fmt.Fprintf(w, "  %-24s %s\n", name, wireNameDescs[name]) }
+	fmt.Fprintln(w, "decision schemes (trace mode and -cluster):")
+	for _, name := range machine.SchemeNames() {
+		row(name)
+	}
+	fmt.Fprintf(w, "  %-24s %s\n", "oracle", "§3 DP optimum (trace mode only: needs the whole trace in advance)")
+	fmt.Fprintln(w, "placements (trace mode):")
+	fmt.Fprintf(w, "  %-24s %s\n", "first-touch", "bind each page to the first core that touches it")
+	fmt.Fprintln(w, "placements (trace mode and -cluster):")
+	for _, name := range machine.PlacementNames() {
+		row(name)
+	}
+	fmt.Fprintln(w, "first-touch is rejected in cluster mode: its page table is per-process state,")
+	fmt.Fprintln(w, "and two nodes binding one page to different homes would break the single-home")
+	fmt.Fprintln(w, "invariant behind EM²'s sequential consistency.")
 }
 
 // litmusFor resolves a -cluster-prog name into a litmus program. stride is
@@ -231,7 +283,7 @@ func litmusFor(name string, threads int, stride uint32) (machine.Litmus, error) 
 // as the node processes), drives one litmus program through it with
 // contexts crossing real TCP sockets, and validates the recorded execution
 // with machine.CheckSC.
-func runCluster(nodes int, progName string, cores, threads, guests int, scheme, place string, jsonOut bool) error {
+func runCluster(stdout io.Writer, nodes int, progName string, cores, threads, guests int, scheme, place string, jsonOut, statsOut bool) error {
 	mesh := geom.SquareMesh(cores)
 	// Under striped:64, address 64*k is homed at core k; LocalManifest
 	// splits cores into contiguous blocks, so the first core of the last
@@ -332,7 +384,7 @@ func runCluster(nodes int, progName string, cores, threads, guests int, scheme, 
 	}
 
 	if jsonOut {
-		enc := json.NewEncoder(os.Stdout)
+		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		status := func(err error) string {
 			if err != nil {
@@ -341,51 +393,57 @@ func runCluster(nodes int, progName string, cores, threads, guests int, scheme, 
 			return "ok"
 		}
 		if err := enc.Encode(struct {
-			Program      string             `json:"program"`
-			Scheme       string             `json:"scheme"`
-			Placement    string             `json:"placement"`
-			Nodes        int                `json:"nodes"`
-			Cores        int                `json:"cores"`
-			Threads      int                `json:"threads"`
-			Instructions int64              `json:"instructions"`
-			Migrations   int64              `json:"migrations"`
-			Evictions    int64              `json:"evictions"`
-			RemoteOps    int64              `json:"remote_ops"`
-			LocalOps     int64              `json:"local_ops"`
-			Events       int                `json:"events"`
-			SC           string             `json:"sc"`
-			Check        string             `json:"check"`
-			PerNode      []map[string]int64 `json:"per_node"`
+			Program      string                  `json:"program"`
+			Scheme       string                  `json:"scheme"`
+			Placement    string                  `json:"placement"`
+			Nodes        int                     `json:"nodes"`
+			Cores        int                     `json:"cores"`
+			Threads      int                     `json:"threads"`
+			Instructions int64                   `json:"instructions"`
+			Migrations   int64                   `json:"migrations"`
+			Evictions    int64                   `json:"evictions"`
+			RemoteOps    int64                   `json:"remote_ops"`
+			LocalOps     int64                   `json:"local_ops"`
+			ContextFlits int64                   `json:"context_flits"`
+			Events       int                     `json:"events"`
+			SC           string                  `json:"sc"`
+			Check        string                  `json:"check"`
+			PerNode      []map[string]int64      `json:"per_node"`
+			PerCore      []transport.CoreMetrics `json:"per_core"`
 		}{
 			Program: lit.Name, Scheme: scheme, Placement: place,
 			Nodes: nodes, Cores: mesh.Cores(), Threads: len(lit.Threads),
 			Instructions: res.Instructions, Migrations: res.Migrations, Evictions: res.Evictions,
 			RemoteOps: res.RemoteReads + res.RemoteWrites, LocalOps: res.LocalOps,
-			Events: len(res.Events), SC: status(scErr), Check: status(checkErr),
-			PerNode: res.NodeCounters,
+			ContextFlits: res.ContextFlits,
+			Events:       len(res.Events), SC: status(scErr), Check: status(checkErr),
+			PerNode: res.NodeCounters, PerCore: res.PerCore,
 		}); err != nil {
 			return err
 		}
 	} else {
-		fmt.Printf("cluster  : %d nodes, %v, program %s (%d threads), scheme %s, placement %s\n",
+		fmt.Fprintf(stdout, "cluster  : %d nodes, %v, program %s (%d threads), scheme %s, placement %s\n",
 			nodes, mesh, lit.Name, len(lit.Threads), scheme, place)
-		fmt.Printf("result   : instructions=%d migrations=%d evictions=%d remote=%d local=%d\n",
+		fmt.Fprintf(stdout, "result   : instructions=%d migrations=%d evictions=%d remote=%d local=%d ctxflits=%d\n",
 			res.Instructions, res.Migrations, res.Evictions,
-			res.RemoteReads+res.RemoteWrites, res.LocalOps)
+			res.RemoteReads+res.RemoteWrites, res.LocalOps, res.ContextFlits)
 		for i, c := range res.NodeCounters {
-			fmt.Printf("node %-4d: instructions=%d migrations=%d evictions=%d\n",
+			fmt.Fprintf(stdout, "node %-4d: instructions=%d migrations=%d evictions=%d\n",
 				i, c["instructions"], c["migrations"], c["evictions"])
 		}
+		if statsOut {
+			fmt.Fprint(stdout, machine.MetricsTable(res.PerCore).String())
+		}
 		if scErr != nil {
-			fmt.Printf("SC check : FAILED: %v\n", scErr)
+			fmt.Fprintf(stdout, "SC check : FAILED: %v\n", scErr)
 		} else {
-			fmt.Printf("SC check : OK (%d events)\n", len(res.Events))
+			fmt.Fprintf(stdout, "SC check : OK (%d events)\n", len(res.Events))
 		}
 		if lit.Check != nil {
 			if checkErr != nil {
-				fmt.Printf("litmus   : FAILED: %v\n", checkErr)
+				fmt.Fprintf(stdout, "litmus   : FAILED: %v\n", checkErr)
 			} else {
-				fmt.Printf("litmus   : OK\n")
+				fmt.Fprintf(stdout, "litmus   : OK\n")
 			}
 		}
 	}
@@ -398,9 +456,4 @@ func runCluster(nodes int, progName string, cores, threads, guests int, scheme, 
 func indent(s string) string {
 	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
 	return "  " + strings.Join(lines, "\n  ") + "\n"
-}
-
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "em2sim:", err)
-	os.Exit(1)
 }

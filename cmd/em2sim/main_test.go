@@ -1,0 +1,110 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/machine"
+)
+
+// TestListSchemes: the -list-schemes flag enumerates every scheme and
+// placement wire name (including the stateful history:N and the trace-only
+// oracle) and documents the first-touch cluster restriction.
+func TestListSchemes(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-list-schemes"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	for _, want := range append(machine.SchemeNames(),
+		"oracle", "first-touch", "striped", "page-striped", "single-home") {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("-list-schemes output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestUnknownSchemeErrorIsActionable: a bad -scheme must name every valid
+// scheme so the user can fix the invocation without reading source.
+func TestUnknownSchemeErrorIsActionable(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-workload", "pingpong", "-cores", "4", "-threads", "2",
+		"-scale", "8", "-scheme", "nope"}, &out, &errb)
+	if code == 0 {
+		t.Fatal("unknown scheme exited 0")
+	}
+	for _, want := range append(machine.SchemeNames(), "oracle") {
+		if !strings.Contains(errb.String(), want) {
+			t.Errorf("error %q does not mention %q", errb.String(), want)
+		}
+	}
+}
+
+// TestUnknownPlacementError mirrors the scheme check for -placement.
+func TestUnknownPlacementError(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-workload", "pingpong", "-cores", "4", "-threads", "2",
+		"-scale", "8", "-placement", "nope"}, &out, &errb)
+	if code == 0 {
+		t.Fatal("unknown placement exited 0")
+	}
+	for _, want := range []string{"first-touch", "striped", "page-striped"} {
+		if !strings.Contains(errb.String(), want) {
+			t.Errorf("error %q does not mention %q", errb.String(), want)
+		}
+	}
+}
+
+// TestTraceModeHistoryJSON: trace mode accepts history:N and emits valid
+// JSON with the scheme's rendered name.
+func TestTraceModeHistoryJSON(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-workload", "pingpong", "-cores", "4", "-threads", "4",
+		"-scale", "8", "-iters", "1", "-scheme", "history:2", "-json"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	var res struct {
+		Scheme   string `json:"scheme"`
+		Accesses int64  `json:"accesses"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &res); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out.String())
+	}
+	if res.Scheme != "history>=2" || res.Accesses == 0 {
+		t.Errorf("result = %+v", res)
+	}
+}
+
+// TestClusterHistoryBinary is the CLI acceptance test: build the real
+// em2sim binary and drive `em2sim -cluster 3 -scheme history:2` — three
+// node processes, predictor state crossing real sockets, SC-checked, with
+// the -stats per-core metrics table. Skipped in -short (invokes the go
+// toolchain and a full multi-process cluster).
+func TestClusterHistoryBinary(t *testing.T) {
+	if testing.Short() {
+		t.Skip("building cmd/em2sim needs the go toolchain; skipped in -short")
+	}
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+	bin := filepath.Join(t.TempDir(), "em2sim")
+	build := exec.Command("go", "build", "-o", bin, "repro/cmd/em2sim")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build cmd/em2sim: %v\n%s", err, out)
+	}
+	cmd := exec.Command(bin, "-cluster", "3", "-scheme", "history:2",
+		"-cores", "4", "-threads", "6", "-stats")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("em2sim -cluster 3 -scheme history:2: %v\n%s", err, out)
+	}
+	for _, want := range []string{"SC check : OK", "litmus   : OK", "per-core runtime metrics"} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("cluster output missing %q:\n%s", want, out)
+		}
+	}
+}

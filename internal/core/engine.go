@@ -92,6 +92,7 @@ type Engine struct {
 	cfg    Config
 	place  placement.Policy
 	scheme Scheme
+	preds  []Predictor // per-thread decision state
 
 	loc        []geom.CoreID // current core per thread
 	native     []geom.CoreID
@@ -142,10 +143,12 @@ func (e *Engine) Run(tr *trace.Trace, callback func(i int, info AccessInfo, o Ou
 	e.guests = make([][]int, cores)
 	e.runHome = make([]geom.CoreID, n)
 	e.runLen = make([]int, n)
+	e.preds = make([]Predictor, n)
 	for t := 0; t < n; t++ {
 		e.native[t] = geom.CoreID(t % cores)
 		e.loc[t] = e.native[t]
 		e.runHome[t] = geom.None
+		e.preds[t] = e.scheme.NewPredictor(t)
 	}
 	if e.cfg.ChargeMemory {
 		e.hier = make([]*cache.Hierarchy, cores)
@@ -166,9 +169,7 @@ func (e *Engine) Run(tr *trace.Trace, callback func(i int, info AccessInfo, o Ou
 	for i, a := range tr.Accesses {
 		t := a.Thread
 		home := e.place.Touch(a.Addr, e.native[t])
-		if obs, ok := e.scheme.(observer); ok {
-			obs.NoteAccess(t, home, a.Addr)
-		}
+		e.preds[t].Observe(home, a.Addr)
 		e.trackRun(t, home)
 		e.res.Accesses++
 		e.lastActive[t] = int64(i)
@@ -190,7 +191,7 @@ func (e *Engine) Run(tr *trace.Trace, callback func(i int, info AccessInfo, o Ou
 			e.res.Local++
 			e.chargeMemory(t, home, a)
 		default:
-			switch e.scheme.Decide(info) {
+			switch e.preds[t].Decide(info) {
 			case Migrate:
 				outcome = e.migrate(t, home)
 				e.chargeMemory(t, home, a)
@@ -209,9 +210,11 @@ func (e *Engine) Run(tr *trace.Trace, callback func(i int, info AccessInfo, o Ou
 			callback(i, info, outcome)
 		}
 	}
-	// Flush open runs.
+	// Flush open runs — the Figure 2 statistic and, via Predictor.Flush,
+	// each thread's in-flight predictor run (end-of-trace learning).
 	for t := 0; t < n; t++ {
 		e.flushRun(t)
+		e.preds[t].Flush()
 	}
 	e.collectCounters()
 	return e.res, nil

@@ -352,10 +352,13 @@ func TestFixedSchemeReplaysAndExhausts(t *testing.T) {
 	if outcomes[0] != OutcomeRemote || outcomes[1] != OutcomeMigrated {
 		t.Errorf("outcomes = %v", outcomes)
 	}
-	// Exhaustion panics (indicates oracle/trace mismatch).
+	// Exhaustion panics (indicates oracle/trace mismatch): a decision list
+	// shorter than the thread's non-local access count.
+	short := NewFixed("oracle-short", map[int][]Decision{0: {RemoteAccess}})
 	tr2 := trace.New("fixed2", 4)
 	tr2.Append(trace.Access{Thread: 0, Addr: 0x1000})
-	e, _ := NewEngine(cfg, testPlacement(), f)
+	tr2.Append(trace.Access{Thread: 0, Addr: 0x2000})
+	e, _ := NewEngine(cfg, testPlacement(), short)
 	defer func() {
 		if recover() == nil {
 			t.Error("exhausted fixed scheme did not panic")

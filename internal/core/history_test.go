@@ -1,0 +1,231 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/trace"
+)
+
+func historyPred(t *testing.T, minRun int) *HistoryPredictor {
+	t.Helper()
+	p, ok := NewHistory(minRun).NewPredictor(0).(*HistoryPredictor)
+	if !ok {
+		t.Fatal("history predictor has unexpected concrete type")
+	}
+	return p
+}
+
+func decideAddr(p Predictor, addr trace.Addr) Decision {
+	info := AccessInfo{Cur: 0, Home: 1}
+	info.Access.Addr = addr
+	return p.Decide(info)
+}
+
+// TestHistoryLearnsFinalRun is the regression test for the predictor's
+// original bug: a thread's final (or only) run was never flushed into the
+// lastRun table, so the predictor could not learn from it. Flush — called
+// by the trace engine at end of trace and by the runtime at HALT — must
+// record the in-flight run.
+func TestHistoryLearnsFinalRun(t *testing.T) {
+	p := historyPred(t, 2)
+	// The thread's only run: three accesses at home 1, then the stream ends.
+	p.Observe(1, 0x1000)
+	p.Observe(1, 0x1004)
+	p.Observe(1, 0x1008)
+	if _, ok := p.LastRun(0x1000); ok {
+		t.Fatal("open run recorded before it ended")
+	}
+	if decideAddr(p, 0x1000) != RemoteAccess {
+		t.Fatal("predictor migrated on a page it has not learned")
+	}
+	p.Flush()
+	if run, ok := p.LastRun(0x1000); !ok || run != 3 {
+		t.Fatalf("final run: LastRun = %d, %v; want 3, true", run, ok)
+	}
+	if decideAddr(p, 0x1000) != Migrate {
+		t.Fatal("predictor did not learn from the thread's final run")
+	}
+}
+
+// TestHistoryCreditsEveryPageOfRun is the regression test for the second
+// original bug: a run was credited only to the page that started it, so a
+// run spanning several pages at one home taught the predictor nothing about
+// the pages it continued into.
+func TestHistoryCreditsEveryPageOfRun(t *testing.T) {
+	p := historyPred(t, 2)
+	// One run of length 3 at home 1, touching pages 1 and 2.
+	p.Observe(1, 0x1000)
+	p.Observe(1, 0x2000)
+	p.Observe(1, 0x1004)
+	// Run ends: the thread touches home 2.
+	p.Observe(2, 0x9000)
+	for _, addr := range []trace.Addr{0x1000, 0x2000} {
+		if run, ok := p.LastRun(addr); !ok || run != 3 {
+			t.Errorf("page of addr %#x: LastRun = %d, %v; want 3, true", addr, run, ok)
+		}
+		if decideAddr(p, addr) != Migrate {
+			t.Errorf("page of addr %#x not learned from a multi-page run", addr)
+		}
+	}
+}
+
+// TestHistoryTableBounded: the lastRun table is hardware-bounded — inserting
+// more pages than Entries evicts the least recently recorded.
+func TestHistoryTableBounded(t *testing.T) {
+	p := historyPred(t, 1)
+	entries := DefaultHistoryEntries
+	for i := 0; i <= entries; i++ {
+		base := trace.Addr(0x10000 * (i + 1))
+		p.Observe(1, base)        // run of 1 at page i...
+		p.Observe(2, 0xF000_0000) // ...ended by a run at another home
+	}
+	// The first page inserted (i=0) must have been evicted; the last kept.
+	if _, ok := p.LastRun(0x10000); ok {
+		t.Error("oldest entry not evicted from a full table")
+	}
+	if _, ok := p.LastRun(trace.Addr(0x10000 * (entries + 1))); !ok {
+		t.Error("newest entry missing")
+	}
+	if got := len(p.AppendState(nil)); got != p.StateLen() {
+		t.Errorf("state length %d, want fixed %d", got, p.StateLen())
+	}
+}
+
+// TestHistoryStateRoundTrip: shipping the predictor state over the wire and
+// restoring it must preserve both the bytes (canonical encoding) and the
+// behavior (the restored predictor continues the run seamlessly).
+func TestHistoryStateRoundTrip(t *testing.T) {
+	a := historyPred(t, 2)
+	// Learned history plus an open run at home 3.
+	a.Observe(1, 0x1000)
+	a.Observe(1, 0x1004)
+	a.Observe(2, 0x2000)
+	a.Observe(3, 0x3000)
+	a.Observe(3, 0x3004)
+
+	state := a.AppendState(nil)
+	if len(state) != a.StateLen() {
+		t.Fatalf("state is %d bytes, want %d", len(state), a.StateLen())
+	}
+	b := historyPred(t, 2)
+	if err := b.SetState(state); err != nil {
+		t.Fatal(err)
+	}
+	if again := b.AppendState(nil); !bytes.Equal(state, again) {
+		t.Fatalf("state not canonical:\n in  %x\n out %x", state, again)
+	}
+
+	// Continue the open run on both; they must stay in lockstep.
+	for _, p := range []*HistoryPredictor{a, b} {
+		p.Observe(3, 0x3008)
+		p.Observe(0, 0x0000) // ends the home-3 run (length 3)
+	}
+	for _, addr := range []trace.Addr{0x1000, 0x3000, 0x3004} {
+		ra, oka := a.LastRun(addr)
+		rb, okb := b.LastRun(addr)
+		if ra != rb || oka != okb {
+			t.Errorf("addr %#x: original (%d,%v) vs restored (%d,%v)", addr, ra, oka, rb, okb)
+		}
+	}
+	if r, ok := b.LastRun(0x3000); !ok || r != 3 {
+		t.Errorf("restored predictor finished the shipped run with %d, %v; want 3", r, ok)
+	}
+}
+
+// TestHistoryStateRejectsGarbage: the decoder enforces the canonical form.
+func TestHistoryStateRejectsGarbage(t *testing.T) {
+	p := historyPred(t, 2)
+	good := p.AppendState(nil)
+	bad := [][]byte{
+		good[:len(good)-1], // short
+		append(good, 0),    // long
+		nil,                // empty
+	}
+	// A state claiming more live pages than the table holds.
+	overPages := append([]byte(nil), good...)
+	overPages[8] = byte(DefaultHistoryRunPages + 1)
+	bad = append(bad, overPages)
+
+	overEntries := append([]byte(nil), good...)
+	overEntries[9+4*DefaultHistoryRunPages] = byte(DefaultHistoryEntries + 1)
+	bad = append(bad, overEntries)
+
+	dirtySlot := append([]byte(nil), good...)
+	dirtySlot[len(dirtySlot)-1] = 7 // unused table slot must be zero
+	bad = append(bad, dirtySlot)
+
+	for i, b := range bad {
+		if err := p.SetState(b); err == nil {
+			t.Errorf("bad state %d accepted", i)
+		}
+	}
+}
+
+// TestEngineFlushesPredictors: end-to-end through the trace engine, a
+// thread whose last accesses form an unterminated run still reports the
+// learned decision behavior on a later page reference within the trace
+// (run recorded when the home changes), and the engine calls Flush at end
+// of trace without error for every scheme.
+func TestEngineFlushesPredictors(t *testing.T) {
+	cfg := testConfig()
+	tr := trace.New("final-run", 4)
+	// Thread 0 (native core 0) builds a run of 2 at page 1 (homed at core 1
+	// under testPlacement), returns home, then touches page 1 again.
+	tr.Append(trace.Access{Thread: 0, Addr: 0x1000})
+	tr.Append(trace.Access{Thread: 0, Addr: 0x1004})
+	tr.Append(trace.Access{Thread: 0, Addr: 0x0000}) // ends the run at page 1
+	tr.Append(trace.Access{Thread: 0, Addr: 0x1008}) // lastRun 2 >= 2 -> migrate
+	var outcomes []Outcome
+	mustRun(t, cfg, testPlacement(), NewHistory(2), tr,
+		func(_ int, _ AccessInfo, o Outcome) { outcomes = append(outcomes, o) })
+	if outcomes[3] != OutcomeMigrated {
+		t.Errorf("access after learned run = %v, want migrated", outcomes[3])
+	}
+}
+
+// FuzzHistoryState: any byte string SetState accepts must re-encode to the
+// same bytes — the predictor-state encoding is canonical, matching the
+// context wire's guarantee.
+func FuzzHistoryState(f *testing.F) {
+	p, _ := NewHistory(2).NewPredictor(0).(*HistoryPredictor)
+	f.Add(p.AppendState(nil))
+	p.Observe(1, 0x1000)
+	p.Observe(1, 0x2000)
+	p.Observe(2, 0x3000)
+	f.Add(p.AppendState(nil))
+	p.Flush()
+	f.Add(p.AppendState(nil))
+	f.Add([]byte{1, 2, 3})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		q, _ := NewHistory(2).NewPredictor(0).(*HistoryPredictor)
+		if err := q.SetState(b); err != nil {
+			return
+		}
+		back := q.AppendState(nil)
+		if !bytes.Equal(b, back) {
+			t.Fatalf("history state not canonical:\n in  %x\n out %x", b, back)
+		}
+	})
+}
+
+// TestStatelessPredictors: the stateless schemes encode to zero bytes and
+// reject non-empty state.
+func TestStatelessPredictors(t *testing.T) {
+	mesh := testConfig().Mesh
+	for _, s := range []Scheme{AlwaysMigrate{}, AlwaysRemote{}, NewDistance(mesh, 2)} {
+		p := s.NewPredictor(0)
+		if p.StateLen() != 0 || len(p.AppendState(nil)) != 0 {
+			t.Errorf("%s: stateless predictor has wire state", s.Name())
+		}
+		if err := p.SetState(nil); err != nil {
+			t.Errorf("%s: empty state rejected: %v", s.Name(), err)
+		}
+		if err := p.SetState([]byte{1}); err == nil {
+			t.Errorf("%s: non-empty state accepted", s.Name())
+		}
+		p.Observe(geom.CoreID(1), 0x40) // must be a no-op, not a panic
+		p.Flush()
+	}
+}

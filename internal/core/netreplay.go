@@ -59,12 +59,14 @@ func NetworkReplay(cfg Config, tr *trace.Trace, pl placement.Policy, scheme Sche
 	}
 	txs := make([][]transaction, tr.NumThreads)
 	perThreadIdx := make([]int, tr.NumThreads)
+	preds := make([]Predictor, tr.NumThreads)
+	for t := range preds {
+		preds[t] = scheme.NewPredictor(t)
+	}
 	for _, a := range tr.Accesses {
 		t := a.Thread
 		home := pl.Touch(a.Addr, native[t])
-		if obs, ok := scheme.(observer); ok {
-			obs.NoteAccess(t, home, a.Addr)
-		}
+		preds[t].Observe(home, a.Addr)
 		if home == loc[t] {
 			continue
 		}
@@ -73,7 +75,7 @@ func NetworkReplay(cfg Config, tr *trace.Trace, pl placement.Policy, scheme Sche
 			Native: native[t], Access: a,
 		}
 		perThreadIdx[t]++
-		switch scheme.Decide(info) {
+		switch preds[t].Decide(info) {
 		case Migrate:
 			txs[t] = append(txs[t], transaction{migrate: true, src: loc[t], dst: home})
 			loc[t] = home

@@ -2,6 +2,7 @@ package machine
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -12,6 +13,18 @@ import (
 	"repro/internal/placement"
 	"repro/internal/transport"
 )
+
+// PlacementNames lists the placement wire names ParsePlacement accepts, in
+// presentation order, with their argument shapes.
+func PlacementNames() []string {
+	return []string{"striped[:LINEBYTES]", "page-striped[:PAGEBYTES]"}
+}
+
+// SchemeNames lists the decision-scheme wire names ParseScheme accepts, in
+// presentation order, with their argument shapes.
+func SchemeNames() []string {
+	return []string{"always-migrate", "always-remote", "distance:N", "history:N"}
+}
 
 // ParsePlacement builds a placement policy from its wire name. Cluster
 // nodes must all compute the same home for every address from the name
@@ -29,7 +42,8 @@ func ParsePlacement(spec string, cores int) (placement.Policy, error) {
 	if hasArg {
 		v, err := strconv.Atoi(arg)
 		if err != nil || v <= 0 {
-			return nil, fmt.Errorf("machine: bad placement argument %q", spec)
+			return nil, fmt.Errorf("machine: bad placement argument %q (valid placements: %s)",
+				spec, strings.Join(PlacementNames(), ", "))
 		}
 		n = v
 	}
@@ -45,30 +59,51 @@ func ParsePlacement(spec string, cores int) (placement.Policy, error) {
 		}
 		return placement.NewPageStriped(n, cores), nil
 	case "first-touch":
-		return nil, fmt.Errorf("machine: first-touch placement is per-process state and cannot be replicated across cluster nodes; use striped or page-striped")
+		return nil, fmt.Errorf("machine: first-touch placement is per-process state and cannot be replicated across cluster nodes (two nodes could bind the same page to different homes); valid placements: %s",
+			strings.Join(PlacementNames(), ", "))
 	default:
-		return nil, fmt.Errorf("machine: unknown placement %q", spec)
+		return nil, fmt.Errorf("machine: unknown placement %q (valid placements: %s)",
+			spec, strings.Join(PlacementNames(), ", "))
 	}
 }
 
 // ParseScheme builds a migrate-vs-remote decision scheme from its wire
-// name: always-migrate, always-remote, or distance:N. Only stateless
-// schemes are admissible — every node must decide identically without
-// shared history.
+// name: always-migrate, always-remote, distance:N, or history:N. Stateful
+// schemes are admissible because all predictor state is per thread and
+// ships inside the migrating context (transport.Context.Sched) — no node
+// ever needs another node's history.
 func ParseScheme(spec string, mesh geom.Mesh) (core.Scheme, error) {
+	arg := func(prefix string) (int, error) {
+		n, err := strconv.Atoi(strings.TrimPrefix(spec, prefix))
+		if err != nil {
+			return 0, fmt.Errorf("machine: bad argument in scheme %q (valid schemes: %s)",
+				spec, strings.Join(SchemeNames(), ", "))
+		}
+		return n, nil
+	}
 	switch {
 	case spec == "always-migrate":
 		return core.AlwaysMigrate{}, nil
 	case spec == "always-remote":
 		return core.AlwaysRemote{}, nil
 	case strings.HasPrefix(spec, "distance:"):
-		n, err := strconv.Atoi(strings.TrimPrefix(spec, "distance:"))
+		n, err := arg("distance:")
 		if err != nil {
-			return nil, fmt.Errorf("machine: bad distance scheme %q", spec)
+			return nil, err
 		}
 		return core.NewDistance(mesh, n), nil
+	case strings.HasPrefix(spec, "history:"):
+		n, err := arg("history:")
+		if err != nil {
+			return nil, err
+		}
+		if n <= 0 {
+			return nil, fmt.Errorf("machine: history run threshold must be positive in %q", spec)
+		}
+		return core.NewHistory(n), nil
 	default:
-		return nil, fmt.Errorf("machine: unknown scheme %q", spec)
+		return nil, fmt.Errorf("machine: unknown scheme %q (valid schemes: %s)",
+			spec, strings.Join(SchemeNames(), ", "))
 	}
 }
 
@@ -198,6 +233,16 @@ type ClusterResult struct {
 	NodeCounters []map[string]int64
 }
 
+// mergePerCore concatenates per-node core metrics and sorts by core id.
+func mergePerCore(reps []transport.CollectReply) []transport.CoreMetrics {
+	var out []transport.CoreMetrics
+	for _, rep := range reps {
+		out = append(out, rep.PerCore...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Core < out[j].Core })
+	return out
+}
+
 // RunCluster drives an already-listening cluster through one run: load,
 // inject, await HALTs, collect, shut down. The node processes (ServeNode /
 // cmd/em2node) must be starting or started on the manifest's addresses;
@@ -304,11 +349,13 @@ func RunCluster(man transport.Manifest, cfg ClusterConfig, threads []ThreadSpec,
 		res.RemoteReads += rep.Counters["remote_reads"]
 		res.RemoteWrites += rep.Counters["remote_writes"]
 		res.LocalOps += rep.Counters["local_ops"]
+		res.ContextFlits += rep.Counters["context_flits"]
 		res.Events = append(res.Events, rep.Events...)
 		for a, v := range rep.Mem {
 			res.Mem[a] = v
 		}
 		res.NodeCounters = append(res.NodeCounters, rep.Counters)
 	}
+	res.PerCore = mergePerCore(reps)
 	return res, nil
 }

@@ -95,6 +95,7 @@ func runOnProcesses(t *testing.T, nodes int, lit Litmus, start func(string, int)
 // tests and a full SC-checker pass, with contexts provably crossing
 // process boundaries (both nodes retire instructions; migrations occur).
 func TestTwoProcessClusterLitmus(t *testing.T) {
+	t.Parallel()
 	for _, lit := range []Litmus{
 		// Stride 128 homes the flag/second word at core 2 — the far node —
 		// so the litmus cannot pass without cross-process traffic.
@@ -124,6 +125,7 @@ func TestTwoProcessClusterLitmus(t *testing.T) {
 // TestThreeProcessClusterCounter runs the atomic-counter litmus across
 // three node processes on a 2x2 mesh: RMW atomicity must survive the wire.
 func TestThreeProcessClusterCounter(t *testing.T) {
+	t.Parallel()
 	lit := AtomicCounterLitmus(4, sized(30, 10))
 	res := runOnProcesses(t, 3, lit, reexecNode)
 	if res.Migrations == 0 {
@@ -135,6 +137,7 @@ func TestThreeProcessClusterCounter(t *testing.T) {
 // 2-process cluster through it — the shipped artifact, not just its code
 // path. Skipped in -short (it invokes the go toolchain).
 func TestEm2nodeBinaryCluster(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("building cmd/em2node needs the go toolchain; skipped in -short")
 	}

@@ -12,7 +12,8 @@ import (
 
 // context is a thread's architectural state — exactly what a hardware
 // migration serializes (isa.ContextBits worth) — plus the runtime routing
-// metadata that rides with it on the wire (transport.Context).
+// metadata and the per-thread decision-unit state that ride with it on the
+// wire (transport.Context).
 type context struct {
 	thread int
 	pc     int32
@@ -20,6 +21,15 @@ type context struct {
 	spec   *ThreadSpec
 	native geom.CoreID
 	memSeq int64 // per-thread memory-op counter (program order for SC)
+
+	// pred is the thread's decision predictor; its state migrates with the
+	// context (transport.Context.Sched), so stateful schemes work across
+	// cores and across node processes without any shared tables.
+	pred core.Predictor
+	// observed marks a context shipped mid-instruction: the access at pc
+	// was fed to pred.Observe before the migration, and the re-execution at
+	// the home core must not observe it a second time.
+	observed bool
 }
 
 // archContext extracts the architectural half of a context.
@@ -28,10 +38,12 @@ func archContext(c *context) isa.Context {
 }
 
 // coreNode is one core: an execution loop plus the per-core ends of the
-// migration and eviction virtual networks, obtained from the transport.
+// migration and eviction virtual networks, obtained from the transport,
+// and the core's slot in the runtime metrics.
 type coreNode struct {
 	id      geom.CoreID
 	p       *Part
+	ctr     *coreCounters
 	migIn   <-chan transport.Context // guest-bound migrations (paper's migration VN)
 	evictIn <-chan transport.Context // native returns (paper's eviction VN)
 	runq    []*context
@@ -123,10 +135,12 @@ func (n *coreNode) evictOneGuest() *context {
 		if g.native != n.id {
 			n.runq = append(n.runq[:i], n.runq[i+1:]...)
 			n.guests--
-			n.p.evictions.Add(1)
+			n.ctr.evictions.Add(1)
 			// Eviction inboxes hold every thread in the system, so this
 			// send never blocks (in-process) / never stalls the wire (TCP).
-			n.p.tr.SendEviction(g.native, n.p.toWire(g))
+			w := n.p.toWire(g)
+			n.ctr.contextFlits.Add(contextFlits(w))
+			n.p.tr.SendEviction(g.native, w)
 			return g
 		}
 	}
@@ -154,6 +168,15 @@ func (n *coreNode) execute(c *context) {
 		if in.IsMem() {
 			addr := c.regs[in.Rs] + uint32(in.Imm)
 			home := n.p.place.touch(cache.Addr(addr), c.native)
+			// Ground truth reaches the predictor exactly once per access,
+			// before the decision — the same Observe-then-Decide order the
+			// trace engine uses, which is what makes runtime decision
+			// sequences match the model's. A context that migrated (or was
+			// evicted) mid-instruction arrives with observed already set.
+			if !c.observed {
+				c.pred.Observe(home, cache.Addr(addr))
+				c.observed = true
+			}
 			if home != n.id {
 				info := core.AccessInfo{
 					Thread: c.thread,
@@ -163,37 +186,41 @@ func (n *coreNode) execute(c *context) {
 				}
 				info.Access.Addr = cache.Addr(addr)
 				info.Access.Write = in.IsWrite()
-				if n.p.cfg.Scheme.Decide(info) == core.Migrate {
+				if c.pred.Decide(info) == core.Migrate {
 					// Ship the context; the instruction re-executes at home,
 					// where the access will be local.
-					n.p.migrations.Add(1)
-					if err := n.p.tr.SendMigration(home, n.p.toWire(c)); err != nil {
+					n.ctr.migrations.Add(1)
+					w := n.p.toWire(c)
+					n.ctr.contextFlits.Add(contextFlits(w))
+					if err := n.p.tr.SendMigration(home, w); err != nil {
 						return // transport torn down mid-run
 					}
 					return
 				}
 				if in.IsWrite() {
-					n.p.remoteWrites.Add(1)
+					n.ctr.remoteWrites.Add(1)
 				} else {
-					n.p.remoteReads.Add(1)
+					n.ctr.remoteReads.Add(1)
 				}
 			} else {
-				n.p.localOps.Add(1)
+				n.ctr.localOps.Add(1)
 			}
 			if !n.applyMem(c, in, addr, home) {
 				return
 			}
+			c.observed = false // the access completed; the next one is fresh
 			c.pc++
-			n.p.instructions.Add(1)
+			n.ctr.instructions.Add(1)
 			continue
 		}
 		if in.Op == isa.HALT {
-			n.p.instructions.Add(1)
+			n.ctr.instructions.Add(1)
+			c.pred.Flush() // end of the thread's access stream
 			n.p.onHalt(transport.HaltMsg{Thread: c.thread, Regs: c.regs})
 			return
 		}
 		executeALU(c, in)
-		n.p.instructions.Add(1)
+		n.ctr.instructions.Add(1)
 	}
 	n.requeue(c)
 }

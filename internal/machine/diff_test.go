@@ -2,9 +2,11 @@ package machine
 
 import (
 	"reflect"
+	"strings"
 	"testing"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/isa"
 	"repro/internal/transport"
 )
@@ -55,6 +57,7 @@ func runOnTCP(t *testing.T, nodes, w, h int, cfg ClusterConfig, lit Litmus) *Clu
 // schedule-independent outcomes — bit-identical final memory images and
 // register files.
 func TestDifferentialInProcVsTCP(t *testing.T) {
+	t.Parallel()
 	cases := []Litmus{
 		MessagePassingLitmus(128), // flag homed on the far node
 		AtomicCounterLitmus(4, sized(40, 10)),
@@ -107,6 +110,7 @@ func TestDifferentialInProcVsTCP(t *testing.T) {
 // loading (or before collecting) must still release the node processes —
 // ServeNode returns instead of parking forever on Loads/CollectRequests.
 func TestServeNodeShutdownWithoutRun(t *testing.T) {
+	t.Parallel()
 	man, err := transport.LocalManifest(2, 2, 1)
 	if err != nil {
 		t.Fatal(err)
@@ -133,8 +137,11 @@ func TestServeNodeShutdownWithoutRun(t *testing.T) {
 	}
 }
 
-// TestClusterSchemeAndPlacementParsing pins the wire-name parsers.
+// TestClusterSchemeAndPlacementParsing pins the wire-name parsers: what
+// they accept (including the stateful history:N) and that rejections
+// enumerate the valid wire names so the errors are actionable.
 func TestClusterSchemeAndPlacementParsing(t *testing.T) {
+	t.Parallel()
 	cfg := litmusConfig()
 	if _, err := ParsePlacement("striped:32", 4); err != nil {
 		t.Error(err)
@@ -151,14 +158,85 @@ func TestClusterSchemeAndPlacementParsing(t *testing.T) {
 	if _, err := ParseScheme("distance:2", cfg.Mesh); err != nil {
 		t.Error(err)
 	}
+	if s, err := ParseScheme("history:2", cfg.Mesh); err != nil {
+		t.Error(err)
+	} else if s.Name() != "history>=2" {
+		t.Errorf("history:2 parsed to %q", s.Name())
+	}
+	if _, err := ParseScheme("history:0", cfg.Mesh); err == nil {
+		t.Error("non-positive history threshold accepted")
+	}
+	if _, err := ParseScheme("history:x", cfg.Mesh); err == nil {
+		t.Error("bad history arg accepted")
+	}
 	if _, err := ParseScheme("oracle", cfg.Mesh); err == nil {
 		t.Error("oracle scheme accepted for a cluster")
+	}
+	// Rejections must name every valid wire name.
+	_, err := ParseScheme("nope", cfg.Mesh)
+	if err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+	for _, want := range SchemeNames() {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("scheme error %q does not mention %q", err, want)
+		}
+	}
+	_, err = ParsePlacement("nope", 4)
+	if err == nil {
+		t.Fatal("unknown placement accepted")
+	}
+	for _, want := range PlacementNames() {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("placement error %q does not mention %q", err, want)
+		}
+	}
+}
+
+// TestDifferentialHistoryScheme is the stateful-scheme acceptance test: the
+// same deterministic programs run under history:2 on the channel transport
+// and on a TCP cluster, with the predictor state crossing the wire inside
+// each migrating context. Both runs must be SC-clean and produce
+// bit-identical final memory, final registers, AND identical per-core
+// runtime metrics — migrations, remote round trips, local hits,
+// instructions, and context flits all land on the same cores.
+// GuestContexts is 0 so no schedule-dependent evictions perturb the counts.
+func TestDifferentialHistoryScheme(t *testing.T) {
+	t.Parallel()
+	for seed := 0; seed < sized(4, 2); seed++ {
+		lit := RandomLitmus(uint64(seed), RandOpts{PrivateWrites: true})
+		t.Run(lit.Name, func(t *testing.T) {
+			t.Parallel()
+			cfg := litmusConfig()
+			cfg.GuestContexts = 0
+			cfg.Scheme = core.NewHistory(2)
+			m, inproc := runLitmus(t, cfg, lit)
+			tcp := runOnTCP(t, 2, 2, 2, ClusterConfig{
+				Quantum:   cfg.Quantum,
+				Scheme:    "history:2",
+				Placement: "striped:64",
+				LogEvents: true,
+			}, lit)
+			if !reflect.DeepEqual(m.MemImage(), tcp.Mem) {
+				t.Fatalf("final memory images differ:\n in-proc %v\n tcp     %v", m.MemImage(), tcp.Mem)
+			}
+			if !reflect.DeepEqual(inproc.FinalRegs, tcp.FinalRegs) {
+				t.Fatalf("final registers differ:\n in-proc %v\n tcp     %v", inproc.FinalRegs, tcp.FinalRegs)
+			}
+			if !reflect.DeepEqual(inproc.PerCore, tcp.PerCore) {
+				t.Fatalf("per-core metrics differ:\n in-proc %+v\n tcp     %+v", inproc.PerCore, tcp.PerCore)
+			}
+			if inproc.Migrations == 0 {
+				t.Error("history scheme produced no migrations on a cross-home workload")
+			}
+		})
 	}
 }
 
 // TestClusterRemoteAccessScheme runs a TCP cluster under always-remote:
 // contexts stay put and every non-local access is a wire round trip.
 func TestClusterRemoteAccessScheme(t *testing.T) {
+	t.Parallel()
 	lit := AtomicCounterLitmus(4, sized(20, 8))
 	res := runOnTCP(t, 2, 2, 2, ClusterConfig{
 		Scheme:    "always-remote",
@@ -174,6 +252,7 @@ func TestClusterRemoteAccessScheme(t *testing.T) {
 
 // TestRunClusterValidation: coordinator-side fail-fast paths.
 func TestRunClusterValidation(t *testing.T) {
+	t.Parallel()
 	man, err := transport.LocalManifest(2, 2, 2)
 	if err != nil {
 		t.Fatal(err)

@@ -49,6 +49,7 @@ func runLitmus(t *testing.T, cfg Config, lit Litmus) (*Machine, *Result) {
 }
 
 func TestBuiltinLitmuses(t *testing.T) {
+	t.Parallel()
 	for _, lit := range []Litmus{
 		MessagePassingLitmus(64),
 		StoreBufferingLitmus(64),
@@ -67,6 +68,7 @@ func TestBuiltinLitmuses(t *testing.T) {
 // Table-driven over seeds and generator shapes; runs under -race in short
 // mode via the CI race job.
 func TestRandomLitmusBattery(t *testing.T) {
+	t.Parallel()
 	shapes := []struct {
 		name string
 		opts RandOpts
@@ -92,6 +94,7 @@ func TestRandomLitmusBattery(t *testing.T) {
 // final register and the whole memory image. (This is the property the
 // differential transport test relies on.)
 func TestRandomLitmusPrivateDeterminism(t *testing.T) {
+	t.Parallel()
 	for seed := 0; seed < sized(8, 3); seed++ {
 		lit := RandomLitmus(uint64(seed), RandOpts{PrivateWrites: true})
 		m1, r1 := runLitmus(t, litmusConfig(), lit)
@@ -109,6 +112,7 @@ func TestRandomLitmusPrivateDeterminism(t *testing.T) {
 // the instruction count of a run is bounded by threads × iters × body, so
 // no generated program can spin forever.
 func TestRandomLitmusTerminates(t *testing.T) {
+	t.Parallel()
 	lit := RandomLitmus(1, RandOpts{Threads: 4, Ops: 10, Iters: 6})
 	_, res := runLitmus(t, litmusConfig(), lit)
 	perThread := int64(2 + 6*(10+2) + 1) // prologue + iters×(body+loop ctl) + halt

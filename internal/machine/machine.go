@@ -43,7 +43,7 @@ type Config struct {
 	Mesh          geom.Mesh
 	GuestContexts int              // guest contexts per core; 0 = unlimited
 	Placement     placement.Policy // wrapped with a lock internally
-	Scheme        core.Scheme      // nil = pure EM² (always migrate); Decide must be safe for concurrent use
+	Scheme        core.Scheme      // nil = pure EM² (always migrate); NewPredictor must be safe for concurrent use (predictor state is per thread and migrates with the context)
 	Quantum       int              // instructions per scheduling slice (default 64)
 	LogEvents     bool             // record memory events for the SC checker
 }
@@ -93,6 +93,10 @@ type Result struct {
 	RemoteReads  int64
 	RemoteWrites int64
 	LocalOps     int64
+	ContextFlits int64 // flits of context wire (incl. predictor state) shipped
+
+	// PerCore breaks the counters down by core, ascending by core id.
+	PerCore []transport.CoreMetrics
 
 	// FinalRegs[t] is thread t's register file at HALT.
 	FinalRegs [][isa.NumRegs]uint32
@@ -203,6 +207,8 @@ func (m *Machine) Run(threads []ThreadSpec) (*Result, error) {
 		RemoteReads:  coll.Counters["remote_reads"],
 		RemoteWrites: coll.Counters["remote_writes"],
 		LocalOps:     coll.Counters["local_ops"],
+		ContextFlits: coll.Counters["context_flits"],
+		PerCore:      coll.PerCore,
 		FinalRegs:    make([][isa.NumRegs]uint32, len(threads)),
 	}
 	m.mu.Lock()

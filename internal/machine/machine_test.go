@@ -47,6 +47,7 @@ func run(t *testing.T, cfg Config, threads []ThreadSpec) (*Machine, *Result) {
 }
 
 func TestValidation(t *testing.T) {
+	t.Parallel()
 	if _, err := New(Config{}, 1); err == nil {
 		t.Error("zero config accepted")
 	}
@@ -61,9 +62,24 @@ func TestValidation(t *testing.T) {
 	if _, err := m.Run([]ThreadSpec{{Program: isa.MustAssemble("halt"), Regs: map[int]uint32{0: 1}}}); err == nil {
 		t.Error("write to r0 accepted")
 	}
+	// Replay schemes consume their decision sequence on every Decide; the
+	// runtime may re-issue a Decide after an eviction, so they are rejected
+	// at configuration time rather than failing mid-run.
+	replay := testConfig()
+	replay.Scheme = core.NewFixed("oracle", nil)
+	if _, err := New(replay, 1); err == nil {
+		t.Error("replay scheme accepted by the concurrent runtime")
+	}
+	// Predictor state must fit the u16 Sched length field of the wire.
+	wide := testConfig()
+	wide.Scheme = &core.History{MinRun: 2, Entries: 10000}
+	if _, err := New(wide, 1); err == nil {
+		t.Error("oversized predictor state accepted")
+	}
 }
 
 func TestSingleThreadArithmetic(t *testing.T) {
+	t.Parallel()
 	prog := isa.MustAssemble(`
 		addi r1, r0, 6
 		addi r2, r0, 7
@@ -80,6 +96,7 @@ func TestSingleThreadArithmetic(t *testing.T) {
 }
 
 func TestLoadStoreLocal(t *testing.T) {
+	t.Parallel()
 	// Address 0 is homed at core 0 under 64-byte striping; thread 0 is
 	// native there, so everything stays local.
 	prog := isa.MustAssemble(`
@@ -101,6 +118,7 @@ func TestLoadStoreLocal(t *testing.T) {
 }
 
 func TestMigrationOnRemoteAccess(t *testing.T) {
+	t.Parallel()
 	// Address 64 is homed at core 1; thread 0 must migrate there and back.
 	prog := isa.MustAssemble(`
 		addi r1, r0, 9
@@ -118,6 +136,7 @@ func TestMigrationOnRemoteAccess(t *testing.T) {
 }
 
 func TestRemoteAccessScheme(t *testing.T) {
+	t.Parallel()
 	cfg := testConfig()
 	cfg.Scheme = core.AlwaysRemote{}
 	prog := isa.MustAssemble(`
@@ -141,6 +160,7 @@ func TestRemoteAccessScheme(t *testing.T) {
 // TestMessagePassingLitmus: the MP litmus test — under SC, once the flag is
 // observed, the data must be visible.
 func TestMessagePassingLitmus(t *testing.T) {
+	t.Parallel()
 	// data at 0 (core 0), flag at 64 (core 1).
 	writer := isa.MustAssemble(`
 		addi r1, r0, 41
@@ -167,6 +187,7 @@ func TestMessagePassingLitmus(t *testing.T) {
 // TestStoreBufferingLitmus: the SB litmus test — r1=0 ∧ r2=0 is forbidden
 // under SC (it is allowed under TSO), and EM² provides SC.
 func TestStoreBufferingLitmus(t *testing.T) {
+	t.Parallel()
 	t0 := isa.MustAssemble(`
 		addi r1, r0, 1
 		sw   r1, 0(r0)    ; x = 1
@@ -190,6 +211,7 @@ func TestStoreBufferingLitmus(t *testing.T) {
 // TestAtomicCounter: FAA at the home core is atomic; N threads × M
 // increments always sum exactly.
 func TestAtomicCounter(t *testing.T) {
+	t.Parallel()
 	threads, incs := 8, sized(200, 50)
 	prog := isa.MustAssemble(fmt.Sprintf(`
 		addi r2, r0, %d    ; loop counter
@@ -219,6 +241,7 @@ func TestAtomicCounter(t *testing.T) {
 // other core's memory with a single guest context per core. The test
 // passing at all (within the suite timeout) is the deadlock-freedom result.
 func TestNoDeadlockUnderEvictionPressure(t *testing.T) {
+	t.Parallel()
 	cfg := testConfig()
 	cfg.GuestContexts = 1
 	cfg.Quantum = 4 // frequent scheduling churn
@@ -248,11 +271,15 @@ func TestNoDeadlockUnderEvictionPressure(t *testing.T) {
 }
 
 func TestSwapSpinlock(t *testing.T) {
+	t.Parallel()
 	// A classic test-and-set lock built on SWAP, protecting a non-atomic
 	// read-modify-write of a shared word at 128 (core 2). The lock is at 64
-	// (core 1). Spinning contexts burn wall-clock on few OS threads, so the
-	// short run shrinks the contention grid.
-	threads, rounds := sized(6, 3), sized(50, 8)
+	// (core 1). Spinning contexts burn wall-clock on few OS threads —
+	// failed acquisitions migrate to the lock's home and back, so cost
+	// grows superlinearly with the contention grid; 4x25 keeps the
+	// contended-mutual-exclusion scenario (hundreds of critical sections,
+	// eviction pressure, SC-checked) at a fraction of the 6x50 wall-clock.
+	threads, rounds := sized(4, 3), sized(25, 8)
 	prog := isa.MustAssemble(fmt.Sprintf(`
 		addi r2, r0, %d
 		addi r3, r0, 1
@@ -279,6 +306,7 @@ func TestSwapSpinlock(t *testing.T) {
 }
 
 func TestPreloadAndRead(t *testing.T) {
+	t.Parallel()
 	m, err := New(testConfig(), 1)
 	if err != nil {
 		t.Fatal(err)
@@ -301,6 +329,7 @@ func TestPreloadAndRead(t *testing.T) {
 }
 
 func TestInitialRegisters(t *testing.T) {
+	t.Parallel()
 	prog := isa.MustAssemble(`
 		add r3, r1, r2
 		halt
@@ -315,6 +344,7 @@ func TestInitialRegisters(t *testing.T) {
 }
 
 func TestEventLogSupportsSCCheck(t *testing.T) {
+	t.Parallel()
 	prog := isa.MustAssemble(`
 		addi r1, r0, 5
 		sw   r1, 0(r0)
@@ -328,6 +358,7 @@ func TestEventLogSupportsSCCheck(t *testing.T) {
 }
 
 func TestCheckSCDetectsBadRead(t *testing.T) {
+	t.Parallel()
 	events := []Event{
 		{Thread: 0, TSeq: 0, Addr: 0, Kind: EvWrite, Wrote: 1, Seq: 1, Home: 0},
 		{Thread: 1, TSeq: 0, Addr: 0, Kind: EvRead, Read: 7, Seq: 2, Home: 0},
@@ -338,6 +369,7 @@ func TestCheckSCDetectsBadRead(t *testing.T) {
 }
 
 func TestCheckSCDetectsTwoHomes(t *testing.T) {
+	t.Parallel()
 	events := []Event{
 		{Thread: 0, TSeq: 0, Addr: 0, Kind: EvWrite, Wrote: 1, Seq: 1, Home: 0},
 		{Thread: 1, TSeq: 0, Addr: 0, Kind: EvWrite, Wrote: 2, Seq: 1, Home: 1},
@@ -348,6 +380,7 @@ func TestCheckSCDetectsTwoHomes(t *testing.T) {
 }
 
 func TestCheckSCDetectsCycle(t *testing.T) {
+	t.Parallel()
 	// Two addresses, two threads: each thread's program order contradicts
 	// the witness order of the other address — a classic SC violation.
 	events := []Event{
@@ -386,6 +419,7 @@ func TestCheckSCDetectsCycle(t *testing.T) {
 }
 
 func TestCheckSCEmpty(t *testing.T) {
+	t.Parallel()
 	if err := CheckSC(nil); err != nil {
 		t.Error(err)
 	}
@@ -394,6 +428,7 @@ func TestCheckSCEmpty(t *testing.T) {
 // TestManyThreadsManyCores: a larger smoke test on an 4x4 mesh with mixed
 // local/remote work, checked for SC.
 func TestManyThreadsManyCores(t *testing.T) {
+	t.Parallel()
 	cfg := Config{
 		Mesh:          geom.NewMesh(4, 4),
 		GuestContexts: 2,

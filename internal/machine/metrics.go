@@ -1,0 +1,43 @@
+package machine
+
+import (
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/transport"
+)
+
+// ContextFlitsFor returns the flits one migrated (or evicted) context
+// occupies on the wire under the given scheme: the fixed context header and
+// architectural state plus the scheme's predictor-state trailer, at the
+// default link width. The M3 experiment uses this to predict the runtime's
+// context-flit counter as (migrations + evictions) x ContextFlitsFor.
+func ContextFlitsFor(s core.Scheme) int64 {
+	if s == nil {
+		s = defaultScheme()
+	}
+	return wireFlits(transport.ContextWireBytes + s.NewPredictor(0).StateLen())
+}
+
+// MetricsTable renders per-core runtime metrics as a stats.Table — the
+// export format behind `em2sim -stats` and the M3 experiment. A final
+// "total" row sums every column.
+func MetricsTable(perCore []transport.CoreMetrics) *stats.Table {
+	t := stats.NewTable("per-core runtime metrics",
+		"core", "instructions", "local ops", "remote reads", "remote writes",
+		"migrations out", "evictions", "context flits")
+	var total transport.CoreMetrics
+	for _, m := range perCore {
+		t.AddRow(int(m.Core), m.Instructions, m.LocalOps, m.RemoteReads, m.RemoteWrites,
+			m.Migrations, m.Evictions, m.ContextFlits)
+		total.Instructions += m.Instructions
+		total.LocalOps += m.LocalOps
+		total.RemoteReads += m.RemoteReads
+		total.RemoteWrites += m.RemoteWrites
+		total.Migrations += m.Migrations
+		total.Evictions += m.Evictions
+		total.ContextFlits += m.ContextFlits
+	}
+	t.AddRow("total", total.Instructions, total.LocalOps, total.RemoteReads,
+		total.RemoteWrites, total.Migrations, total.Evictions, total.ContextFlits)
+	return t
+}

@@ -6,7 +6,9 @@ import (
 	"sync/atomic"
 
 	"repro/internal/cache"
+	"repro/internal/core"
 	"repro/internal/geom"
+	"repro/internal/noc"
 	"repro/internal/placement"
 	"repro/internal/transport"
 )
@@ -23,6 +25,47 @@ func (l *lockedPolicy) touch(a cache.Addr, by geom.CoreID) geom.CoreID {
 	return l.p.Touch(a, by)
 }
 
+// coreCounters is one core's runtime metrics. Each counter is written only
+// by its core's own goroutine, so the atomics are uncontended; they exist
+// so Collect can read a consistent snapshot from another goroutine.
+type coreCounters struct {
+	instructions atomic.Int64
+	localOps     atomic.Int64
+	remoteReads  atomic.Int64
+	remoteWrites atomic.Int64
+	migrations   atomic.Int64
+	evictions    atomic.Int64
+	contextFlits atomic.Int64
+}
+
+// metrics snapshots the counters for the Collect control plane.
+func (c *coreCounters) metrics(core geom.CoreID) transport.CoreMetrics {
+	return transport.CoreMetrics{
+		Core:         core,
+		Instructions: c.instructions.Load(),
+		LocalOps:     c.localOps.Load(),
+		RemoteReads:  c.remoteReads.Load(),
+		RemoteWrites: c.remoteWrites.Load(),
+		Migrations:   c.migrations.Load(),
+		Evictions:    c.evictions.Load(),
+		ContextFlits: c.contextFlits.Load(),
+	}
+}
+
+// wireNoC is the link model used to express shipped context bytes as flits
+// (the same default link parameters the §3 cost model charges).
+var wireNoC = noc.DefaultConfig()
+
+// wireFlits converts a context wire byte count to flits.
+func wireFlits(bytes int) int64 { return int64(wireNoC.Flits(bytes * 8)) }
+
+// contextFlits is the wire footprint of one shipped context — the single
+// formula behind the runtime counters and ContextFlitsFor, so the M3
+// prediction cannot drift from what the cores actually count.
+func contextFlits(w transport.Context) int64 {
+	return wireFlits(transport.ContextWireBytes + len(w.Sched))
+}
+
 // Part runs the cores a transport endpoint owns: their execution loops,
 // their shards, and the memory handler that serves remote accesses to
 // those shards. The whole machine is one Part over a transport.Local; a
@@ -35,18 +78,13 @@ type Part struct {
 	// shards is indexed by core id — the hottest lookup in the machine —
 	// with nil entries for cores other endpoints own.
 	shards []*shard
+	// ctr is indexed by core id; only owned cores' slots are ever written.
+	ctr    []coreCounters
 	nodes  []*coreNode
 	specs  []ThreadSpec
 	onHalt func(transport.HaltMsg)
 	done   chan struct{}
 	wg     sync.WaitGroup
-
-	instructions atomic.Int64
-	migrations   atomic.Int64
-	evictions    atomic.Int64
-	remoteReads  atomic.Int64
-	remoteWrites atomic.Int64
-	localOps     atomic.Int64
 }
 
 // NewPart builds the part for the cores tr owns and installs its memory
@@ -64,11 +102,22 @@ func NewPart(cfg Config, tr transport.Transport) (*Part, error) {
 	if cfg.Scheme == nil {
 		cfg.Scheme = defaultScheme()
 	}
+	// The runtime may re-issue Decide for one access after an eviction, so
+	// only schemes with pure Decide are admissible; Fixed consumes its
+	// replay sequence on every call and exists for trace replay only.
+	if _, replay := cfg.Scheme.(*core.Fixed); replay {
+		return nil, fmt.Errorf("machine: replay scheme %q cannot run in the concurrent runtime (its Decide consumes state; use a predictive scheme)", cfg.Scheme.Name())
+	}
+	if n := cfg.Scheme.NewPredictor(0).StateLen(); n > transport.MaxSchedBytes {
+		return nil, fmt.Errorf("machine: scheme %q carries %d bytes of predictor state, above the %d-byte wire field",
+			cfg.Scheme.Name(), n, transport.MaxSchedBytes)
+	}
 	p := &Part{
 		cfg:    cfg,
 		tr:     tr,
 		place:  &lockedPolicy{p: cfg.Placement},
 		shards: make([]*shard, tr.Cores()),
+		ctr:    make([]coreCounters, tr.Cores()),
 		done:   make(chan struct{}),
 	}
 	for _, id := range tr.Owned() {
@@ -115,6 +164,7 @@ func (p *Part) Start(threads []ThreadSpec, onHalt func(transport.HaltMsg)) error
 		n := &coreNode{
 			id:      id,
 			p:       p,
+			ctr:     &p.ctr[id],
 			migIn:   p.tr.MigrationIn(id),
 			evictIn: p.tr.EvictionIn(id),
 		}
@@ -132,20 +182,44 @@ func (p *Part) Stop() {
 	p.wg.Wait()
 }
 
-// Collect returns this part's post-run state: counters, the event logs of
-// its shards in core order, and its slice of the memory image.
+// PerCoreMetrics snapshots the runtime counters of this part's owned
+// cores, ascending by core id.
+func (p *Part) PerCoreMetrics() []transport.CoreMetrics {
+	out := make([]transport.CoreMetrics, 0, len(p.tr.Owned()))
+	for _, id := range p.tr.Owned() {
+		out = append(out, p.ctr[id].metrics(id))
+	}
+	return out
+}
+
+// Collect returns this part's post-run state: aggregate and per-core
+// counters, the event logs of its shards in core order, and its slice of
+// the memory image.
 func (p *Part) Collect(node int) transport.CollectReply {
+	perCore := p.PerCoreMetrics()
+	var agg transport.CoreMetrics
+	for _, m := range perCore {
+		agg.Instructions += m.Instructions
+		agg.LocalOps += m.LocalOps
+		agg.RemoteReads += m.RemoteReads
+		agg.RemoteWrites += m.RemoteWrites
+		agg.Migrations += m.Migrations
+		agg.Evictions += m.Evictions
+		agg.ContextFlits += m.ContextFlits
+	}
 	rep := transport.CollectReply{
 		Node: node,
 		Counters: map[string]int64{
-			"instructions":  p.instructions.Load(),
-			"migrations":    p.migrations.Load(),
-			"evictions":     p.evictions.Load(),
-			"remote_reads":  p.remoteReads.Load(),
-			"remote_writes": p.remoteWrites.Load(),
-			"local_ops":     p.localOps.Load(),
+			"instructions":  agg.Instructions,
+			"migrations":    agg.Migrations,
+			"evictions":     agg.Evictions,
+			"remote_reads":  agg.RemoteReads,
+			"remote_writes": agg.RemoteWrites,
+			"local_ops":     agg.LocalOps,
+			"context_flits": agg.ContextFlits,
 		},
-		Mem: make(map[uint32]uint32),
+		PerCore: perCore,
+		Mem:     make(map[uint32]uint32),
 	}
 	for _, id := range p.tr.Owned() {
 		mem, events := p.shards[id].snapshot()
@@ -169,29 +243,50 @@ func (p *Part) MemImage() map[uint32]uint32 {
 	return out
 }
 
-// toWire serializes a resident context for the transport.
+// toWire serializes a resident context for the transport, including the
+// thread's predictor state and instruction-progress flag.
 func (p *Part) toWire(c *context) transport.Context {
-	return transport.Context{
+	w := transport.Context{
 		Thread: int32(c.thread),
 		Native: int32(c.native),
 		MemSeq: c.memSeq,
 		Arch:   archContext(c),
 	}
+	if c.observed {
+		w.Flags |= transport.FlagObserved
+	}
+	if c.pred.StateLen() > 0 {
+		w.Sched = c.pred.AppendState(make([]byte, 0, c.pred.StateLen()))
+	}
+	return w
 }
 
 // fromWire rebuilds a resident context from its wire form; the program is
-// looked up locally because code is replicated to every part.
+// looked up locally because code is replicated to every part, and the
+// predictor is rebuilt from the scheme plus the shipped state (an empty
+// Sched — the coordinator's initial injection — yields a fresh predictor).
 func (p *Part) fromWire(w transport.Context) *context {
 	t := int(w.Thread)
 	if t < 0 || t >= len(p.specs) {
 		panic(fmt.Sprintf("machine: context for unknown thread %d", t))
 	}
+	pred := p.cfg.Scheme.NewPredictor(t)
+	if len(w.Sched) > 0 {
+		if err := pred.SetState(w.Sched); err != nil {
+			// Undecodable predictor state is protocol corruption (scheme
+			// mismatch between nodes, mangled frame): the thread's decision
+			// unit is gone, so fail loudly.
+			panic(fmt.Sprintf("machine: thread %d predictor state: %v", t, err))
+		}
+	}
 	return &context{
-		thread: t,
-		pc:     w.Arch.PC,
-		regs:   w.Arch.Regs,
-		spec:   &p.specs[t],
-		native: geom.CoreID(w.Native),
-		memSeq: w.MemSeq,
+		thread:   t,
+		pc:       w.Arch.PC,
+		regs:     w.Arch.Regs,
+		spec:     &p.specs[t],
+		native:   geom.CoreID(w.Native),
+		memSeq:   w.MemSeq,
+		pred:     pred,
+		observed: w.Flags&transport.FlagObserved != 0,
 	}
 }

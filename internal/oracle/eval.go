@@ -20,27 +20,20 @@ func AllSteps(tr *trace.Trace, pl placement.Policy, cores int) [][]Step {
 	return out
 }
 
-// observer mirrors core's feedback hook for stateful schemes.
-type observer interface {
-	NoteAccess(thread int, home geom.CoreID, addr trace.Addr)
-}
-
 // EvaluateScheme computes the §3 model cost of a decision scheme on one
-// thread's steps in O(N): replay the trace, consult the scheme on every
-// non-local access, accumulate migration/remote-access costs. This is the
-// "computing the equivalent cost of a specific decision ... is O(N)"
-// procedure from the paper.
+// thread's steps in O(N): replay the trace, consult the scheme's per-thread
+// predictor on every non-local access, accumulate migration/remote-access
+// costs. This is the "computing the equivalent cost of a specific decision
+// ... is O(N)" procedure from the paper.
 //
-// The scheme sees the same AccessInfo a full engine run would provide
+// The predictor sees the same AccessInfo a full engine run would provide
 // (except cache state, which the model ignores).
 func EvaluateScheme(cfg core.Config, steps []Step, start geom.CoreID, scheme core.Scheme, thread int) int64 {
 	at := start
 	var total int64
-	obs, _ := scheme.(observer)
+	pred := scheme.NewPredictor(thread)
 	for i, s := range steps {
-		if obs != nil {
-			obs.NoteAccess(thread, s.Home, s.Addr)
-		}
+		pred.Observe(s.Home, s.Addr)
 		if at == s.Home {
 			continue
 		}
@@ -52,7 +45,7 @@ func EvaluateScheme(cfg core.Config, steps []Step, start geom.CoreID, scheme cor
 			Native: start,
 			Access: trace.Access{Thread: thread, Addr: s.Addr, Write: s.Write},
 		}
-		switch scheme.Decide(info) {
+		switch pred.Decide(info) {
 		case core.Migrate:
 			total += cfg.MigrationCost(at, s.Home, cfg.ContextBits)
 			at = s.Home
@@ -60,6 +53,7 @@ func EvaluateScheme(cfg core.Config, steps []Step, start geom.CoreID, scheme cor
 			total += cfg.RemoteAccessCost(at, s.Home, s.Write)
 		}
 	}
+	pred.Flush()
 	return total
 }
 

@@ -50,13 +50,28 @@ func (h *Hist) Add(v int) {
 	}
 }
 
-// AddN records n observations of v at once.
+// AddN records n observations of v at once, in O(1): bin, total, sum and
+// max move by arithmetic rather than n repeated Adds. Equivalent to calling
+// Add(v) n times (property-tested).
 func (h *Hist) AddN(v int, n int64) {
 	if n < 0 {
 		panic(fmt.Sprintf("stats: negative histogram count %d", n))
 	}
-	for ; n > 0; n-- {
-		h.Add(v)
+	if n == 0 {
+		return
+	}
+	if v < 0 {
+		panic(fmt.Sprintf("stats: negative histogram value %d", v))
+	}
+	if v < len(h.bins) {
+		h.bins[v] += n
+	} else {
+		h.overflow += n
+	}
+	h.total += n
+	h.sum += int64(v) * n
+	if v > h.max {
+		h.max = v
 	}
 }
 

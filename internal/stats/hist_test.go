@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"fmt"
 	"math"
 	"strings"
 	"testing"
@@ -59,6 +60,53 @@ func TestHistAddN(t *testing.T) {
 	h.AddN(3, 5)
 	if h.Count(3) != 5 || h.Total() != 5 || h.Sum() != 15 {
 		t.Errorf("AddN: count=%d total=%d sum=%d", h.Count(3), h.Total(), h.Sum())
+	}
+	h.AddN(2, 0) // no-op, including on max
+	if h.Total() != 5 || h.Max() != 3 {
+		t.Errorf("AddN(v, 0) changed the histogram: total=%d max=%d", h.Total(), h.Max())
+	}
+}
+
+// TestHistAddNEquivalence is the regression test for the O(1) AddN: on
+// random (value, count) sequences — direct bins, the overflow bin, zero
+// counts — AddN must leave the histogram in exactly the state n repeated
+// Adds would.
+func TestHistAddNEquivalence(t *testing.T) {
+	rnd := uint64(1)
+	next := func(m int) int {
+		rnd = rnd*6364136223846793005 + 1442695040888963407
+		return int((rnd >> 33) % uint64(m))
+	}
+	fast, slow := NewHist(10), NewHist(10)
+	for i := 0; i < 200; i++ {
+		v, n := next(25), int64(next(6)) // values beyond the bound, counts incl. 0
+		fast.AddN(v, n)
+		for k := int64(0); k < n; k++ {
+			slow.Add(v)
+		}
+	}
+	if fast.Total() != slow.Total() || fast.Sum() != slow.Sum() ||
+		fast.Max() != slow.Max() || fast.Overflow() != slow.Overflow() {
+		t.Fatalf("summary drift: fast %v vs slow %v", fast, slow)
+	}
+	for v := 0; v < 10; v++ {
+		if fast.Count(v) != slow.Count(v) {
+			t.Errorf("bin %d: fast %d vs slow %d", v, fast.Count(v), slow.Count(v))
+		}
+	}
+}
+
+// BenchmarkHistAddN pins the O(1) win: the per-call cost must not scale
+// with the observation count.
+func BenchmarkHistAddN(b *testing.B) {
+	for _, n := range []int64{1, 1000, 1000000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			h := NewHist(64)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				h.AddN(i&63, n)
+			}
+		})
 	}
 }
 

@@ -121,6 +121,13 @@ var registry = []Experiment{
 			return sim.TableT5Cells(p)
 		},
 	},
+	{
+		Name: "m3",
+		Desc: "M3: concurrent-runtime message counts vs trace-model predictions (channel + TCP, all schemes)",
+		Cells: func(p sim.Platform, _ Params) sim.CellSet {
+			return sim.M3Cells(p)
+		},
+	},
 }
 
 // All returns every registered experiment in presentation order.

@@ -2,24 +2,36 @@ package transport_test
 
 import (
 	"bytes"
+	"reflect"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/transport"
 )
 
 // FuzzWireContext: any byte string DecodeContext accepts must re-encode to
 // exactly the same bytes (the wire form is canonical — there is one
 // encoding per context, which is what lets the differential tests compare
-// transports bit-for-bit).
+// transports bit-for-bit). The corpus covers the predictor-state trailer:
+// contexts carrying real history-scheme bytes, a mid-instruction observed
+// flag, and corrupt length declarations.
 func FuzzWireContext(f *testing.F) {
 	f.Add(transport.Context{}.EncodeWire())
-	c := transport.Context{Thread: 5, Native: 2, MemSeq: 99}
+	c := transport.Context{Thread: 5, Native: 2, MemSeq: 99, Flags: transport.FlagObserved}
 	c.Arch.PC = -3
 	for i := range c.Arch.Regs {
 		c.Arch.Regs[i] = 0xDEAD0000 + uint32(i)
 	}
 	f.Add(c.EncodeWire())
+	// A context whose Sched trailer is genuine history-predictor state.
+	pred := core.NewHistory(2).NewPredictor(0)
+	pred.Observe(1, 0x1000)
+	pred.Observe(1, 0x1040)
+	pred.Observe(2, 0x2000)
+	c.Sched = pred.AppendState(nil)
+	f.Add(c.EncodeWire())
 	f.Add(make([]byte, transport.ContextWireBytes))
+	f.Add(make([]byte, transport.ContextWireBytes+7)) // header says 0 sched bytes, 7 present
 	f.Add([]byte{1, 2, 3})
 	f.Fuzz(func(t *testing.T, b []byte) {
 		ctx, err := transport.DecodeContext(b)
@@ -31,7 +43,7 @@ func FuzzWireContext(f *testing.F) {
 			t.Fatalf("decode/encode not canonical:\n in  %x\n out %x", b, back)
 		}
 		again, err := transport.DecodeContext(back)
-		if err != nil || again != ctx {
+		if err != nil || !reflect.DeepEqual(again, ctx) {
 			t.Fatalf("re-decode diverged: %+v vs %+v (%v)", again, ctx, err)
 		}
 	})

@@ -145,11 +145,13 @@ type HaltMsg struct {
 	Regs   [isa.NumRegs]uint32
 }
 
-// CollectReply is one node's post-run state: its counters, the event logs
-// of its shards, and its slice of the final memory image.
+// CollectReply is one node's post-run state: its counters (aggregate and
+// per owned core), the event logs of its shards, and its slice of the
+// final memory image.
 type CollectReply struct {
 	Node     int
 	Counters map[string]int64
+	PerCore  []CoreMetrics // owned cores, ascending
 	Events   []Event
 	Mem      map[uint32]uint32
 }

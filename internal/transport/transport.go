@@ -29,43 +29,83 @@ import (
 
 // Context is the wire form of a migrating execution context: the
 // architectural state (isa.Context) plus the routing metadata the runtime
-// needs — owning thread, native core, and the thread's memory-operation
-// counter (program order for the SC checker).
+// needs — owning thread, native core, the thread's memory-operation counter
+// (program order for the SC checker), instruction-progress flags — and the
+// thread's decision-scheme state (Sched), the predictor tables of
+// core.Predictor that hardware would keep in the per-context decision unit
+// and that therefore travel with the context instead of living in any one
+// core's memory.
 type Context struct {
 	Thread int32
 	Native int32
 	MemSeq int64
+	Flags  uint8
 	Arch   isa.Context
+	// Sched is the thread's serialized predictor state (fixed length for a
+	// given scheme; empty for stateless schemes).
+	Sched []byte
 }
 
-// ContextWireBytes is the exact encoded size of a Context: 16 bytes of
-// routing metadata plus the architectural context.
-const ContextWireBytes = 16 + isa.ContextWireBytes
+// FlagObserved marks a context shipped mid-instruction: the access at the
+// current PC was already fed to the predictor's Observe before the
+// migration, so the re-execution at the home core must not observe it
+// again.
+const FlagObserved uint8 = 1 << 0
 
-// EncodeWire returns the fixed-size big-endian encoding of c.
+// ContextWireBytes is the exact encoded size of a Context with no scheme
+// state: 19 bytes of routing metadata (thread, native, memSeq, flags, and
+// the u16 Sched length) plus the architectural context. A context carrying
+// predictor state encodes to ContextWireBytes + len(Sched).
+const ContextWireBytes = 19 + isa.ContextWireBytes
+
+// MaxSchedBytes bounds the predictor-state trailer: its length must fit
+// the u16 wire header. The machine validates a scheme's StateLen against
+// this at configuration time; EncodeWire panics as a last line of defense,
+// because a silently wrapped length would desynchronize the wire.
+const MaxSchedBytes = 1<<16 - 1
+
+// EncodeWire returns the big-endian encoding of c: the fixed header and
+// architectural context followed by the Sched trailer.
 func (c Context) EncodeWire() []byte {
-	b := make([]byte, 0, ContextWireBytes)
+	if len(c.Sched) > MaxSchedBytes {
+		panic(fmt.Sprintf("transport: %d bytes of scheme state exceed the %d-byte wire field",
+			len(c.Sched), MaxSchedBytes))
+	}
+	b := make([]byte, 0, ContextWireBytes+len(c.Sched))
 	b = binary.BigEndian.AppendUint32(b, uint32(c.Thread))
 	b = binary.BigEndian.AppendUint32(b, uint32(c.Native))
 	b = binary.BigEndian.AppendUint64(b, uint64(c.MemSeq))
-	return c.Arch.AppendWire(b)
+	b = append(b, c.Flags)
+	b = binary.BigEndian.AppendUint16(b, uint16(len(c.Sched)))
+	b = c.Arch.AppendWire(b)
+	return append(b, c.Sched...)
 }
 
-// DecodeContext is the inverse of EncodeWire: it requires exactly
-// ContextWireBytes of input and round-trips every value EncodeWire emits.
+// DecodeContext is the inverse of EncodeWire: the input must be exactly
+// ContextWireBytes plus the Sched length its own header declares, and every
+// accepted input round-trips byte-for-byte (the encoding is canonical).
 func DecodeContext(b []byte) (Context, error) {
-	if len(b) != ContextWireBytes {
-		return Context{}, fmt.Errorf("transport: context wire length %d, want %d", len(b), ContextWireBytes)
+	if len(b) < ContextWireBytes {
+		return Context{}, fmt.Errorf("transport: context wire length %d, want at least %d", len(b), ContextWireBytes)
 	}
 	var c Context
 	c.Thread = int32(binary.BigEndian.Uint32(b))
 	c.Native = int32(binary.BigEndian.Uint32(b[4:]))
 	c.MemSeq = int64(binary.BigEndian.Uint64(b[8:]))
-	arch, err := isa.DecodeContext(b[16:])
+	c.Flags = b[16]
+	schedLen := int(binary.BigEndian.Uint16(b[17:]))
+	if len(b) != ContextWireBytes+schedLen {
+		return Context{}, fmt.Errorf("transport: context wire length %d, want %d (%d scheme-state bytes)",
+			len(b), ContextWireBytes+schedLen, schedLen)
+	}
+	arch, err := isa.DecodeContext(b[19 : 19+isa.ContextWireBytes])
 	if err != nil {
 		return Context{}, err
 	}
 	c.Arch = arch
+	if schedLen > 0 {
+		c.Sched = append([]byte(nil), b[ContextWireBytes:]...)
+	}
 	return c, nil
 }
 
@@ -121,6 +161,22 @@ type Event struct {
 	Wrote  uint32 // value written (EvWrite, EvRMW)
 	Seq    int64
 	Home   geom.CoreID
+}
+
+// CoreMetrics is one core's runtime counters, collected through the
+// Collect control plane: what the core executed, how its non-local
+// accesses resolved, and how much context state it pushed onto the
+// interconnect. Counts are attributed to the core where the action was
+// decided (migrations and evictions to the sending core).
+type CoreMetrics struct {
+	Core         geom.CoreID
+	Instructions int64
+	LocalOps     int64 // memory ops served by the core's own shard
+	RemoteReads  int64 // remote round trips issued from this core
+	RemoteWrites int64
+	Migrations   int64 // contexts this core shipped toward a home
+	Evictions    int64 // guests this core evicted to their native cores
+	ContextFlits int64 // flits of context wire (incl. predictor state) sent
 }
 
 // Transport moves contexts and remote accesses between cores. A transport

@@ -2,6 +2,7 @@ package transport_test
 
 import (
 	"fmt"
+	"reflect"
 	"testing"
 	"time"
 
@@ -20,25 +21,39 @@ func sampleContext() transport.Context {
 }
 
 func TestContextWireRoundTrip(t *testing.T) {
+	withSched := sampleContext()
+	withSched.Flags = transport.FlagObserved
+	withSched.Sched = []byte{9, 8, 7, 6, 5}
 	for _, c := range []transport.Context{
 		{},
 		sampleContext(),
 		{Thread: -1, Native: -1, MemSeq: -7, Arch: isa.Context{PC: -1}},
+		withSched,
 	} {
 		b := c.EncodeWire()
-		if len(b) != transport.ContextWireBytes {
-			t.Fatalf("encoded %d bytes, want %d", len(b), transport.ContextWireBytes)
+		if want := transport.ContextWireBytes + len(c.Sched); len(b) != want {
+			t.Fatalf("encoded %d bytes, want %d", len(b), want)
 		}
 		back, err := transport.DecodeContext(b)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if back != c {
+		if !reflect.DeepEqual(back, c) {
 			t.Fatalf("round trip: got %+v, want %+v", back, c)
 		}
 	}
 	if _, err := transport.DecodeContext(make([]byte, 3)); err == nil {
 		t.Error("short context accepted")
+	}
+	// A trailer longer or shorter than the header's declared Sched length is
+	// protocol corruption, not a longer context.
+	if _, err := transport.DecodeContext(append(withSched.EncodeWire(), 0)); err == nil {
+		t.Error("over-long sched trailer accepted")
+	}
+	if b := withSched.EncodeWire(); true {
+		if _, err := transport.DecodeContext(b[:len(b)-1]); err == nil {
+			t.Error("truncated sched trailer accepted")
+		}
 	}
 }
 
@@ -86,13 +101,13 @@ func TestLocalTransport(t *testing.T) {
 	if err := l.SendMigration(2, c); err != nil {
 		t.Fatal(err)
 	}
-	if got := <-l.MigrationIn(2); got != c {
+	if got := <-l.MigrationIn(2); !reflect.DeepEqual(got, c) {
 		t.Fatalf("migration round trip: %+v", got)
 	}
 	if err := l.SendEviction(1, c); err != nil {
 		t.Fatal(err)
 	}
-	if got := <-l.EvictionIn(1); got != c {
+	if got := <-l.EvictionIn(1); !reflect.DeepEqual(got, c) {
 		t.Fatalf("eviction round trip: %+v", got)
 	}
 	l.HandleMem(func(core geom.CoreID, req transport.MemRequest) transport.MemReply {
