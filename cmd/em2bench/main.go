@@ -1,0 +1,142 @@
+// Command em2bench runs the benchmark registry (internal/bench) — wire
+// codec hot paths, the batch frame layer, and the real machine over both
+// transports on the registry workloads — and emits a machine-readable
+// BENCH_*.json report: ns/op, allocs/op, bytes/op, msgs/sec, flits/sec,
+// wire batching factors, per-core runtime metrics.
+//
+// Usage:
+//
+//	em2bench -short -json                         # reduced workloads, JSON to stdout
+//	em2bench -run 'codec/' -o BENCH_codec.json    # subset, custom artifact path
+//	em2bench -short -baseline bench/baseline.json -check
+//	em2bench -list
+//
+// With -baseline the report is compared against a committed reference:
+// gated benchmarks (the codec and frame hot paths) must not exceed their
+// baseline allocs/op by more than -alloc-tolerance (default 0 — the hot
+// paths are allocation-free and must stay that way). -check turns
+// regressions into a non-zero exit, which is the CI gate; timing is never
+// gated, only recorded.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the whole command with injectable argv and streams, so the CLI
+// tests can pin flag handling and output without a subprocess.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("em2bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	pattern := fs.String("run", "", "run only benchmarks matching this regexp")
+	short := fs.Bool("short", false, "reduced workloads (the CI sizing)")
+	jsonOut := fs.Bool("json", false, "print the report JSON to stdout")
+	out := fs.String("o", "BENCH_em2.json", "write the report to this file (empty disables)")
+	baseline := fs.String("baseline", "", "compare against this committed report")
+	check := fs.Bool("check", false, "exit non-zero if the baseline comparison regresses")
+	tol := fs.Int64("alloc-tolerance", 0, "allowed allocs/op above baseline on gated benchmarks")
+	list := fs.Bool("list", false, "list registered benchmarks and exit")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "em2bench:", err)
+		return 1
+	}
+
+	if *list {
+		for _, name := range bench.Names() {
+			fmt.Fprintln(stdout, name)
+		}
+		return 0
+	}
+
+	var re *regexp.Regexp
+	if *pattern != "" {
+		var err error
+		if re, err = regexp.Compile(*pattern); err != nil {
+			return fail(fmt.Errorf("bad -run pattern: %v", err))
+		}
+	}
+
+	rep, err := bench.Run(re, *short)
+	if err != nil {
+		return fail(err)
+	}
+	if *out != "" {
+		if err := rep.WriteFile(*out); err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(stderr, "em2bench: wrote %s (%d benchmarks)\n", *out, len(rep.Results))
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			return fail(err)
+		}
+	} else {
+		printReport(stdout, rep)
+	}
+
+	if *baseline != "" {
+		base, err := bench.LoadReport(*baseline)
+		if err != nil {
+			return fail(err)
+		}
+		regressions := bench.Compare(rep, base, *tol)
+		if len(regressions) == 0 {
+			fmt.Fprintf(stderr, "em2bench: no regressions vs %s (gate: allocs/op on gated benchmarks, tolerance %d)\n",
+				*baseline, *tol)
+		} else {
+			for _, r := range regressions {
+				fmt.Fprintln(stderr, "em2bench: REGRESSION:", r)
+			}
+			if *check {
+				return 1
+			}
+		}
+	}
+	return 0
+}
+
+// printReport renders the human-readable table.
+func printReport(w io.Writer, rep bench.Report) {
+	fmt.Fprintf(w, "em2bench: %d benchmarks, short=%v, %s %s/%s, %d cpus\n",
+		len(rep.Results), rep.Short, rep.GoVersion, rep.GOOS, rep.GOARCH, rep.CPUs)
+	for _, r := range rep.Results {
+		gate := ""
+		if r.Gated {
+			gate = "  [gated]"
+		}
+		fmt.Fprintf(w, "%-34s %12.1f ns/op %6d allocs/op %8d B/op%s\n",
+			r.Name, r.NsPerOp, r.AllocsPerOp, r.BytesPerOp, gate)
+		if len(r.Metrics) > 0 {
+			keys := make([]string, 0, len(r.Metrics))
+			for k := range r.Metrics {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				fmt.Fprintf(w, "%34s %14.1f %s\n", "", r.Metrics[k], k)
+			}
+		}
+	}
+}

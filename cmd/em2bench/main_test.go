@@ -1,0 +1,75 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+func TestListAndFlagErrors(t *testing.T) {
+	t.Parallel()
+	var out, errb bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("-list exited %d: %s", code, errb.String())
+	}
+	for _, want := range []string{"codec/context-encode [gated]", "frame/batch-encode [gated]",
+		"transport/burst-coalesce", "machine/tcp/counter", "codec/context-gob-roundtrip"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("-list output missing %q", want)
+		}
+	}
+
+	if code := run([]string{"-run", "["}, &out, &errb); code != 1 {
+		t.Errorf("bad -run pattern exited %d, want 1", code)
+	}
+	if code := run([]string{"-nope"}, &out, &errb); code != 2 {
+		t.Errorf("unknown flag exited %d, want 2", code)
+	}
+	if code := run([]string{"-run", "doesnotmatchanything", "-o", ""}, &out, &errb); code != 1 {
+		t.Errorf("empty selection exited %d, want 1", code)
+	}
+}
+
+// TestRunWritesReportAndGates drives one real (cheap) benchmark through the
+// CLI: the report lands on disk, and the -check gate passes against a
+// baseline demanding zero allocations, then fails against an impossible
+// one.
+func TestRunWritesReportAndGates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real benchmark (~1s)")
+	}
+	t.Parallel()
+	dir := t.TempDir()
+	out := filepath.Join(dir, "BENCH_test.json")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-run", "^codec/context-encode$", "-short", "-json", "-o", out}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	rep, err := bench.LoadReport(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 1 || rep.Results[0].AllocsPerOp != 0 || !rep.Results[0].Gated {
+		t.Fatalf("unexpected report: %+v", rep.Results)
+	}
+	if !strings.Contains(stdout.String(), `"codec/context-encode"`) {
+		t.Error("-json did not print the report")
+	}
+
+	// Gate passes against the report itself as baseline...
+	code = run([]string{"-run", "^codec/context-encode$", "-short", "-o", "",
+		"-baseline", out, "-check"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("self-baseline gate failed: %s", stderr.String())
+	}
+	// ...and a missing baseline file is an error, not a silent pass.
+	code = run([]string{"-run", "^codec/context-encode$", "-short", "-o", "",
+		"-baseline", filepath.Join(dir, "missing.json"), "-check"}, &stdout, &stderr)
+	if code != 1 {
+		t.Errorf("missing baseline exited %d, want 1", code)
+	}
+}

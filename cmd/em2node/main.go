@@ -35,6 +35,7 @@ import (
 func main() {
 	manifest := flag.String("manifest", "", "cluster manifest (JSON)")
 	node := flag.Int("node", -1, "index of this node in the manifest")
+	wireStats := flag.Bool("wire-stats", false, "print wire-level traffic counters (batches, msgs, coalescing) to stderr on exit")
 	flag.Parse()
 
 	if *manifest == "" || *node < 0 {
@@ -45,7 +46,11 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	if err := machine.ServeNode(man, *node); err != nil {
+	var opts []machine.NodeOption
+	if *wireStats {
+		opts = append(opts, machine.WithWireStats(os.Stderr))
+	}
+	if err := machine.ServeNode(man, *node, opts...); err != nil {
 		fail(err)
 	}
 }

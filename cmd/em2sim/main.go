@@ -410,6 +410,8 @@ func runCluster(stdout io.Writer, nodes int, progName string, cores, threads, gu
 			Check        string                  `json:"check"`
 			PerNode      []map[string]int64      `json:"per_node"`
 			PerCore      []transport.CoreMetrics `json:"per_core"`
+			Net          []transport.NetStats    `json:"net"`
+			CoordNet     transport.NetStats      `json:"coord_net"`
 		}{
 			Program: lit.Name, Scheme: scheme, Placement: place,
 			Nodes: nodes, Cores: mesh.Cores(), Threads: len(lit.Threads),
@@ -418,6 +420,7 @@ func runCluster(stdout io.Writer, nodes int, progName string, cores, threads, gu
 			ContextFlits: res.ContextFlits,
 			Events:       len(res.Events), SC: status(scErr), Check: status(checkErr),
 			PerNode: res.NodeCounters, PerCore: res.PerCore,
+			Net: res.NodeNet, CoordNet: res.CoordNet,
 		}); err != nil {
 			return err
 		}
@@ -433,6 +436,13 @@ func runCluster(stdout io.Writer, nodes int, progName string, cores, threads, gu
 		}
 		if statsOut {
 			fmt.Fprint(stdout, machine.MetricsTable(res.PerCore).String())
+			for i, s := range res.NodeNet {
+				fmt.Fprintf(stdout, "wire %-4d: sent %d msgs in %d batches (%.2f msgs/batch, %d B), recv %d msgs in %d batches\n",
+					i, s.MsgsSent, s.BatchesSent, s.MsgsPerBatch(), s.BytesSent, s.MsgsRecv, s.BatchesRecv)
+			}
+			c := res.CoordNet
+			fmt.Fprintf(stdout, "wire coord: sent %d msgs in %d batches (%.2f msgs/batch; injections coalesce per node)\n",
+				c.MsgsSent, c.BatchesSent, c.MsgsPerBatch())
 		}
 		if scErr != nil {
 			fmt.Fprintf(stdout, "SC check : FAILED: %v\n", scErr)

@@ -1,0 +1,202 @@
+// Package bench is the machine-readable benchmark subsystem: a registry of
+// named benchmarks covering the wire codec's hot paths (where zero
+// allocations per op is a gated invariant), the batch frame layer, and the
+// real machine driven end-to-end over both transports on the registry
+// workloads (litmus batteries, the spinlock, the M3 micro-workloads).
+//
+// cmd/em2bench runs the registry and emits a BENCH_*.json report — ns/op,
+// allocs/op, bytes/op, msgs/sec, flits/sec, wire batching factors, per-core
+// runtime metrics — which CI uploads as an artifact and gates against the
+// committed bench/baseline.json: a gated benchmark whose allocs/op rises
+// above its baseline fails the build.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"sort"
+	"testing"
+
+	"repro/internal/transport"
+)
+
+// Schema identifies the report format.
+const Schema = "em2bench/v1"
+
+// Side carries per-run detail a benchmark body surfaces beyond the timing
+// counters: the last iteration's per-core runtime metrics and wire-level
+// traffic counters.
+type Side struct {
+	PerCore []transport.CoreMetrics `json:"per_core,omitempty"`
+	Net     *transport.NetStats     `json:"net,omitempty"`
+
+	// err is why the body aborted: testing.Benchmark discards b.Fatal
+	// output, so failures are recorded here for Run to surface.
+	err error
+}
+
+// Fail records err as the benchmark's failure cause and aborts the body
+// (bodies must use this instead of b.Fatal, whose output
+// testing.Benchmark swallows).
+func (s *Side) Fail(b *testing.B, err error) {
+	s.err = err
+	b.Fatal(err)
+}
+
+// Failf is Fail with formatting.
+func (s *Side) Failf(b *testing.B, format string, args ...any) {
+	s.Fail(b, fmt.Errorf(format, args...))
+}
+
+// Spec is one registered benchmark.
+type Spec struct {
+	Name string
+	// Gated marks hot-path benchmarks whose allocs/op is a CI invariant:
+	// the regression gate fails if it exceeds the committed baseline.
+	Gated bool
+	// FullOnly benchmarks are skipped under -short.
+	FullOnly bool
+	// Run is the benchmark body. short selects reduced workloads; side may
+	// be filled with per-run detail for the report.
+	Run func(b *testing.B, short bool, side *Side)
+}
+
+// Result is one benchmark's measured outcome.
+type Result struct {
+	Name        string             `json:"name"`
+	Gated       bool               `json:"gated"`
+	N           int                `json:"n"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+	Side
+}
+
+// Report is a full em2bench run.
+type Report struct {
+	Schema    string   `json:"schema"`
+	GoVersion string   `json:"go_version"`
+	GOOS      string   `json:"goos"`
+	GOARCH    string   `json:"goarch"`
+	CPUs      int      `json:"cpus"`
+	Short     bool     `json:"short"`
+	Results   []Result `json:"results"`
+}
+
+// Run executes every registered benchmark whose name matches pattern (nil
+// matches all) and returns the report. A benchmark that fails (b.Fatal)
+// aborts the run with an error.
+func Run(pattern *regexp.Regexp, short bool) (Report, error) {
+	rep := Report{
+		Schema:    Schema,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+		Short:     short,
+	}
+	for _, s := range Specs() {
+		if pattern != nil && !pattern.MatchString(s.Name) {
+			continue
+		}
+		if short && s.FullOnly {
+			continue
+		}
+		side := &Side{}
+		r := testing.Benchmark(func(b *testing.B) { s.Run(b, short, side) })
+		if r.N == 0 {
+			if side.err != nil {
+				return rep, fmt.Errorf("bench: %s failed: %v", s.Name, side.err)
+			}
+			return rep, fmt.Errorf("bench: %s failed", s.Name)
+		}
+		res := Result{
+			Name:        s.Name,
+			Gated:       s.Gated,
+			N:           r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			Side:        *side,
+		}
+		if len(r.Extra) > 0 {
+			res.Metrics = make(map[string]float64, len(r.Extra))
+			for k, v := range r.Extra {
+				res.Metrics[k] = v
+			}
+		}
+		rep.Results = append(rep.Results, res)
+	}
+	if len(rep.Results) == 0 {
+		return rep, fmt.Errorf("bench: no benchmark matches the pattern")
+	}
+	return rep, nil
+}
+
+// Names lists the registered benchmark names, gated ones marked.
+func Names() []string {
+	var out []string
+	for _, s := range Specs() {
+		name := s.Name
+		if s.Gated {
+			name += " [gated]"
+		}
+		out = append(out, name)
+	}
+	return out
+}
+
+// Compare checks cur against base and returns one description per
+// regression. The gate is allocs/op on gated benchmarks only: timing is
+// hardware-dependent and tracked as a trajectory, but allocation counts are
+// deterministic, so a gated benchmark may exceed its baseline allocs/op by
+// at most tol (and a gated benchmark absent from the baseline is held to
+// tol absolutely).
+func Compare(cur, base Report, tol int64) []string {
+	baseline := make(map[string]Result, len(base.Results))
+	for _, r := range base.Results {
+		baseline[r.Name] = r
+	}
+	var regressions []string
+	for _, r := range cur.Results {
+		if !r.Gated {
+			continue
+		}
+		allowed := tol
+		if b, ok := baseline[r.Name]; ok {
+			allowed = b.AllocsPerOp + tol
+		}
+		if r.AllocsPerOp > allowed {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %d allocs/op, gate allows %d", r.Name, r.AllocsPerOp, allowed))
+		}
+	}
+	sort.Strings(regressions)
+	return regressions
+}
+
+// WriteFile stores the report as indented JSON.
+func (r Report) WriteFile(path string) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// LoadReport reads a report written by WriteFile.
+func LoadReport(path string) (Report, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return Report{}, err
+	}
+	var rep Report
+	if err := json.Unmarshal(b, &rep); err != nil {
+		return Report{}, fmt.Errorf("bench: %s: %v", path, err)
+	}
+	return rep, nil
+}

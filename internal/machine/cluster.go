@@ -2,6 +2,7 @@ package machine
 
 import (
 	"fmt"
+	"io"
 	"sort"
 	"strconv"
 	"strings"
@@ -151,17 +152,44 @@ func decodePrograms(spec *transport.LoadSpec) ([]ThreadSpec, error) {
 	return threads, nil
 }
 
+// NodeOption customizes ServeNode.
+type NodeOption func(*nodeOptions)
+
+type nodeOptions struct {
+	wireStats io.Writer
+}
+
+// WithWireStats makes ServeNode print the node's wire-level traffic
+// counters (batches, messages, bytes, coalescing factor) to w after the
+// run.
+func WithWireStats(w io.Writer) NodeOption {
+	return func(o *nodeOptions) { o.wireStats = w }
+}
+
 // ServeNode runs one cluster node to completion: listen per the manifest,
 // receive the coordinator's LoadSpec, execute the owned cores' loops with
 // contexts and remote accesses crossing the TCP transport, report HALTs,
 // answer the collect request, and exit on shutdown. This is the whole of
 // cmd/em2node.
-func ServeNode(man transport.Manifest, idx int) error {
+func ServeNode(man transport.Manifest, idx int, opts ...NodeOption) error {
+	var opt nodeOptions
+	for _, o := range opts {
+		o(&opt)
+	}
 	tn, err := transport.ListenNode(man, idx)
 	if err != nil {
 		return err
 	}
 	defer tn.Close()
+	if opt.wireStats != nil {
+		defer func() {
+			s := tn.NetStats()
+			fmt.Fprintf(opt.wireStats,
+				"em2node %d wire: sent %d msgs in %d batches (%.2f msgs/batch, %d bytes), recv %d msgs in %d batches (%d bytes)\n",
+				idx, s.MsgsSent, s.BatchesSent, s.MsgsPerBatch(), s.BytesSent,
+				s.MsgsRecv, s.BatchesRecv, s.BytesRecv)
+		}()
+	}
 
 	var spec *transport.LoadSpec
 	select {
@@ -205,7 +233,10 @@ func ServeNode(man transport.Manifest, idx int) error {
 		part.Stop() // coordinator aborted mid-run (timeout, error)
 		return nil
 	}
-	if err := tn.SendCollect(part.Collect(idx)); err != nil {
+	rep := part.Collect(idx)
+	net := tn.NetStats()
+	rep.Net = &net
+	if err := tn.SendCollect(rep); err != nil {
 		return err
 	}
 	<-tn.ShutdownC()
@@ -226,11 +257,17 @@ type ClusterConfig struct {
 }
 
 // ClusterResult is a cluster run's outcome: the aggregate Result plus the
-// merged final memory image and the per-node counter breakdown.
+// merged final memory image, the per-node counter breakdown, and each
+// node's wire-level traffic counters (index-aligned with NodeCounters).
 type ClusterResult struct {
 	Result
 	Mem          map[uint32]uint32
 	NodeCounters []map[string]int64
+	NodeNet      []transport.NetStats
+	// CoordNet is the coordinator's own wire traffic; its send side shows
+	// the injection batching (a whole run's initial contexts reach each
+	// node in one write).
+	CoordNet transport.NetStats
 }
 
 // mergePerCore concatenates per-node core metrics and sorts by core id.
@@ -321,6 +358,11 @@ func RunCluster(man transport.Manifest, cfg ClusterConfig, threads []ThreadSpec,
 			return nil, err
 		}
 	}
+	// Injections coalesce per node; the whole run's initial contexts reach
+	// each node in one batch write.
+	if err := co.Flush(); err != nil {
+		return nil, err
+	}
 
 	res := &ClusterResult{Mem: make(map[uint32]uint32)}
 	res.FinalRegs = make([][isa.NumRegs]uint32, len(threads))
@@ -355,7 +397,13 @@ func RunCluster(man transport.Manifest, cfg ClusterConfig, threads []ThreadSpec,
 			res.Mem[a] = v
 		}
 		res.NodeCounters = append(res.NodeCounters, rep.Counters)
+		if rep.Net != nil {
+			res.NodeNet = append(res.NodeNet, *rep.Net)
+		} else {
+			res.NodeNet = append(res.NodeNet, transport.NetStats{})
+		}
 	}
 	res.PerCore = mergePerCore(reps)
+	res.CoordNet = co.NetStats()
 	return res, nil
 }

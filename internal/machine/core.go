@@ -2,6 +2,7 @@ package machine
 
 import (
 	"fmt"
+	"os"
 
 	"repro/internal/cache"
 	"repro/internal/core"
@@ -48,6 +49,20 @@ type coreNode struct {
 	evictIn <-chan transport.Context // native returns (paper's eviction VN)
 	runq    []*context
 	guests  int
+
+	flushFailed bool // a flush error was already reported for this core
+}
+
+// flush pushes the transport's coalesced sends out at this core's flush
+// points. A failed flush means a peer connection died with contexts in the
+// buffer — the run is lost, so say why once (the writer's error is sticky
+// and would repeat every cycle) instead of letting the cluster die as a
+// bare timeout.
+func (n *coreNode) flush() {
+	if err := n.p.tr.Flush(); err != nil && !n.flushFailed {
+		n.flushFailed = true
+		fmt.Fprintf(os.Stderr, "machine: core %d: transport flush: %v\n", n.id, err)
+	}
 }
 
 // loop is the core goroutine: accept arrivals, time-slice resident contexts.
@@ -56,7 +71,10 @@ func (n *coreNode) loop() {
 	for {
 		n.drain()
 		if len(n.runq) == 0 {
-			// Idle: block until an arrival or shutdown.
+			// Idle: nothing more will be produced until an arrival, so any
+			// coalesced sends (a migration away, evictions from drain) must
+			// reach the wire before this core parks.
+			n.flush()
 			select {
 			case c := <-n.evictIn:
 				n.acceptNative(n.p.fromWire(c))
@@ -73,6 +91,12 @@ func (n *coreNode) loop() {
 			n.guests--
 		}
 		n.execute(c)
+		// One execution slice is this core's NOC cycle: everything it
+		// produced — evictions while accepting guests, the migration that
+		// ended the slice — leaves in one batch per destination node.
+		// (Remote round trips inside the slice flush their own connection
+		// eagerly, so a buffered message waits at most one slice.)
+		n.flush()
 	}
 }
 

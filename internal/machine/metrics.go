@@ -29,13 +29,7 @@ func MetricsTable(perCore []transport.CoreMetrics) *stats.Table {
 	for _, m := range perCore {
 		t.AddRow(int(m.Core), m.Instructions, m.LocalOps, m.RemoteReads, m.RemoteWrites,
 			m.Migrations, m.Evictions, m.ContextFlits)
-		total.Instructions += m.Instructions
-		total.LocalOps += m.LocalOps
-		total.RemoteReads += m.RemoteReads
-		total.RemoteWrites += m.RemoteWrites
-		total.Migrations += m.Migrations
-		total.Evictions += m.Evictions
-		total.ContextFlits += m.ContextFlits
+		total = total.Add(m)
 	}
 	t.AddRow("total", total.Instructions, total.LocalOps, total.RemoteReads,
 		total.RemoteWrites, total.Migrations, total.Evictions, total.ContextFlits)

@@ -199,13 +199,7 @@ func (p *Part) Collect(node int) transport.CollectReply {
 	perCore := p.PerCoreMetrics()
 	var agg transport.CoreMetrics
 	for _, m := range perCore {
-		agg.Instructions += m.Instructions
-		agg.LocalOps += m.LocalOps
-		agg.RemoteReads += m.RemoteReads
-		agg.RemoteWrites += m.RemoteWrites
-		agg.Migrations += m.Migrations
-		agg.Evictions += m.Evictions
-		agg.ContextFlits += m.ContextFlits
+		agg = agg.Add(m)
 	}
 	rep := transport.CollectReply{
 		Node: node,

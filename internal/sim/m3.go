@@ -44,6 +44,22 @@ func m3Mesh() geom.Mesh { return geom.NewMesh(2, 2) }
 // exercising machine.ParseScheme, the path a cluster node takes).
 var m3Schemes = []string{"always-migrate", "always-remote", "distance:1", "history:2"}
 
+// M3MicroLitmuses exposes the deterministic M3 micro-workloads as litmus
+// programs, for the benchmark subsystem: em2bench drives the exact access
+// sequences whose runtime message counts the M3 experiment validates
+// against the model.
+func M3MicroLitmuses() []machine.Litmus {
+	var lits []machine.Litmus
+	for _, m := range m3Micros() {
+		lits = append(lits, machine.Litmus{
+			Name:          "m3-" + m.name,
+			Threads:       []machine.ThreadSpec{{Program: m.program()}},
+			Deterministic: true,
+		})
+	}
+	return lits
+}
+
 // m3Micro is one deterministic micro-workload: a single thread reading the
 // given addresses in order. The same sequence becomes an ISA program (for
 // the runtime) and a trace (for the model).

@@ -62,6 +62,10 @@ func (l *Local) SendEviction(dst geom.CoreID, c Context) error {
 	return nil
 }
 
+// Flush implements Transport; channel sends deliver immediately, so there
+// is never anything buffered.
+func (l *Local) Flush() error { return nil }
+
 // Remote implements Transport as a direct handler call.
 func (l *Local) Remote(dst geom.CoreID, req MemRequest) (MemReply, error) {
 	if l.h == nil {

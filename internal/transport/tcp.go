@@ -1,8 +1,9 @@
 package transport
 
 import (
-	"encoding/gob"
+	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"os"
@@ -146,67 +147,60 @@ type HaltMsg struct {
 }
 
 // CollectReply is one node's post-run state: its counters (aggregate and
-// per owned core), the event logs of its shards, and its slice of the
-// final memory image.
+// per owned core), the event logs of its shards, its slice of the final
+// memory image, and — when the part ran over TCP — the node's wire-level
+// traffic counters.
 type CollectReply struct {
 	Node     int
 	Counters map[string]int64
 	PerCore  []CoreMetrics // owned cores, ascending
 	Events   []Event
 	Mem      map[uint32]uint32
+	Net      *NetStats `json:",omitempty"` // nil for in-process parts
 }
 
 // --- wire protocol -------------------------------------------------------
 
 const coordinatorID = -1
 
-type msgKind uint8
+// errStopRead tells a connection reader to stop cleanly (orderly shutdown
+// frame, duplicate connection) — not a protocol error.
+var errStopRead = errors.New("transport: stop reading")
 
-const (
-	kHello msgKind = iota + 1
-	kMigration
-	kEviction
-	kMemReq
-	kMemRep
-	kLoad
-	kHalt
-	kCollect
-	kCollectRep
-	kShutdown
-)
-
-// wireMsg is the single gob frame type; unused fields stay zero. Contexts
-// ride as their fixed ContextWireBytes encoding, so what crosses the wire
-// per migration is exactly the byte string a hardware transfer would ship.
-type wireMsg struct {
-	Kind msgKind
-	From int // kHello: sender's node index, or coordinatorID
-	Dst  geom.CoreID
-	ID   uint64
-	Ctx  []byte
-	Req  MemRequest
-	Rep  MemReply
-	Load *LoadSpec
-	Halt *HaltMsg
-	Coll *CollectReply
+// pendingCall is one in-flight Remote round trip: the reply channel and the
+// connection the request left on (replies come back on the same link, so a
+// dying connection fails exactly its own calls). Every entry is removed
+// from Node.pending under the mutex exactly once — by the reply, or by the
+// teardown sweep — so ch is either sent to or closed, never both.
+type pendingCall struct {
+	ch   chan MemReply
+	conn *conn
 }
 
-// conn is one gob-framed TCP connection with serialized writes.
+// conn is one batch-framed TCP connection (wire.go): coalescing writes
+// through the shared batch buffer, buffered batch reads. Contexts ride as
+// their fixed ContextWireBytes encoding, so what crosses the wire per
+// migration is exactly the byte string a hardware transfer would ship.
 type conn struct {
-	c   net.Conn
-	enc *gob.Encoder
-	dec *gob.Decoder
-	wmu sync.Mutex
+	c  net.Conn
+	br *bufio.Reader
+	w  batchWriter
 }
 
-func newConn(c net.Conn) *conn {
-	return &conn{c: c, enc: gob.NewEncoder(c), dec: gob.NewDecoder(c)}
+func newConn(c net.Conn, nc *netCounters) *conn {
+	cn := &conn{c: c, br: bufio.NewReaderSize(c, 32<<10)}
+	cn.w.init(c, nc)
+	return cn
 }
 
-func (c *conn) send(m *wireMsg) error {
-	c.wmu.Lock()
-	defer c.wmu.Unlock()
-	return c.enc.Encode(m)
+// sendJSON marshals v and ships it as a control frame, flushing anything
+// deferred ahead of it.
+func (c *conn) sendJSON(kind FrameKind, v any) error {
+	blob, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	return c.w.appendBlob(kind, blob)
 }
 
 // peerSlot holds a connection that may not exist yet; ready closes when it
@@ -266,6 +260,7 @@ type Node struct {
 	ln    net.Listener
 	route []int
 	owned []geom.CoreID
+	nc    netCounters
 
 	peers []*peerSlot // by node index
 	coord *peerSlot
@@ -276,7 +271,7 @@ type Node struct {
 	evict    map[geom.CoreID]chan Context
 	handler  func(core geom.CoreID, req MemRequest) MemReply
 	nextID   atomic.Uint64
-	pending  map[uint64]chan MemReply
+	pending  map[uint64]*pendingCall
 	loads    chan *LoadSpec
 	collects chan struct{}
 	shutdown chan struct{}
@@ -309,7 +304,7 @@ func ListenNode(man Manifest, idx int) (*Node, error) {
 		peers:    make([]*peerSlot, len(man.Nodes)),
 		coord:    newPeerSlot(),
 		ready:    make(chan struct{}),
-		pending:  make(map[uint64]chan MemReply),
+		pending:  make(map[uint64]*pendingCall),
 		loads:    make(chan *LoadSpec, 1),
 		collects: make(chan struct{}, 1),
 		shutdown: make(chan struct{}),
@@ -330,33 +325,149 @@ func (n *Node) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
-		cc := newConn(c)
+		cc := newConn(c, &n.nc)
+		// The first frame must be the hello identifying the dialer; it may
+		// share its batch with data frames that follow it, which the same
+		// reader then dispatches.
 		go func() {
-			var hello wireMsg
-			if err := cc.dec.Decode(&hello); err != nil || hello.Kind != kHello {
-				c.Close()
-				return
-			}
-			switch {
-			case hello.From == coordinatorID:
-				if !n.coord.set(cc) {
-					c.Close()
-					return
+			identified := false
+			fromCoordinator := false
+			err := readBatches(cc.br, &n.nc, func(f Frame) error {
+				if !identified {
+					if f.Kind != FrameHello {
+						return malformedf("first frame kind %d, want hello", f.Kind)
+					}
+					switch {
+					case f.From == coordinatorID:
+						if !n.coord.set(cc) {
+							return errStopRead // duplicate coordinator connection
+						}
+						fromCoordinator = true
+					case f.From >= 0 && int(f.From) < len(n.peers):
+						if !n.peers[f.From].set(cc) {
+							return errStopRead // duplicate peer connection
+						}
+					default:
+						return malformedf("hello from unknown peer %d", f.From)
+					}
+					identified = true
+					return nil
 				}
-				n.readLoop(cc, true)
-				return
-			case hello.From >= 0 && hello.From < len(n.peers):
-				if !n.peers[hello.From].set(cc) {
-					c.Close()
-					return
-				}
-			default:
-				c.Close()
-				return
-			}
-			n.readLoop(cc, false)
+				return n.handleFrame(cc, f)
+			})
+			// A malformed stream from a stranger just drops the connection;
+			// after identification it is protocol corruption on a live link.
+			n.finishRead(cc, err, fromCoordinator, identified)
+			c.Close()
 		}()
 	}
+}
+
+// finishRead implements the shared connection-teardown policy: corruption
+// on an identified link fails the node loudly (a context or reply may be
+// gone — better a visible death than a silent hang); a dropped coordinator
+// connection releases the node; a peer closing at a batch boundary is
+// normal teardown. Either way, Remote calls whose requests left on this
+// connection can never be answered, so they are failed now rather than
+// left to stall until the cluster timeout.
+func (n *Node) finishRead(c *conn, err error, fromCoordinator, identified bool) {
+	switch {
+	case errors.Is(err, errStopRead):
+		// Orderly: shutdown frame handled, or a duplicate connection.
+	case errors.Is(err, ErrMalformedFrame):
+		if identified {
+			fmt.Fprintf(os.Stderr, "transport: node %d: %v\n", n.idx, err)
+			n.triggerShutdown()
+		}
+	default: // io error: EOF or closed connection
+		if fromCoordinator {
+			// The coordinator dropping without a Shutdown frame means the
+			// driver died: release the node rather than wedging forever.
+			n.triggerShutdown()
+		}
+	}
+	n.failPending(c)
+}
+
+// failPending completes every in-flight Remote whose request left on c
+// with a closed channel (the caller surfaces it as a lost-connection
+// error). Entries are removed under the mutex, so a racing reply either
+// owns the entry or never sees it — the channel is sent to or closed,
+// never both.
+func (n *Node) failPending(c *conn) {
+	var lost []*pendingCall
+	n.mu.Lock()
+	for id, call := range n.pending {
+		if call.conn == c {
+			delete(n.pending, id)
+			lost = append(lost, call)
+		}
+	}
+	n.mu.Unlock()
+	for _, call := range lost {
+		close(call.ch)
+	}
+}
+
+// handleFrame dispatches one inbound frame. Data-plane frames wait for
+// Ready — the coordinator's Load always gets through first because it
+// arrives on its own connection — and are delivered into per-core inboxes
+// whose capacity (one slot per thread) guarantees the push never blocks;
+// that is the wire credit that keeps every socket drained even mid-batch.
+func (n *Node) handleFrame(c *conn, f Frame) error {
+	switch f.Kind {
+	case FrameLoad:
+		spec := new(LoadSpec)
+		if err := json.Unmarshal(f.Blob, spec); err != nil {
+			return malformedf("load spec: %v", err)
+		}
+		select {
+		case n.loads <- spec:
+		default:
+		}
+	case FrameMigration, FrameEviction:
+		ctx, err := DecodeContext(f.Ctx)
+		if err != nil {
+			// A context that does not decode is protocol corruption (version
+			// skew, mangled frame): the thread it carried is gone.
+			return malformedf("context for core %d: %v", f.Dst, err)
+		}
+		if !n.waitReady() {
+			return errStopRead
+		}
+		if f.Kind == FrameMigration {
+			n.inbox(n.mig, f.Dst) <- ctx
+		} else {
+			n.inbox(n.evict, f.Dst) <- ctx
+		}
+	case FrameMemReq:
+		if !n.waitReady() {
+			return errStopRead
+		}
+		go func(dst geom.CoreID, id uint64, req MemRequest) {
+			rep := n.handler(dst, req)
+			c.w.appendMemRep(id, rep)
+		}(f.Dst, f.ID, f.Req)
+	case FrameMemRep:
+		n.mu.Lock()
+		call := n.pending[f.ID]
+		delete(n.pending, f.ID)
+		n.mu.Unlock()
+		if call != nil {
+			call.ch <- f.Rep
+		}
+	case FrameCollect:
+		select {
+		case n.collects <- struct{}{}:
+		default:
+		}
+	case FrameShutdown:
+		n.triggerShutdown()
+		return errStopRead
+	default:
+		return malformedf("unexpected frame kind %d on a node link", f.Kind)
+	}
+	return nil
 }
 
 // dialPeer connects to a lower-index peer, retrying until it answers or
@@ -380,8 +491,8 @@ func (n *Node) dialPeer(j int) {
 			return
 		}
 	}
-	cc := newConn(c)
-	if err := cc.send(&wireMsg{Kind: kHello, From: n.idx}); err != nil {
+	cc := newConn(c, &n.nc)
+	if err := cc.w.appendKind(FrameHello, int32(n.idx)); err != nil {
 		c.Close()
 		return
 	}
@@ -389,7 +500,9 @@ func (n *Node) dialPeer(j int) {
 		c.Close()
 		return
 	}
-	n.readLoop(cc, false)
+	err := readBatches(cc.br, &n.nc, func(f Frame) error { return n.handleFrame(cc, f) })
+	n.finishRead(cc, err, false, true)
+	c.Close()
 }
 
 // triggerShutdown closes the shutdown channel once, releasing every
@@ -397,78 +510,6 @@ func (n *Node) dialPeer(j int) {
 func (n *Node) triggerShutdown() {
 	if n.closed.CompareAndSwap(false, true) {
 		close(n.shutdown)
-	}
-}
-
-// readLoop drains one connection. Data-plane messages wait for Ready — the
-// coordinator's Load always gets through first because it arrives on its
-// own connection — and are delivered into per-core inboxes whose capacity
-// (one slot per thread) guarantees the push never blocks; that is the wire
-// credit that keeps every socket drained.
-func (n *Node) readLoop(c *conn, fromCoordinator bool) {
-	for {
-		var m wireMsg
-		if err := c.dec.Decode(&m); err != nil {
-			// The coordinator's connection dropping without a Shutdown
-			// frame means the driver died: release the node rather than
-			// wedging it on control-plane waits forever. Peer connections
-			// closing is normal teardown.
-			if fromCoordinator {
-				n.triggerShutdown()
-			}
-			return
-		}
-		switch m.Kind {
-		case kLoad:
-			select {
-			case n.loads <- m.Load:
-			default:
-			}
-		case kMigration, kEviction:
-			ctx, err := DecodeContext(m.Ctx)
-			if err != nil {
-				// A context that does not decode is protocol corruption
-				// (version skew, mangled frame): the thread it carried is
-				// gone, so fail loudly instead of letting the run time out
-				// with no cause.
-				fmt.Fprintf(os.Stderr, "transport: node %d: dropping undecodable context for core %d: %v\n",
-					n.idx, m.Dst, err)
-				n.triggerShutdown()
-				return
-			}
-			if !n.waitReady() {
-				return
-			}
-			if m.Kind == kMigration {
-				n.inbox(n.mig, m.Dst) <- ctx
-			} else {
-				n.inbox(n.evict, m.Dst) <- ctx
-			}
-		case kMemReq:
-			if !n.waitReady() {
-				return
-			}
-			go func(m wireMsg) {
-				rep := n.handler(m.Dst, m.Req)
-				c.send(&wireMsg{Kind: kMemRep, ID: m.ID, Rep: rep})
-			}(m)
-		case kMemRep:
-			n.mu.Lock()
-			ch := n.pending[m.ID]
-			delete(n.pending, m.ID)
-			n.mu.Unlock()
-			if ch != nil {
-				ch <- m.Rep
-			}
-		case kCollect:
-			select {
-			case n.collects <- struct{}{}:
-			default:
-			}
-		case kShutdown:
-			n.triggerShutdown()
-			return
-		}
 	}
 }
 
@@ -516,13 +557,14 @@ func (n *Node) CollectRequests() <-chan struct{} { return n.collects }
 // ShutdownC closes when the coordinator sends Shutdown.
 func (n *Node) ShutdownC() <-chan struct{} { return n.shutdown }
 
-// SendHalt reports a thread HALT to the coordinator.
+// SendHalt reports a thread HALT to the coordinator. Control frames flush
+// immediately.
 func (n *Node) SendHalt(h HaltMsg) error {
 	c, err := n.coord.get(n.shutdown)
 	if err != nil {
 		return err
 	}
-	return c.send(&wireMsg{Kind: kHalt, Halt: &h})
+	return c.sendJSON(FrameHalt, &h)
 }
 
 // SendCollect returns this node's post-run state to the coordinator.
@@ -531,8 +573,12 @@ func (n *Node) SendCollect(rep CollectReply) error {
 	if err != nil {
 		return err
 	}
-	return c.send(&wireMsg{Kind: kCollectRep, Coll: &rep})
+	return c.sendJSON(FrameCollectRep, &rep)
 }
+
+// NetStats snapshots the node's wire-level traffic counters, summed over
+// every connection.
+func (n *Node) NetStats() NetStats { return n.nc.snapshot() }
 
 // Close tears the endpoint down, releasing any goroutine blocked on the
 // shutdown channel (peer waits, in-flight Remote calls).
@@ -575,19 +621,20 @@ func (n *Node) EvictionIn(core geom.CoreID) <-chan Context { return n.inbox(n.ev
 func (n *Node) HandleMem(h func(core geom.CoreID, req MemRequest) MemReply) { n.handler = h }
 
 // SendMigration implements Transport: a channel push when dst is owned
-// locally, one gob frame to the owning node otherwise.
+// locally, a deferred frame into the owning node's batch buffer otherwise —
+// coalesced with every other ready message at the next Flush.
 func (n *Node) SendMigration(dst geom.CoreID, c Context) error {
-	return n.sendCtx(kMigration, dst, c)
+	return n.sendCtx(FrameMigration, dst, c)
 }
 
 // SendEviction implements Transport.
 func (n *Node) SendEviction(dst geom.CoreID, c Context) error {
-	return n.sendCtx(kEviction, dst, c)
+	return n.sendCtx(FrameEviction, dst, c)
 }
 
-func (n *Node) sendCtx(kind msgKind, dst geom.CoreID, c Context) error {
+func (n *Node) sendCtx(kind FrameKind, dst geom.CoreID, c Context) error {
 	if n.Owns(dst) {
-		if kind == kMigration {
+		if kind == FrameMigration {
 			n.inbox(n.mig, dst) <- c
 		} else {
 			n.inbox(n.evict, dst) <- c
@@ -598,11 +645,34 @@ func (n *Node) sendCtx(kind msgKind, dst geom.CoreID, c Context) error {
 	if err != nil {
 		return err
 	}
-	return pc.send(&wireMsg{Kind: kind, Dst: dst, Ctx: c.EncodeWire()})
+	// Deferred: the context encodes straight into the batch buffer and
+	// ships at the machine's next flush point (or piggybacks on an eager
+	// frame to the same peer).
+	return pc.w.appendCtx(kind, dst, c)
+}
+
+// Flush implements Transport: every peer connection's coalesced batch goes
+// out, one write per connection. Peers this endpoint never spoke to (or
+// that have not connected yet) are skipped — Flush never blocks on an
+// unestablished link.
+func (n *Node) Flush() error {
+	var first error
+	for _, p := range n.peers {
+		select {
+		case <-p.ready:
+			if err := p.c.w.flush(); err != nil && first == nil {
+				first = err
+			}
+		default:
+		}
+	}
+	return first
 }
 
 // Remote implements Transport: a direct handler call for owned cores, a
-// request/reply round trip to the owning node otherwise.
+// request/reply round trip to the owning node otherwise. The request frame
+// flushes immediately, carrying any deferred frames on that connection in
+// the same write.
 func (n *Node) Remote(dst geom.CoreID, req MemRequest) (MemReply, error) {
 	if n.Owns(dst) {
 		return n.handler(dst, req), nil
@@ -612,18 +682,21 @@ func (n *Node) Remote(dst geom.CoreID, req MemRequest) (MemReply, error) {
 		return MemReply{}, err
 	}
 	id := n.nextID.Add(1)
-	ch := make(chan MemReply, 1)
+	call := &pendingCall{ch: make(chan MemReply, 1), conn: pc}
 	n.mu.Lock()
-	n.pending[id] = ch
+	n.pending[id] = call
 	n.mu.Unlock()
-	if err := pc.send(&wireMsg{Kind: kMemReq, Dst: dst, ID: id, Req: req}); err != nil {
+	if err := pc.w.appendMemReq(dst, id, req); err != nil {
 		n.mu.Lock()
 		delete(n.pending, id)
 		n.mu.Unlock()
 		return MemReply{}, err
 	}
 	select {
-	case rep := <-ch:
+	case rep, ok := <-call.ch:
+		if !ok {
+			return MemReply{}, fmt.Errorf("transport: connection to core %d's node lost awaiting reply", dst)
+		}
 		return rep, nil
 	case <-n.shutdown:
 		return MemReply{}, fmt.Errorf("transport: shut down awaiting reply from core %d", dst)
@@ -639,6 +712,7 @@ type Coordinator struct {
 	man   Manifest
 	route []int
 	conns []*conn
+	nc    netCounters
 	halts chan HaltMsg
 	colls chan CollectReply
 }
@@ -662,8 +736,8 @@ func DialCluster(man Manifest, timeout time.Duration) (*Coordinator, error) {
 			co.Close()
 			return nil, err
 		}
-		cc := newConn(c)
-		if err := cc.send(&wireMsg{Kind: kHello, From: coordinatorID}); err != nil {
+		cc := newConn(c, &co.nc)
+		if err := cc.w.appendKind(FrameHello, coordinatorID); err != nil {
 			co.Close()
 			return nil, err
 		}
@@ -674,28 +748,37 @@ func DialCluster(man Manifest, timeout time.Duration) (*Coordinator, error) {
 }
 
 func (co *Coordinator) readLoop(c *conn) {
-	for {
-		var m wireMsg
-		if err := c.dec.Decode(&m); err != nil {
-			return
-		}
-		switch m.Kind {
-		case kHalt:
-			if m.Halt != nil {
-				co.halts <- *m.Halt
+	err := readBatches(c.br, &co.nc, func(f Frame) error {
+		switch f.Kind {
+		case FrameHalt:
+			var h HaltMsg
+			if err := json.Unmarshal(f.Blob, &h); err != nil {
+				return malformedf("halt report: %v", err)
 			}
-		case kCollectRep:
-			if m.Coll != nil {
-				co.colls <- *m.Coll
+			co.halts <- h
+		case FrameCollectRep:
+			var rep CollectReply
+			if err := json.Unmarshal(f.Blob, &rep); err != nil {
+				return malformedf("collect reply: %v", err)
 			}
+			co.colls <- rep
+		default:
+			return malformedf("unexpected frame kind %d on the coordinator link", f.Kind)
 		}
+		return nil
+	})
+	// Same policy as the node side: corruption fails loudly. The run will
+	// still end in a timeout (halts or collect replies from this node are
+	// gone), but the cause is on stderr instead of lost.
+	if errors.Is(err, ErrMalformedFrame) {
+		fmt.Fprintf(os.Stderr, "transport: coordinator: %v\n", err)
 	}
 }
 
 // Load broadcasts the run description to every node.
 func (co *Coordinator) Load(spec *LoadSpec) error {
 	for _, c := range co.conns {
-		if err := c.send(&wireMsg{Kind: kLoad, Load: spec}); err != nil {
+		if err := c.sendJSON(FrameLoad, spec); err != nil {
 			return err
 		}
 	}
@@ -704,10 +787,29 @@ func (co *Coordinator) Load(spec *LoadSpec) error {
 
 // InjectEviction places an initial context: like the in-process machine,
 // injection uses the eviction network of the thread's native core, whose
-// arrival is always accepted.
+// arrival is always accepted. Injections are deferred into the owning
+// node's batch buffer — call Flush after the last one, and a whole run's
+// initial contexts reach each node in a single write.
 func (co *Coordinator) InjectEviction(dst geom.CoreID, c Context) error {
-	return co.conns[co.route[dst]].send(&wireMsg{Kind: kEviction, Dst: dst, Ctx: c.EncodeWire()})
+	return co.conns[co.route[dst]].w.appendCtx(FrameEviction, dst, c)
 }
+
+// Flush ships every deferred injection, one batch per node connection.
+func (co *Coordinator) Flush() error {
+	var first error
+	for _, c := range co.conns {
+		if c == nil {
+			continue
+		}
+		if err := c.w.flush(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// NetStats snapshots the coordinator's wire-level traffic counters.
+func (co *Coordinator) NetStats() NetStats { return co.nc.snapshot() }
 
 // Halts delivers HALT reports as threads finish.
 func (co *Coordinator) Halts() <-chan HaltMsg { return co.halts }
@@ -715,7 +817,7 @@ func (co *Coordinator) Halts() <-chan HaltMsg { return co.halts }
 // Collect broadcasts the collect request and gathers one reply per node.
 func (co *Coordinator) Collect(timeout time.Duration) ([]CollectReply, error) {
 	for _, c := range co.conns {
-		if err := c.send(&wireMsg{Kind: kCollect}); err != nil {
+		if err := c.w.appendKind(FrameCollect, 0); err != nil {
 			return nil, err
 		}
 	}
@@ -738,7 +840,7 @@ func (co *Coordinator) Collect(timeout time.Duration) ([]CollectReply, error) {
 func (co *Coordinator) Shutdown() {
 	for _, c := range co.conns {
 		if c != nil {
-			c.send(&wireMsg{Kind: kShutdown})
+			c.w.appendKind(FrameShutdown, 0)
 		}
 	}
 }

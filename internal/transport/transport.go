@@ -9,8 +9,11 @@
 //   - Local: every core in one process, virtual networks are Go channels —
 //     the original goroutine machine.
 //   - Node/Coordinator (tcp.go): each core group is an OS process, messages
-//     travel as gob frames over TCP, and the migrated context really is the
-//     ContextWireBytes byte string a hardware transfer would serialize.
+//     travel as canonical length-prefixed frame batches over TCP (wire.go),
+//     and the migrated context really is the ContextWireBytes byte string a
+//     hardware transfer would serialize. Data-plane sends coalesce into a
+//     per-connection batch buffer that the machine flushes once per
+//     scheduling cycle, so a node ships all ready messages in one syscall.
 //
 // The channel-capacity invariant carries over to the wire: every per-core
 // inbox has capacity for every thread in the system, so an inbound reader
@@ -64,14 +67,18 @@ const ContextWireBytes = 19 + isa.ContextWireBytes
 // because a silently wrapped length would desynchronize the wire.
 const MaxSchedBytes = 1<<16 - 1
 
-// EncodeWire returns the big-endian encoding of c: the fixed header and
-// architectural context followed by the Sched trailer.
-func (c Context) EncodeWire() []byte {
+// WireLen returns the exact encoded size of c.
+func (c Context) WireLen() int { return ContextWireBytes + len(c.Sched) }
+
+// AppendWire appends the big-endian encoding of c to b — the fixed header
+// and architectural context followed by the Sched trailer — and returns the
+// extended slice. It is the hot encode path: appending into a reused buffer
+// allocates nothing.
+func (c Context) AppendWire(b []byte) []byte {
 	if len(c.Sched) > MaxSchedBytes {
 		panic(fmt.Sprintf("transport: %d bytes of scheme state exceed the %d-byte wire field",
 			len(c.Sched), MaxSchedBytes))
 	}
-	b := make([]byte, 0, ContextWireBytes+len(c.Sched))
 	b = binary.BigEndian.AppendUint32(b, uint32(c.Thread))
 	b = binary.BigEndian.AppendUint32(b, uint32(c.Native))
 	b = binary.BigEndian.AppendUint64(b, uint64(c.MemSeq))
@@ -81,30 +88,44 @@ func (c Context) EncodeWire() []byte {
 	return append(b, c.Sched...)
 }
 
-// DecodeContext is the inverse of EncodeWire: the input must be exactly
-// ContextWireBytes plus the Sched length its own header declares, and every
-// accepted input round-trips byte-for-byte (the encoding is canonical).
-func DecodeContext(b []byte) (Context, error) {
+// EncodeWire returns the encoding of c in a fresh slice.
+func (c Context) EncodeWire() []byte {
+	return c.AppendWire(make([]byte, 0, c.WireLen()))
+}
+
+// DecodeWire decodes b into c, the inverse of AppendWire: the input must be
+// exactly ContextWireBytes plus the Sched length its own header declares,
+// and every accepted input round-trips byte-for-byte (the encoding is
+// canonical). The Sched trailer is copied into c's existing Sched storage
+// when capacity allows, making repeated decodes into one Context
+// allocation-free — the hot decode path.
+func (c *Context) DecodeWire(b []byte) error {
 	if len(b) < ContextWireBytes {
-		return Context{}, fmt.Errorf("transport: context wire length %d, want at least %d", len(b), ContextWireBytes)
+		return fmt.Errorf("transport: context wire length %d, want at least %d", len(b), ContextWireBytes)
 	}
-	var c Context
-	c.Thread = int32(binary.BigEndian.Uint32(b))
-	c.Native = int32(binary.BigEndian.Uint32(b[4:]))
-	c.MemSeq = int64(binary.BigEndian.Uint64(b[8:]))
-	c.Flags = b[16]
 	schedLen := int(binary.BigEndian.Uint16(b[17:]))
 	if len(b) != ContextWireBytes+schedLen {
-		return Context{}, fmt.Errorf("transport: context wire length %d, want %d (%d scheme-state bytes)",
+		return fmt.Errorf("transport: context wire length %d, want %d (%d scheme-state bytes)",
 			len(b), ContextWireBytes+schedLen, schedLen)
 	}
 	arch, err := isa.DecodeContext(b[19 : 19+isa.ContextWireBytes])
 	if err != nil {
-		return Context{}, err
+		return err
 	}
+	c.Thread = int32(binary.BigEndian.Uint32(b))
+	c.Native = int32(binary.BigEndian.Uint32(b[4:]))
+	c.MemSeq = int64(binary.BigEndian.Uint64(b[8:]))
+	c.Flags = b[16]
 	c.Arch = arch
-	if schedLen > 0 {
-		c.Sched = append([]byte(nil), b[ContextWireBytes:]...)
+	c.Sched = append(c.Sched[:0], b[ContextWireBytes:]...)
+	return nil
+}
+
+// DecodeContext decodes b into a fresh Context (see DecodeWire).
+func DecodeContext(b []byte) (Context, error) {
+	var c Context
+	if err := c.DecodeWire(b); err != nil {
+		return Context{}, err
 	}
 	return c, nil
 }
@@ -179,6 +200,20 @@ type CoreMetrics struct {
 	ContextFlits int64 // flits of context wire (incl. predictor state) sent
 }
 
+// Add returns the counter-wise sum of m and o (Core is kept from m) — the
+// single aggregation every total row and collect reply uses, so a counter
+// added here cannot be dropped from one of several hand-written sums.
+func (m CoreMetrics) Add(o CoreMetrics) CoreMetrics {
+	m.Instructions += o.Instructions
+	m.LocalOps += o.LocalOps
+	m.RemoteReads += o.RemoteReads
+	m.RemoteWrites += o.RemoteWrites
+	m.Migrations += o.Migrations
+	m.Evictions += o.Evictions
+	m.ContextFlits += o.ContextFlits
+	return m
+}
+
 // Transport moves contexts and remote accesses between cores. A transport
 // instance serves one *endpoint* — the set of cores it owns locally — and
 // routes sends to any core in the system. Implementations must be safe for
@@ -199,10 +234,19 @@ type Transport interface {
 	EvictionIn(core geom.CoreID) <-chan Context
 
 	// SendMigration ships c to dst's migration inbox (possibly remote).
+	// Sends to remote endpoints may coalesce in a per-connection batch
+	// buffer until Flush; in-process sends deliver immediately.
 	SendMigration(dst geom.CoreID, c Context) error
 	// SendEviction ships c to dst's eviction inbox. dst must be c's native
 	// core; the eviction network's sizing makes this send non-blocking.
+	// Like SendMigration, remote sends may coalesce until Flush.
 	SendEviction(dst geom.CoreID, c Context) error
+
+	// Flush pushes every coalesced outbound message to the wire, all ready
+	// messages per destination in one write. The machine calls it at its
+	// scheduling flush points (after each execution slice and before a core
+	// parks idle); transports without buffering make it a no-op.
+	Flush() error
 
 	// Remote performs req at dst's home shard and returns the reply. For a
 	// locally owned dst this is a direct handler call; otherwise a

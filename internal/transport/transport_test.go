@@ -185,7 +185,13 @@ func TestTCPNodesExchange(t *testing.T) {
 			}
 			ctx := sampleContext()
 			ctx.Thread, ctx.Native, ctx.MemSeq = 7, 0, 3
+			// Migrations coalesce in the batch buffer; the machine's core
+			// loop flushes at its scheduling points, so a raw transport
+			// client flushes explicitly.
 			if err := n.SendMigration(0, ctx); err != nil {
+				return err
+			}
+			if err := n.Flush(); err != nil {
 				return err
 			}
 			<-n.CollectRequests()
