@@ -10,14 +10,24 @@
 //	em2sim -workload ocean -json            # machine-readable result
 //	em2sim -list-schemes                    # valid scheme/placement names
 //
+// The -workload flag accepts an optional sizing suffix everywhere:
+// `name[:scale,iters,seed]` (each field optional positionally), which
+// overrides -scale/-iters/-seed.
+//
 // Cluster mode instead drives the concurrent runtime across N real node
 // processes on TCP loopback (em2sim re-executes itself as the nodes), runs
-// an internal/isa litmus program with contexts serialized over the wire —
-// including per-thread predictor state for stateful schemes like
-// history:N — and validates the recorded execution with the SC checker:
+// a program with contexts serialized over the wire — including per-thread
+// predictor state for stateful schemes like history:N — and validates the
+// recorded execution with the SC checker. With an explicit -workload, the
+// named trace workload is compiled to real ISA programs (internal/wprog)
+// and executed across the cluster, and the runtime's message counts are
+// checked against the §3 trace model's predictions (exact with -guests 0);
+// otherwise -cluster-prog selects a litmus program:
 //
 //	em2sim -cluster 2 -cluster-prog counter -cores 4 -threads 8
 //	em2sim -cluster 3 -scheme history:2
+//	em2sim -cluster 3 -workload ocean -scheme history:2
+//	em2sim -cluster 2 -workload fft:8,1,7 -cores 4 -threads 4 -stats
 //	em2sim -cluster 4 -cluster-prog rand-priv:7 -cores 16 -stats
 package main
 
@@ -41,6 +51,7 @@ import (
 	"repro/internal/placement"
 	"repro/internal/transport"
 	"repro/internal/workload"
+	"repro/internal/wprog"
 )
 
 func main() {
@@ -56,7 +67,7 @@ var tracePlacements = []string{"first-touch", "striped", "page-striped"}
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("em2sim", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	wl := fs.String("workload", "ocean", "workload: "+strings.Join(workload.Names(), " "))
+	wl := fs.String("workload", "ocean", "workload name[:scale,iters,seed]: "+strings.Join(workload.Names(), " "))
 	schemeName := fs.String("scheme", "always-migrate", "decision scheme: "+strings.Join(machine.SchemeNames(), ", ")+" (trace mode also: oracle)")
 	placeName := fs.String("placement", "first-touch", "placement: "+strings.Join(tracePlacements, ", "))
 	cores := fs.Int("cores", 64, "core count (square mesh)")
@@ -84,6 +95,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "em2sim:", err)
 		return 1
 	}
+	set := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+
+	wlName, ov, err := parseWorkloadSpec(*wl)
+	if err != nil {
+		return fail(err)
+	}
+	if ov.hasScale {
+		*scale = ov.scale
+	}
+	if ov.hasIters {
+		*iters = ov.iters
+	}
+	if ov.hasSeed {
+		*seed = ov.seed
+	}
 
 	if *listSchemes {
 		printSchemes(stdout)
@@ -105,23 +132,42 @@ func run(args []string, stdout, stderr io.Writer) int {
 		// while an explicit choice (including first-touch) is honored and
 		// validated by RunCluster.
 		clusterPlace := "striped:64"
-		fs.Visit(func(f *flag.Flag) {
-			if f.Name == "placement" {
-				clusterPlace = *placeName
+		if set["placement"] {
+			clusterPlace = *placeName
+		}
+		// An explicit -workload selects compiled-workload mode. Its sizing
+		// defaults are smaller than trace mode's (compiled programs execute
+		// every access on the real machine): scale 16, iters 1 unless the
+		// suffix or an explicit flag says otherwise.
+		compiledWL := ""
+		if set["workload"] {
+			compiledWL = wlName
+			if !ov.hasScale && !set["scale"] {
+				*scale = 16
 			}
-		})
-		if err := runCluster(stdout, *cluster, *clusterProg, *cores, *threads, *guests,
+			if !ov.hasIters && !set["iters"] {
+				*iters = 1
+			}
+		}
+		cfg := workload.Config{Threads: *threads, Scale: *scale, Iters: *iters, Seed: *seed}
+		if err := runCluster(stdout, *cluster, *clusterProg, compiledWL, cfg, *cores, *threads, *guests,
 			*schemeName, clusterPlace, *jsonOut, *statsOut); err != nil {
 			return fail(err)
 		}
 		return 0
 	}
 
-	gen, err := workload.Get(*wl)
+	gen, err := workload.Get(wlName)
 	if err != nil {
 		return fail(err)
 	}
-	tr := gen(workload.Config{Threads: *threads, Scale: *scale, Iters: *iters, Seed: *seed})
+	// Normalize explicitly: a zero flag value is a clean CLI error here,
+	// not the generator's internal panic.
+	wcfg, err := workload.Config{Threads: *threads, Scale: *scale, Iters: *iters, Seed: *seed}.Normalized()
+	if err != nil {
+		return fail(err)
+	}
+	tr := gen(wcfg)
 
 	cfg := core.DefaultConfig()
 	cfg.Mesh = geom.SquareMesh(*cores)
@@ -279,23 +325,78 @@ func litmusFor(name string, threads int, stride uint32) (machine.Litmus, error) 
 	}
 }
 
-// runCluster launches an N-node loopback cluster (re-executing this binary
-// as the node processes), drives one litmus program through it with
-// contexts crossing real TCP sockets, and validates the recorded execution
-// with machine.CheckSC.
-func runCluster(stdout io.Writer, nodes int, progName string, cores, threads, guests int, scheme, place string, jsonOut, statsOut bool) error {
-	mesh := geom.SquareMesh(cores)
-	// Under striped:64, address 64*k is homed at core k; LocalManifest
-	// splits cores into contiguous blocks, so the first core of the last
-	// node is the nearest provably-remote home for a two-address litmus.
-	farCore := (nodes - 1) * mesh.Cores() / nodes
-	stride := uint32(64 * farCore)
-	if farCore == 0 {
-		stride = 64
+// parsedWorkloadOverrides carries the optional `:scale,iters,seed` suffix
+// of a -workload argument.
+type parsedWorkloadOverrides struct {
+	scale, iters       int
+	seed               uint64
+	hasScale, hasIters bool
+	hasSeed            bool
+}
+
+// parseWorkloadSpec splits "name[:scale,iters,seed]"; suffix fields are
+// positional and each may be left empty ("ocean:,3" overrides only iters).
+func parseWorkloadSpec(spec string) (string, parsedWorkloadOverrides, error) {
+	var ov parsedWorkloadOverrides
+	name, suffix, has := strings.Cut(spec, ":")
+	if !has {
+		return name, ov, nil
 	}
-	lit, err := litmusFor(progName, threads, stride)
-	if err != nil {
-		return err
+	fields := strings.Split(suffix, ",")
+	if len(fields) > 3 {
+		return "", ov, fmt.Errorf("workload spec %q: want name[:scale,iters,seed]", spec)
+	}
+	for i, f := range fields {
+		if f == "" {
+			continue
+		}
+		v, err := strconv.ParseUint(f, 10, 32)
+		if err != nil {
+			return "", ov, fmt.Errorf("workload spec %q: bad field %q", spec, f)
+		}
+		switch i {
+		case 0:
+			ov.scale, ov.hasScale = int(v), true
+		case 1:
+			ov.iters, ov.hasIters = int(v), true
+		case 2:
+			ov.seed, ov.hasSeed = uint64(v), true
+		}
+	}
+	return name, ov, nil
+}
+
+// runCluster launches an N-node loopback cluster (re-executing this binary
+// as the node processes), drives one program through it with contexts
+// crossing real TCP sockets, and validates the recorded execution with
+// machine.CheckSC. With compiledWL set, the program is the named workload
+// compiled to ISA programs and the runtime counters are additionally
+// checked against the §3 trace model's prediction (exact when guests is 0;
+// with guest eviction enabled the counts are schedule-dependent and the
+// comparison is reported, not enforced).
+func runCluster(stdout io.Writer, nodes int, progName, compiledWL string, wcfg workload.Config, cores, threads, guests int, scheme, place string, jsonOut, statsOut bool) error {
+	mesh := geom.SquareMesh(cores)
+	var lit machine.Litmus
+	var comp *wprog.Compiled
+	if compiledWL != "" {
+		var err error
+		if comp, err = wprog.CompileWorkload(compiledWL, wcfg, mesh.Cores()); err != nil {
+			return err
+		}
+		lit = comp.Litmus()
+	} else {
+		// Under striped:64, address 64*k is homed at core k; LocalManifest
+		// splits cores into contiguous blocks, so the first core of the last
+		// node is the nearest provably-remote home for a two-address litmus.
+		farCore := (nodes - 1) * mesh.Cores() / nodes
+		stride := uint32(64 * farCore)
+		if farCore == 0 {
+			stride = 64
+		}
+		var err error
+		if lit, err = litmusFor(progName, threads, stride); err != nil {
+			return err
+		}
 	}
 	man, err := transport.LocalManifest(nodes, mesh.Width(), mesh.Height())
 	if err != nil {
@@ -383,6 +484,39 @@ func runCluster(stdout io.Writer, nodes int, progName string, cores, threads, gu
 		checkErr = lit.Check(func(a uint32) uint32 { return res.Mem[a] }, res.FinalRegs)
 	}
 
+	// Compiled workloads are additionally checked against the trace model.
+	var modelWant *wprog.Counts
+	var modelDiffs []string
+	modelCheck := ""
+	if comp != nil {
+		sch, err := machine.ParseScheme(scheme, mesh)
+		if err != nil {
+			return err
+		}
+		pol, err := machine.ParsePlacement(place, mesh.Cores())
+		if err != nil {
+			return err
+		}
+		model, err := comp.Predict(mesh, sch, pol, guests)
+		if err != nil {
+			return err
+		}
+		want := wprog.ModelCounts(model, sch)
+		modelWant = &want
+		modelDiffs = want.Diff(wprog.RuntimeCounts(&res.Result))
+		switch {
+		case len(modelDiffs) == 0:
+			modelCheck = "exact"
+		case guests > 0:
+			// Guest evictions are schedule-dependent, so the model's LRU
+			// eviction order need not match the runtime's queue order; the
+			// comparison is logged, not enforced.
+			modelCheck = "tolerance (guest evictions are schedule-dependent): " + strings.Join(modelDiffs, "; ")
+		default:
+			modelCheck = "MISMATCH: " + strings.Join(modelDiffs, "; ")
+		}
+	}
+
 	if jsonOut {
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
@@ -405,9 +539,12 @@ func runCluster(stdout io.Writer, nodes int, progName string, cores, threads, gu
 			RemoteOps    int64                   `json:"remote_ops"`
 			LocalOps     int64                   `json:"local_ops"`
 			ContextFlits int64                   `json:"context_flits"`
+			Overcommits  int64                   `json:"overcommits"`
 			Events       int                     `json:"events"`
 			SC           string                  `json:"sc"`
 			Check        string                  `json:"check"`
+			Model        *wprog.Counts           `json:"model,omitempty"`
+			ModelCheck   string                  `json:"model_check,omitempty"`
 			PerNode      []map[string]int64      `json:"per_node"`
 			PerCore      []transport.CoreMetrics `json:"per_core"`
 			Net          []transport.NetStats    `json:"net"`
@@ -417,8 +554,9 @@ func runCluster(stdout io.Writer, nodes int, progName string, cores, threads, gu
 			Nodes: nodes, Cores: mesh.Cores(), Threads: len(lit.Threads),
 			Instructions: res.Instructions, Migrations: res.Migrations, Evictions: res.Evictions,
 			RemoteOps: res.RemoteReads + res.RemoteWrites, LocalOps: res.LocalOps,
-			ContextFlits: res.ContextFlits,
-			Events:       len(res.Events), SC: status(scErr), Check: status(checkErr),
+			ContextFlits: res.ContextFlits, Overcommits: res.Overcommits,
+			Events: len(res.Events), SC: status(scErr), Check: status(checkErr),
+			Model: modelWant, ModelCheck: modelCheck,
 			PerNode: res.NodeCounters, PerCore: res.PerCore,
 			Net: res.NodeNet, CoordNet: res.CoordNet,
 		}); err != nil {
@@ -427,9 +565,18 @@ func runCluster(stdout io.Writer, nodes int, progName string, cores, threads, gu
 	} else {
 		fmt.Fprintf(stdout, "cluster  : %d nodes, %v, program %s (%d threads), scheme %s, placement %s\n",
 			nodes, mesh, lit.Name, len(lit.Threads), scheme, place)
-		fmt.Fprintf(stdout, "result   : instructions=%d migrations=%d evictions=%d remote=%d local=%d ctxflits=%d\n",
+		if comp != nil {
+			fmt.Fprintf(stdout, "compiled : %d accesses over %d pages -> %d instructions\n",
+				comp.Trace.Len(), len(comp.Pages), comp.Instructions())
+		}
+		fmt.Fprintf(stdout, "result   : instructions=%d migrations=%d evictions=%d remote=%d local=%d ctxflits=%d overcommits=%d\n",
 			res.Instructions, res.Migrations, res.Evictions,
-			res.RemoteReads+res.RemoteWrites, res.LocalOps, res.ContextFlits)
+			res.RemoteReads+res.RemoteWrites, res.LocalOps, res.ContextFlits, res.Overcommits)
+		if modelWant != nil {
+			fmt.Fprintf(stdout, "model    : migrations=%d evictions=%d remote=%d local=%d ctxflits=%d -> %s\n",
+				modelWant.Migrations, modelWant.Evictions, modelWant.RemoteOps,
+				modelWant.LocalOps, modelWant.ContextFlits, modelCheck)
+		}
 		for i, c := range res.NodeCounters {
 			fmt.Fprintf(stdout, "node %-4d: instructions=%d migrations=%d evictions=%d\n",
 				i, c["instructions"], c["migrations"], c["evictions"])
@@ -460,7 +607,14 @@ func runCluster(stdout io.Writer, nodes int, progName string, cores, threads, gu
 	if scErr != nil {
 		return scErr
 	}
-	return checkErr
+	if checkErr != nil {
+		return checkErr
+	}
+	if comp != nil && guests == 0 && len(modelDiffs) != 0 {
+		return fmt.Errorf("runtime counters diverged from the trace model (exact match required with -guests 0): %s",
+			strings.Join(modelDiffs, "; "))
+	}
+	return nil
 }
 
 func indent(s string) string {

@@ -79,6 +79,111 @@ func TestTraceModeHistoryJSON(t *testing.T) {
 	}
 }
 
+// TestExplicitZeroFlagIsCleanError: an explicit -iters 0 (or a zero in the
+// workload suffix) must exit with the workload package's error message, not
+// a generator panic.
+func TestExplicitZeroFlagIsCleanError(t *testing.T) {
+	for _, args := range [][]string{
+		{"-workload", "ocean", "-iters", "0"},
+		{"-workload", "ocean:0", "-cores", "4", "-threads", "4"},
+	} {
+		var out, errb bytes.Buffer
+		if code := run(args, &out, &errb); code == 0 {
+			t.Errorf("run(%v) exited 0", args)
+		}
+		if !strings.Contains(errb.String(), "non-positive") {
+			t.Errorf("run(%v) error %q does not explain the zero field", args, errb.String())
+		}
+	}
+}
+
+// TestWorkloadSpecParsing pins the `name[:scale,iters,seed]` suffix
+// grammar, including positionally skipped fields and rejections.
+func TestWorkloadSpecParsing(t *testing.T) {
+	cases := []struct {
+		spec string
+		name string
+		ov   parsedWorkloadOverrides
+		err  bool
+	}{
+		{spec: "ocean", name: "ocean"},
+		{spec: "ocean:32", name: "ocean", ov: parsedWorkloadOverrides{scale: 32, hasScale: true}},
+		{spec: "fft:8,3", name: "fft", ov: parsedWorkloadOverrides{scale: 8, iters: 3, hasScale: true, hasIters: true}},
+		{spec: "barnes:4,1,9", name: "barnes", ov: parsedWorkloadOverrides{scale: 4, iters: 1, seed: 9, hasScale: true, hasIters: true, hasSeed: true}},
+		{spec: "ocean:,3", name: "ocean", ov: parsedWorkloadOverrides{iters: 3, hasIters: true}},
+		{spec: "ocean:,,7", name: "ocean", ov: parsedWorkloadOverrides{seed: 7, hasSeed: true}},
+		{spec: "ocean:1,2,3,4", err: true},
+		{spec: "ocean:x", err: true},
+		{spec: "ocean:-1", err: true},
+	}
+	for _, c := range cases {
+		name, ov, err := parseWorkloadSpec(c.spec)
+		if c.err {
+			if err == nil {
+				t.Errorf("parseWorkloadSpec(%q) accepted", c.spec)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("parseWorkloadSpec(%q): %v", c.spec, err)
+			continue
+		}
+		if name != c.name || ov != c.ov {
+			t.Errorf("parseWorkloadSpec(%q) = %q %+v, want %q %+v", c.spec, name, ov, c.name, c.ov)
+		}
+	}
+}
+
+// TestTraceModeWorkloadSuffix: the suffix overrides -scale/-iters/-seed in
+// trace mode too, visible in the JSON export.
+func TestTraceModeWorkloadSuffix(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-workload", "pingpong:8,1,5", "-cores", "4", "-threads", "4", "-json"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	var res struct {
+		Seed     uint64 `json:"seed"`
+		Accesses int64  `json:"accesses"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &res); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out.String())
+	}
+	if res.Seed != 5 || res.Accesses == 0 {
+		t.Errorf("result = %+v, want seed 5 from the workload suffix", res)
+	}
+}
+
+// TestClusterCompiledWorkloadBinary is the workload-scale acceptance test:
+// build the real em2sim binary and drive the ISSUE's command — the ocean
+// stand-in compiled to ISA programs across three node processes under the
+// stateful history scheme — demanding an SC-clean run whose runtime
+// counters match the trace model exactly. Skipped in -short (go toolchain
+// plus a full multi-process cluster).
+func TestClusterCompiledWorkloadBinary(t *testing.T) {
+	if testing.Short() {
+		t.Skip("building cmd/em2sim needs the go toolchain; skipped in -short")
+	}
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+	bin := filepath.Join(t.TempDir(), "em2sim")
+	build := exec.Command("go", "build", "-o", bin, "repro/cmd/em2sim")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build cmd/em2sim: %v\n%s", err, out)
+	}
+	cmd := exec.Command(bin, "-workload", "ocean", "-cluster", "3", "-scheme", "history:2")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("em2sim -workload ocean -cluster 3 -scheme history:2: %v\n%s", err, out)
+	}
+	for _, want := range []string{"SC check : OK", "litmus   : OK", "-> exact", "compiled :"} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("compiled cluster output missing %q:\n%s", want, out)
+		}
+	}
+}
+
 // TestClusterHistoryBinary is the CLI acceptance test: build the real
 // em2sim binary and drive `em2sim -cluster 3 -scheme history:2` — three
 // node processes, predictor state crossing real sockets, SC-checked, with

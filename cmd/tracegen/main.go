@@ -34,7 +34,11 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	tr := gen(workload.Config{Threads: *threads, Scale: *scale, Iters: *iters, Seed: *seed})
+	cfg, err := workload.Config{Threads: *threads, Scale: *scale, Iters: *iters, Seed: *seed}.Normalized()
+	if err != nil {
+		fail(err)
+	}
+	tr := gen(cfg)
 	if *stack {
 		tr = workload.WithStackDeltas(tr, *seed+1)
 	}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
+	"sync"
 	"testing"
 	"time"
 
@@ -13,6 +14,8 @@ import (
 	"repro/internal/placement"
 	"repro/internal/sim"
 	"repro/internal/transport"
+	"repro/internal/workload"
+	"repro/internal/wprog"
 )
 
 // benchContext builds the context every codec benchmark serializes: a full
@@ -84,8 +87,53 @@ func benchWorkloads(short bool) []benchWorkload {
 			full: i > 0, // pingpong always; runs/walk only in full mode
 		})
 	}
-	return wls
+	// The compiled SPLASH-2 stand-ins (internal/wprog): end-to-end
+	// application-shaped traffic — ocean under the stateful history scheme
+	// so every migration ships predictor state, fft and barnes under pure
+	// EM². All three are in the short (CI) set.
+	return append(wls, compiledWorkloads(short)...)
 }
+
+// compiledWorkloads lowers the three flagship workload traces to ISA
+// programs at benchmark sizes. Compilation runs once per sizing (it is
+// invoked from inside benchmark bodies via shortVariant, where repeated
+// trace generation would pollute the timings).
+var compiledWorkloads = func() func(short bool) []benchWorkload {
+	compile := func(short bool) []benchWorkload {
+		specs := []struct {
+			name   string
+			cfg    workload.Config
+			scheme core.Scheme
+			sname  string
+		}{
+			{"ocean", workload.Config{Threads: 4, Scale: 16, Iters: 1, Seed: 2011}, core.NewHistory(2), "history:2"},
+			{"fft", workload.Config{Threads: 4, Scale: 16, Iters: 1, Seed: 2011}, core.AlwaysMigrate{}, "always-migrate"},
+			{"barnes", workload.Config{Threads: 4, Scale: 8, Iters: 1, Seed: 2011}, core.AlwaysMigrate{}, "always-migrate"},
+		}
+		if short {
+			specs[0].cfg.Scale = 8
+			specs[1].cfg.Scale = 8
+			specs[2].cfg.Scale = 4
+		}
+		var out []benchWorkload
+		for _, s := range specs {
+			c, err := wprog.CompileWorkload(s.name, s.cfg, benchMesh().Cores())
+			if err != nil {
+				panic(fmt.Sprintf("bench: compile %s: %v", s.name, err))
+			}
+			out = append(out, benchWorkload{lit: c.Litmus(), scheme: s.scheme, schemeName: s.sname})
+		}
+		return out
+	}
+	full := sync.OnceValue(func() []benchWorkload { return compile(false) })
+	short := sync.OnceValue(func() []benchWorkload { return compile(true) })
+	return func(s bool) []benchWorkload {
+		if s {
+			return short()
+		}
+		return full()
+	}
+}()
 
 func benchMesh() geom.Mesh { return geom.NewMesh(2, 2) }
 

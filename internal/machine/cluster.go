@@ -392,6 +392,7 @@ func RunCluster(man transport.Manifest, cfg ClusterConfig, threads []ThreadSpec,
 		res.RemoteWrites += rep.Counters["remote_writes"]
 		res.LocalOps += rep.Counters["local_ops"]
 		res.ContextFlits += rep.Counters["context_flits"]
+		res.Overcommits += rep.Counters["overcommits"]
 		res.Events = append(res.Events, rep.Events...)
 		for a, v := range rep.Mem {
 			res.Mem[a] = v

@@ -3,6 +3,7 @@ package machine
 import (
 	"fmt"
 	"os"
+	"sync/atomic"
 
 	"repro/internal/cache"
 	"repro/internal/core"
@@ -48,9 +49,42 @@ type coreNode struct {
 	migIn   <-chan transport.Context // guest-bound migrations (paper's migration VN)
 	evictIn <-chan transport.Context // native returns (paper's eviction VN)
 	runq    []*context
-	guests  int
+	// guests counts the core's *resident* non-native contexts: those queued
+	// in runq plus the one currently executing (execGuest). Counting the
+	// mid-flight guest is what makes the GuestContexts limit honest — the
+	// earlier runq-only count let a guest slip in unaccounted during every
+	// execution slice of another guest.
+	guests    int
+	execGuest bool // the currently executing context is a guest
 
 	flushFailed bool // a flush error was already reported for this core
+}
+
+// debugGuestPool, when set (tests only), makes every guest-pool mutation
+// re-count the run queue and panic if the guests counter has drifted from
+// the actual resident guest population or gone negative.
+var debugGuestPool atomic.Bool
+
+// checkGuestPool asserts the guest-pool invariant. Called (under
+// debugGuestPool) after every accept, requeue, eviction, and departure —
+// each core goroutine only ever checks its own state.
+func (n *coreNode) checkGuestPool() {
+	if !debugGuestPool.Load() {
+		return
+	}
+	count := 0
+	for _, g := range n.runq {
+		if g.native != n.id {
+			count++
+		}
+	}
+	if n.execGuest {
+		count++
+	}
+	if n.guests != count || n.guests < 0 {
+		panic(fmt.Sprintf("machine: core %d guest pool drift: counter %d, resident %d (runq %d, executing %v)",
+			n.id, n.guests, count, len(n.runq), n.execGuest))
+	}
 }
 
 // flush pushes the transport's coalesced sends out at this core's flush
@@ -87,9 +121,9 @@ func (n *coreNode) loop() {
 		}
 		c := n.runq[0]
 		n.runq = n.runq[1:]
-		if c.native != n.id {
-			n.guests--
-		}
+		// The popped context stays resident (and counted in guests) while it
+		// executes; execGuest marks it so the pool invariant covers it.
+		n.execGuest = c.native != n.id
 		n.execute(c)
 		// One execution slice is this core's NOC cycle: everything it
 		// produced — evictions while accepting guests, the migration that
@@ -127,33 +161,46 @@ func (n *coreNode) acceptNative(c *context) {
 			c.thread, c.native, n.id))
 	}
 	n.runq = append(n.runq, c)
+	n.checkGuestPool()
 }
 
 // acceptGuest implements Figure 1's "# threads exceeded?" box: if the guest
-// pool is full, the oldest resident guest is evicted to its native core on
-// the eviction channel (which has capacity for every thread in the system,
-// so this send cannot block — the deadlock-freedom argument).
+// pool is full, a resident guest is evicted to its native core on the
+// eviction channel (which has capacity for every thread in the system, so
+// this send cannot block — the deadlock-freedom argument). The currently
+// executing guest cannot be displaced mid-instruction; when it is the only
+// remaining guest the arrival is accepted anyway (refusing would deadlock
+// the migration network) and the overflow is counted as an overcommit.
 func (n *coreNode) acceptGuest(c *context) {
 	if c.native == n.id {
 		// A migration can target the thread's own native core (returning
 		// home): that lands in the reserved native context.
 		n.runq = append(n.runq, c)
+		n.checkGuestPool()
 		return
 	}
 	if n.p.cfg.GuestContexts > 0 {
 		for n.guests >= n.p.cfg.GuestContexts {
-			victim := n.evictOneGuest()
-			if victim == nil {
-				break // all resident guests are mid-flight; accept anyway
+			if n.evictOneGuest() == nil {
+				// Only the mid-flight executing guest remains: the pool
+				// exceeds its limit by this acceptance. Count it instead of
+				// pretending the limit held.
+				n.ctr.overcommits.Add(1)
+				break
 			}
 		}
 	}
 	n.guests++
 	n.runq = append(n.runq, c)
+	n.checkGuestPool()
 }
 
-// evictOneGuest removes the longest-resident guest from the run queue and
-// sends it home. Returns nil if no guest is queued.
+// evictOneGuest removes the first guest in run-queue order and sends it
+// home. Note this is *not* the longest-resident guest: requeue returns an
+// executed guest to the queue tail, so queue order is recency-of-scheduling
+// order and the victim is the guest that has waited longest since its last
+// execution slice (LRU-by-schedule, pinned by TestEvictionOrder). Returns
+// nil if no guest is queued.
 func (n *coreNode) evictOneGuest() *context {
 	for i, g := range n.runq {
 		if g.native != n.id {
@@ -165,18 +212,31 @@ func (n *coreNode) evictOneGuest() *context {
 			w := n.p.toWire(g)
 			n.ctr.contextFlits.Add(contextFlits(w))
 			n.p.tr.SendEviction(g.native, w)
+			n.checkGuestPool()
 			return g
 		}
 	}
 	return nil
 }
 
-// requeue returns a context to the local run queue after its quantum.
+// requeue returns the executing context to the local run queue after its
+// quantum. The context was resident throughout its slice, so the guest
+// count is unchanged; only the executing marker moves.
 func (n *coreNode) requeue(c *context) {
-	if c.native != n.id {
-		n.guests++
-	}
+	n.execGuest = false
 	n.runq = append(n.runq, c)
+	n.checkGuestPool()
+}
+
+// guestDeparted retires the executing context from the core: it migrated
+// away, halted, or was lost to transport teardown. Guests leave the
+// resident count here.
+func (n *coreNode) guestDeparted(c *context) {
+	if c.native != n.id {
+		n.guests--
+	}
+	n.execGuest = false
+	n.checkGuestPool()
 }
 
 // execute runs a context for up to one quantum. The context either stays
@@ -212,13 +272,16 @@ func (n *coreNode) execute(c *context) {
 				info.Access.Write = in.IsWrite()
 				if c.pred.Decide(info) == core.Migrate {
 					// Ship the context; the instruction re-executes at home,
-					// where the access will be local.
+					// where the access will be local. Either way (sent or
+					// transport torn down mid-run) the context has left this
+					// core.
 					n.ctr.migrations.Add(1)
 					w := n.p.toWire(c)
 					n.ctr.contextFlits.Add(contextFlits(w))
-					if err := n.p.tr.SendMigration(home, w); err != nil {
-						return // transport torn down mid-run
-					}
+					// A send error means the transport was torn down mid-run;
+					// either way the context has left this core.
+					_ = n.p.tr.SendMigration(home, w)
+					n.guestDeparted(c)
 					return
 				}
 				if in.IsWrite() {
@@ -230,6 +293,7 @@ func (n *coreNode) execute(c *context) {
 				n.ctr.localOps.Add(1)
 			}
 			if !n.applyMem(c, in, addr, home) {
+				n.guestDeparted(c) // run lost to transport teardown
 				return
 			}
 			c.observed = false // the access completed; the next one is fresh
@@ -241,6 +305,7 @@ func (n *coreNode) execute(c *context) {
 			n.ctr.instructions.Add(1)
 			c.pred.Flush() // end of the thread's access stream
 			n.p.onHalt(transport.HaltMsg{Thread: c.thread, Regs: c.regs})
+			n.guestDeparted(c)
 			return
 		}
 		executeALU(c, in)

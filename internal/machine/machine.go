@@ -94,6 +94,7 @@ type Result struct {
 	RemoteWrites int64
 	LocalOps     int64
 	ContextFlits int64 // flits of context wire (incl. predictor state) shipped
+	Overcommits  int64 // guest acceptances beyond GuestContexts (see CoreMetrics)
 
 	// PerCore breaks the counters down by core, ascending by core id.
 	PerCore []transport.CoreMetrics
@@ -208,6 +209,7 @@ func (m *Machine) Run(threads []ThreadSpec) (*Result, error) {
 		RemoteWrites: coll.Counters["remote_writes"],
 		LocalOps:     coll.Counters["local_ops"],
 		ContextFlits: coll.Counters["context_flits"],
+		Overcommits:  coll.Counters["overcommits"],
 		PerCore:      coll.PerCore,
 		FinalRegs:    make([][isa.NumRegs]uint32, len(threads)),
 	}

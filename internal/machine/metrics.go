@@ -24,14 +24,14 @@ func ContextFlitsFor(s core.Scheme) int64 {
 func MetricsTable(perCore []transport.CoreMetrics) *stats.Table {
 	t := stats.NewTable("per-core runtime metrics",
 		"core", "instructions", "local ops", "remote reads", "remote writes",
-		"migrations out", "evictions", "context flits")
+		"migrations out", "evictions", "overcommits", "context flits")
 	var total transport.CoreMetrics
 	for _, m := range perCore {
 		t.AddRow(int(m.Core), m.Instructions, m.LocalOps, m.RemoteReads, m.RemoteWrites,
-			m.Migrations, m.Evictions, m.ContextFlits)
+			m.Migrations, m.Evictions, m.Overcommits, m.ContextFlits)
 		total = total.Add(m)
 	}
 	t.AddRow("total", total.Instructions, total.LocalOps, total.RemoteReads,
-		total.RemoteWrites, total.Migrations, total.Evictions, total.ContextFlits)
+		total.RemoteWrites, total.Migrations, total.Evictions, total.Overcommits, total.ContextFlits)
 	return t
 }

@@ -36,6 +36,7 @@ type coreCounters struct {
 	migrations   atomic.Int64
 	evictions    atomic.Int64
 	contextFlits atomic.Int64
+	overcommits  atomic.Int64
 }
 
 // metrics snapshots the counters for the Collect control plane.
@@ -49,6 +50,7 @@ func (c *coreCounters) metrics(core geom.CoreID) transport.CoreMetrics {
 		Migrations:   c.migrations.Load(),
 		Evictions:    c.evictions.Load(),
 		ContextFlits: c.contextFlits.Load(),
+		Overcommits:  c.overcommits.Load(),
 	}
 }
 
@@ -211,6 +213,7 @@ func (p *Part) Collect(node int) transport.CollectReply {
 			"remote_writes": agg.RemoteWrites,
 			"local_ops":     agg.LocalOps,
 			"context_flits": agg.ContextFlits,
+			"overcommits":   agg.Overcommits,
 		},
 		PerCore: perCore,
 		Mem:     make(map[uint32]uint32),

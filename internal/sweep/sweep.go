@@ -128,6 +128,13 @@ var registry = []Experiment{
 			return sim.M3Cells(p)
 		},
 	},
+	{
+		Name: "m4",
+		Desc: "M4: compiled SPLASH-2 stand-ins on the real machine vs trace-model predictions (channel + TCP, all schemes)",
+		Cells: func(p sim.Platform, _ Params) sim.CellSet {
+			return sim.M4Cells(p)
+		},
+	},
 }
 
 // All returns every registered experiment in presentation order.

@@ -198,6 +198,12 @@ type CoreMetrics struct {
 	Migrations   int64 // contexts this core shipped toward a home
 	Evictions    int64 // guests this core evicted to their native cores
 	ContextFlits int64 // flits of context wire (incl. predictor state) sent
+	// Overcommits counts guest acceptances that pushed the core's resident
+	// guest population above GuestContexts because no queued guest was
+	// evictable (the only displaceable guest was mid-instruction). The
+	// accept is mandatory — refusing would break deadlock freedom — so the
+	// overflow is surfaced here instead of silently exceeding the pool.
+	Overcommits int64
 }
 
 // Add returns the counter-wise sum of m and o (Core is kept from m) — the
@@ -211,6 +217,7 @@ func (m CoreMetrics) Add(o CoreMetrics) CoreMetrics {
 	m.Migrations += o.Migrations
 	m.Evictions += o.Evictions
 	m.ContextFlits += o.ContextFlits
+	m.Overcommits += o.Overcommits
 	return m
 }
 

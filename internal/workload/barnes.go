@@ -14,10 +14,7 @@ import (
 //
 // Config.Scale is the number of bodies per thread.
 func Barnes(cfg Config) *trace.Trace {
-	cfg = cfg.withDefaults()
-	if err := cfg.validate(); err != nil {
-		panic(err)
-	}
+	cfg = mustNormalize(cfg)
 	p := cfg.Threads
 	bodies := cfg.Scale
 	r := newRNG(cfg.Seed)

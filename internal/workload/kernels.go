@@ -14,10 +14,7 @@ import (
 // Config.Scale is the matrix dimension m (m×m words, row-major,
 // row blocks of m/Threads rows per thread).
 func FFT(cfg Config) *trace.Trace {
-	cfg = cfg.withDefaults()
-	if err := cfg.validate(); err != nil {
-		panic(err)
-	}
+	cfg = mustNormalize(cfg)
 	m := cfg.Scale
 	p := cfg.Threads
 	rowsPer := m / p
@@ -88,10 +85,7 @@ func FFT(cfg Config) *trace.Trace {
 // Config.Scale is the matrix dimension in blocks B; block size is fixed at
 // 8×8 words to keep traces proportionate.
 func LU(cfg Config) *trace.Trace {
-	cfg = cfg.withDefaults()
-	if err := cfg.validate(); err != nil {
-		panic(err)
-	}
+	cfg = mustNormalize(cfg)
 	b := cfg.Scale // blocks per side
 	if b > 16 {
 		b = 16 // keep O(B³) trace volume sane
@@ -171,10 +165,7 @@ func LU(cfg Config) *trace.Trace {
 //
 // Config.Scale is the number of keys per thread per iteration.
 func Radix(cfg Config) *trace.Trace {
-	cfg = cfg.withDefaults()
-	if err := cfg.validate(); err != nil {
-		panic(err)
-	}
+	cfg = mustNormalize(cfg)
 	p := cfg.Threads
 	keys := cfg.Scale
 	r := newRNG(cfg.Seed)

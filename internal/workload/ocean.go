@@ -31,10 +31,7 @@ import (
 // including the fixed boundary rows); Config.Iters is the number of full
 // red–black sweeps.
 func Ocean(cfg Config) *trace.Trace {
-	cfg = cfg.withDefaults()
-	if err := cfg.validate(); err != nil {
-		panic(err)
-	}
+	cfg = mustNormalize(cfg)
 	n := cfg.Scale
 	p := cfg.Threads
 	rows := n + 2

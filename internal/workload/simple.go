@@ -10,10 +10,7 @@ import (
 //
 // Config.Scale is the number of words per thread per iteration.
 func Private(cfg Config) *trace.Trace {
-	cfg = cfg.withDefaults()
-	if err := cfg.validate(); err != nil {
-		panic(err)
-	}
+	cfg = mustNormalize(cfg)
 	streams := make([][]trace.Access, cfg.Threads)
 	for t := 0; t < cfg.Threads; t++ {
 		s := streams[t]
@@ -40,10 +37,7 @@ func Private(cfg Config) *trace.Trace {
 //
 // Config.Scale is the shared region size in pages.
 func Uniform(cfg Config) *trace.Trace {
-	cfg = cfg.withDefaults()
-	if err := cfg.validate(); err != nil {
-		panic(err)
-	}
+	cfg = mustNormalize(cfg)
 	r := newRNG(cfg.Seed)
 	wordsPerPage := PageBytes / WordBytes
 	pages := cfg.Scale
@@ -74,10 +68,7 @@ func Uniform(cfg Config) *trace.Trace {
 //
 // Config.Scale is the number of ping-pong rounds per pair.
 func PingPong(cfg Config) *trace.Trace {
-	cfg = cfg.withDefaults()
-	if err := cfg.validate(); err != nil {
-		panic(err)
-	}
+	cfg = mustNormalize(cfg)
 	if cfg.Threads < 2 {
 		panic("workload: pingpong needs at least 2 threads")
 	}
@@ -114,10 +105,7 @@ func PingPong(cfg Config) *trace.Trace {
 // Config.Scale is accesses per thread per iteration; every fourth access
 // pair targets the hot page.
 func Hotspot(cfg Config) *trace.Trace {
-	cfg = cfg.withDefaults()
-	if err := cfg.validate(); err != nil {
-		panic(err)
-	}
+	cfg = mustNormalize(cfg)
 	streams := make([][]trace.Access, cfg.Threads)
 	streams[0] = touchRange(streams[0], 0, 1) // thread 0 binds the hot page
 	for t := 0; t < cfg.Threads; t++ {

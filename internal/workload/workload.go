@@ -24,29 +24,42 @@ type Config struct {
 	Seed    uint64 // PRNG seed
 }
 
-// withDefaults fills zero fields with sensible defaults.
-func (c Config) withDefaults() Config {
-	if c.Threads == 0 {
-		c.Threads = 64
+// Normalized returns the config a generator actually runs. The rules keep
+// "unset" and "explicitly zero" distinct: a Config whose Threads, Scale and
+// Iters are all zero selects the documented defaults wholesale (Seed is
+// preserved — zero is a legitimate seed), while a partially-set config is
+// validated exactly as the caller wrote it, so Config{Iters: 0} with other
+// fields set is an error rather than a silent Iters=2.
+func (c Config) Normalized() (Config, error) {
+	if c.Threads == 0 && c.Scale == 0 && c.Iters == 0 {
+		c.Threads, c.Scale, c.Iters = 64, 64, 2
+		return c, nil
 	}
-	if c.Scale == 0 {
-		c.Scale = 64
+	if err := c.validate(); err != nil {
+		return Config{}, err
 	}
-	if c.Iters == 0 {
-		c.Iters = 2
+	return c, nil
+}
+
+// mustNormalize is Normalized for the generators, which have no error
+// return: a malformed config is a programming error at the call site.
+func mustNormalize(c Config) Config {
+	n, err := c.Normalized()
+	if err != nil {
+		panic(err)
 	}
-	return c
+	return n
 }
 
 func (c Config) validate() error {
 	if c.Threads <= 0 {
-		return fmt.Errorf("workload: non-positive thread count %d", c.Threads)
+		return fmt.Errorf("workload: non-positive thread count %d (set every field, or pass the zero Config for defaults)", c.Threads)
 	}
 	if c.Scale <= 0 {
-		return fmt.Errorf("workload: non-positive scale %d", c.Scale)
+		return fmt.Errorf("workload: non-positive scale %d (set every field, or pass the zero Config for defaults)", c.Scale)
 	}
 	if c.Iters <= 0 {
-		return fmt.Errorf("workload: non-positive iteration count %d", c.Iters)
+		return fmt.Errorf("workload: non-positive iteration count %d (set every field, or pass the zero Config for defaults)", c.Iters)
 	}
 	return nil
 }
@@ -115,12 +128,15 @@ func SharedAddr(w int) trace.Addr {
 // their partitions in parallel.
 func touchRange(stream []trace.Access, firstWord, lastWord int) []trace.Access {
 	// One write per page suffices to bind it, plus one per word would bloat
-	// traces; touch each page once and the first/last word for realism.
+	// traces; touch each page once and the final word for realism. The final
+	// word is skipped when it coincides with a page-stride word the loop
+	// already touched (lastWord-1 ≡ firstWord mod wordsPerPage), which would
+	// otherwise emit the same write twice and inflate model access counts.
 	wordsPerPage := PageBytes / WordBytes
 	for w := firstWord; w < lastWord; w += wordsPerPage {
 		stream = append(stream, trace.Access{Addr: SharedAddr(w), Write: true})
 	}
-	if lastWord > firstWord {
+	if lastWord > firstWord && (lastWord-1-firstWord)%wordsPerPage != 0 {
 		stream = append(stream, trace.Access{Addr: SharedAddr(lastWord - 1), Write: true})
 	}
 	return stream

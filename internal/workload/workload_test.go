@@ -1,10 +1,13 @@
 package workload
 
 import (
+	"encoding/binary"
+	"hash/fnv"
 	"testing"
 
 	"repro/internal/geom"
 	"repro/internal/placement"
+	"repro/internal/trace"
 )
 
 func TestRegistry(t *testing.T) {
@@ -247,6 +250,139 @@ func TestPingPongValidatesThreads(t *testing.T) {
 		}
 	}()
 	PingPong(Config{Threads: 1, Scale: 4, Iters: 1})
+}
+
+// TestGeneratorGolden pins every registered generator's trace byte-for-byte
+// (length plus an FNV-1a hash over (thread, addr, write) in trace order).
+// Any edit to a generator — including the touchRange dedupe that removed the
+// duplicated final-word write — must update these values deliberately;
+// regenerate by running the test and copying the got values from the failure.
+func TestGeneratorGolden(t *testing.T) {
+	cfg := Config{Threads: 8, Scale: 32, Iters: 1, Seed: 42}
+	golden := map[string]struct {
+		n    int
+		hash uint64
+	}{
+		"barnes":   {3340, 0x9d38dd96560aadd1},
+		"fft":      {3344, 0x36bda013f3a0b08d},
+		"hotspot":  {321, 0x5d013f5eab8b48ec},
+		"lu":       {77440, 0x99cb6f8365f825c5},
+		"ocean":    {6995, 0x09acb0c185c53642},
+		"pingpong": {516, 0xbce9e0c72270abcd},
+		"private":  {512, 0x80c8d051966bac25},
+		"radix":    {2832, 0x1b147322422d2159},
+		"uniform":  {288, 0x431e2946ac5b650b},
+	}
+	for _, name := range Names() {
+		want, ok := golden[name]
+		if !ok {
+			t.Errorf("%s: no golden entry (new generator? pin it here)", name)
+			continue
+		}
+		g, _ := Get(name)
+		tr := g(cfg)
+		h := fnv.New64a()
+		var buf [16]byte
+		for _, a := range tr.Accesses {
+			binary.LittleEndian.PutUint64(buf[:8], uint64(a.Thread))
+			binary.LittleEndian.PutUint64(buf[8:], uint64(a.Addr))
+			h.Write(buf[:])
+			if a.Write {
+				h.Write([]byte{1})
+			} else {
+				h.Write([]byte{0})
+			}
+		}
+		if got := h.Sum64(); tr.Len() != want.n || got != want.hash {
+			t.Errorf("%s: trace drifted: got {%d, %#016x}, want {%d, %#016x}",
+				name, tr.Len(), got, want.n, want.hash)
+		}
+	}
+}
+
+// TestTouchRangeNoDuplicateFinalWord: when lastWord-1 lands on a page-stride
+// word the loop already wrote, the final-word touch must not emit a second
+// write for it (the model access-count inflation bug).
+func TestTouchRangeNoDuplicateFinalWord(t *testing.T) {
+	wordsPerPage := PageBytes / WordBytes
+	cases := []struct {
+		first, last int
+		want        int // expected access count
+	}{
+		{0, 1, 1},                    // single word: loop covers it
+		{0, wordsPerPage, 2},         // page + distinct final word
+		{0, wordsPerPage + 1, 2},     // final word == second stride word
+		{0, 2*wordsPerPage + 1, 3},   // final word == third stride word
+		{5, 5 + wordsPerPage + 1, 2}, // offset range, final on stride
+		{5, 5 + wordsPerPage, 2},     // offset range, final off stride
+		{7, 7, 0},                    // empty range
+	}
+	for _, c := range cases {
+		got := touchRange(nil, c.first, c.last)
+		if len(got) != c.want {
+			t.Errorf("touchRange(%d,%d) = %d accesses, want %d: %v", c.first, c.last, len(got), c.want, got)
+		}
+		seen := map[trace.Addr]int{}
+		for _, a := range got {
+			seen[a.Addr]++
+		}
+		for addr, n := range seen {
+			if n > 1 {
+				t.Errorf("touchRange(%d,%d) wrote %#x %d times", c.first, c.last, uint64(addr), n)
+			}
+		}
+	}
+}
+
+// TestConfigNormalized pins the unset-vs-explicit-zero boundary: the zero
+// Config (modulo Seed) selects the defaults wholesale, while any
+// partially-set config is validated exactly as written.
+func TestConfigNormalized(t *testing.T) {
+	def := Config{Threads: 64, Scale: 64, Iters: 2}
+	cases := []struct {
+		name string
+		in   Config
+		want Config
+		err  bool
+	}{
+		{"zero config gets defaults", Config{}, def, false},
+		{"seed-only gets defaults plus seed", Config{Seed: 7}, Config{Threads: 64, Scale: 64, Iters: 2, Seed: 7}, false},
+		{"fully set passes through", Config{Threads: 8, Scale: 32, Iters: 1, Seed: 42}, Config{Threads: 8, Scale: 32, Iters: 1, Seed: 42}, false},
+		{"explicit zero iters errors", Config{Threads: 8, Scale: 32, Iters: 0}, Config{}, true},
+		{"explicit zero scale errors", Config{Threads: 8, Scale: 0, Iters: 1}, Config{}, true},
+		{"explicit zero threads errors", Config{Threads: 0, Scale: 32, Iters: 1}, Config{}, true},
+		{"negative threads errors", Config{Threads: -1, Scale: 32, Iters: 1}, Config{}, true},
+		{"negative scale errors", Config{Threads: 8, Scale: -1, Iters: 1}, Config{}, true},
+		{"negative iters errors", Config{Threads: 8, Scale: 32, Iters: -1}, Config{}, true},
+	}
+	for _, c := range cases {
+		got, err := c.in.Normalized()
+		if c.err {
+			if err == nil {
+				t.Errorf("%s: Normalized(%+v) = %+v, want error", c.name, c.in, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("%s: Normalized(%+v): %v", c.name, c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("%s: Normalized(%+v) = %+v, want %+v", c.name, c.in, got, c.want)
+		}
+	}
+}
+
+// TestExplicitZeroItersPanicsInGenerator: the regression the Normalized
+// reorder fixes — a partially-set config with Iters: 0 used to silently
+// become Iters: 2.
+func TestExplicitZeroItersPanicsInGenerator(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Private(Config{Threads: 4, Scale: 4, Iters: 0}) did not panic")
+		}
+	}()
+	Private(Config{Threads: 4, Scale: 4, Iters: 0})
 }
 
 func TestConfigValidatePanics(t *testing.T) {

@@ -1,0 +1,364 @@
+// Package wprog lowers the synthetic SPLASH-2 stand-in traces of
+// internal/workload into real internal/isa programs, so the same sharing
+// structures the §3 analytical model consumes can execute on the concurrent
+// EM² runtime (internal/machine) — in one process over channels or across
+// node processes over TCP — and the runtime's measured message counts can
+// be checked against the model's predictions workload by workload.
+//
+// The compilation mapping (DESIGN.md §2) has three parts:
+//
+//   - Address compaction. Trace addresses are sparse (per-thread private
+//     arenas at 0x1000_0000, shared structures at 0x8000_0000); machine
+//     programs address memory as base-register + 12-bit page offset. Each
+//     distinct 4 KB trace page is assigned a compacted page index congruent
+//     (mod cores) to the page's home under first-touch placement on the
+//     trace — the core native to the first-touching thread. Within-page
+//     offsets are preserved. Consequently page-striped placement over the
+//     compacted addresses reproduces the trace's first-touch home for every
+//     access, and the model run on the compacted trace is access-for-access
+//     identical to the model run on the original trace (pinned by the
+//     package tests). Line-striped placement does not preserve trace homes;
+//     there the model is simply run on the compacted trace under the same
+//     striping, which keeps model and runtime comparable.
+//
+//   - Value encoding. Every compiled store writes a distinguishable value —
+//     bit 31 set, thread id in bits [30:18], the thread's write ordinal in
+//     bits [17:0] — and every compacted page's base word is preloaded with a
+//     marker (bit 30 set, page ordinal below). Distinct writers therefore
+//     never write equal values, so CheckSCFrom's witness-order replay can
+//     attribute every read to its exact write.
+//
+//   - Register discipline. r1 holds the current page base (reloaded via
+//     LUI/ADDI only when the access stream changes pages, so intra-page runs
+//     cost one instruction per access), r4/r5 are load/store scratch. Before
+//     HALT each thread clears the scratch registers and leaves a
+//     deterministic summary — r2 = its access count, r3 = its thread id — so
+//     final register files are schedule-independent and the differential
+//     battery can demand bit-identical registers across transports.
+package wprog
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/isa"
+	"repro/internal/machine"
+	"repro/internal/placement"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// PageBytes is the compaction granularity: the 4 KB OS page of the trace
+// generators and the first-touch policy.
+const PageBytes = placement.DefaultPageBytes
+
+// Codegen limits. The write-value encoding packs the thread id and the
+// per-thread write ordinal into one distinguishable 32-bit word, and the
+// compacted address space must stay below 2^32.
+const (
+	maxThreads       = 1 << 13
+	maxWritesPer     = 1 << 18
+	maxCompactedPage = 1 << 20
+)
+
+// PageBind records one compacted page and the home core the compaction
+// preserved for it (the trace's first-touch binding). Running under
+// first-touch placement on the real machine, preloading each page's marker
+// word with `by = Home` reproduces exactly this binding before execution
+// starts.
+type PageBind struct {
+	Base uint32 // first byte of the compacted page
+	Home geom.CoreID
+}
+
+// Compiled is a workload lowered to real ISA programs plus everything
+// needed to run and validate it: the preload image, the preserved page
+// homes, and the compacted trace the §3 model predicts from.
+type Compiled struct {
+	Name  string
+	Cores int
+	// Threads holds one machine program per trace thread. Every instruction
+	// survives the 32-bit wire encoding, so the same specs load into
+	// machine.Run and RunCluster unchanged.
+	Threads []machine.ThreadSpec
+	// Mem is the preload image: each compacted page's base word carries a
+	// distinguishable marker. It doubles as the CheckSCFrom init image.
+	Mem map[uint32]uint32
+	// Pages lists the compacted pages in discovery order.
+	Pages []PageBind
+	// Trace is the compacted trace: the original access sequence, thread
+	// structure and interleaving, with addresses rewritten to the compacted
+	// space. Feeding it to the trace engine yields the model predictions the
+	// runtime is checked against.
+	Trace *trace.Trace
+	// Accesses and Writes count each thread's memory operations — the values
+	// the compiled programs leave in r2 (accesses) at HALT.
+	Accesses []int
+	Writes   []int
+	// Deterministic marks single-writer workloads (no address is written by
+	// two threads): their final memory image, like the final registers, is
+	// schedule-independent, so channel and TCP executions must agree
+	// bit-for-bit.
+	Deterministic bool
+}
+
+// markerValue is the preload marker of the i-th discovered page: bit 30
+// set, disjoint from write values (bit 31) and from zero.
+func markerValue(i int) uint32 { return 1<<30 | uint32(i) }
+
+// writeValue encodes the distinguishable value of thread t's n-th write.
+func writeValue(t, n int) uint32 {
+	return 1<<31 | uint32(t)<<18 | uint32(n)
+}
+
+// materialize appends instructions leaving the 32-bit constant v in reg:
+// one ADDI for small values, LUI (+ ADDI for the sign-adjusted low half)
+// otherwise. Every emitted immediate round-trips the wire encoding.
+func materialize(prog []isa.Instr, reg uint8, v uint32) []isa.Instr {
+	if v <= 0x7FFF {
+		return append(prog, isa.Instr{Op: isa.ADDI, Rd: reg, Rs: 0, Imm: int32(v)})
+	}
+	lo := int32(int16(uint16(v)))
+	hi := int32(int16(uint16((v - uint32(lo)) >> 16)))
+	prog = append(prog, isa.Instr{Op: isa.LUI, Rd: reg, Imm: hi})
+	if lo != 0 {
+		prog = append(prog, isa.Instr{Op: isa.ADDI, Rd: reg, Rs: reg, Imm: lo})
+	}
+	return prog
+}
+
+// Compile lowers tr into machine programs for a mesh of the given core
+// count. The thread→native-core mapping is thread t mod cores, matching
+// both machine.Run and the trace engine.
+func Compile(tr *trace.Trace, cores int) (*Compiled, error) {
+	if err := tr.Validate(); err != nil {
+		return nil, fmt.Errorf("wprog: %v", err)
+	}
+	if cores <= 0 {
+		return nil, fmt.Errorf("wprog: non-positive core count %d", cores)
+	}
+	if tr.NumThreads > maxThreads {
+		return nil, fmt.Errorf("wprog: %d threads exceed the %d the write-value encoding distinguishes", tr.NumThreads, maxThreads)
+	}
+	if tr.WordBytes != 4 {
+		return nil, fmt.Errorf("wprog: %d-byte words; the machine is word-granular at 4", tr.WordBytes)
+	}
+
+	c := &Compiled{
+		Name:     tr.Name,
+		Cores:    cores,
+		Mem:      make(map[uint32]uint32),
+		Trace:    trace.New(tr.Name, tr.NumThreads),
+		Accesses: make([]int, tr.NumThreads),
+		Writes:   make([]int, tr.NumThreads),
+	}
+	c.Trace.WordBytes = tr.WordBytes
+
+	// Address compaction, in global trace order (the order first-touch sees):
+	// page index = home + cores * (pages already homed there), so that
+	// index mod cores == home.
+	pageIdx := make(map[trace.Addr]int)
+	perHome := make([]int, cores)
+	writer := make(map[trace.Addr]int) // original addr -> sole writing thread
+	c.Deterministic = true
+	for _, a := range tr.Accesses {
+		page := a.Addr / PageBytes
+		idx, ok := pageIdx[page]
+		if !ok {
+			home := a.Thread % cores
+			idx = home + cores*perHome[home]
+			if idx >= maxCompactedPage {
+				return nil, fmt.Errorf("wprog: workload %q needs compacted page index %d (max %d)", tr.Name, idx, maxCompactedPage)
+			}
+			perHome[home]++
+			pageIdx[page] = idx
+			c.Pages = append(c.Pages, PageBind{Base: uint32(idx) * PageBytes, Home: geom.CoreID(home)})
+			c.Mem[uint32(idx)*PageBytes] = markerValue(len(c.Pages) - 1)
+		}
+		maddr := uint32(idx)*PageBytes + uint32(a.Addr%PageBytes)
+		c.Trace.Append(trace.Access{Thread: a.Thread, Addr: trace.Addr(maddr), Write: a.Write})
+		if a.Write {
+			if w, seen := writer[a.Addr]; seen && w != a.Thread {
+				c.Deterministic = false
+			}
+			writer[a.Addr] = a.Thread
+		}
+	}
+
+	// Code generation, per thread over the compacted per-thread projections.
+	c.Threads = make([]machine.ThreadSpec, tr.NumThreads)
+	for t, accs := range c.Trace.PerThread() {
+		prog, err := compileThread(t, accs)
+		if err != nil {
+			return nil, err
+		}
+		c.Threads[t] = machine.ThreadSpec{Program: prog}
+		c.Accesses[t] = len(accs)
+		for _, a := range accs {
+			if a.Write {
+				c.Writes[t]++
+			}
+		}
+	}
+	return c, nil
+}
+
+// compileThread lowers one thread's compacted access stream.
+func compileThread(t int, accs []trace.Access) ([]isa.Instr, error) {
+	var prog []isa.Instr
+	var curBase uint32
+	haveBase := false
+	writes := 0
+	for _, a := range accs {
+		maddr := uint32(a.Addr)
+		base, off := maddr&^uint32(PageBytes-1), maddr&uint32(PageBytes-1)
+		if !haveBase || base != curBase {
+			prog = materialize(prog, 1, base)
+			curBase, haveBase = base, true
+		}
+		if a.Write {
+			if writes >= maxWritesPer {
+				return nil, fmt.Errorf("wprog: thread %d exceeds %d writes (value encoding)", t, maxWritesPer)
+			}
+			prog = materialize(prog, 5, writeValue(t, writes))
+			writes++
+			prog = append(prog, isa.Instr{Op: isa.SW, Rd: 5, Rs: 1, Imm: int32(off)})
+		} else {
+			prog = append(prog, isa.Instr{Op: isa.LW, Rd: 4, Rs: 1, Imm: int32(off)})
+		}
+	}
+	// Deterministic epilogue: clear the scratch registers, leave the access
+	// count in r2 and the thread id in r3, halt.
+	for _, r := range []uint8{1, 4, 5} {
+		prog = append(prog, isa.Instr{Op: isa.ADD, Rd: r, Rs: 0, Rt: 0})
+	}
+	prog = materialize(prog, 2, uint32(len(accs)))
+	prog = append(prog,
+		isa.Instr{Op: isa.ADDI, Rd: 3, Rs: 0, Imm: int32(t)},
+		isa.Instr{Op: isa.HALT},
+	)
+	return prog, nil
+}
+
+// Litmus wraps the compiled workload as a machine.Litmus: the preload image
+// rides in Mem, and the outcome check asserts each thread's deterministic
+// register summary (r2 = access count, r3 = thread id, scratch cleared).
+func (c *Compiled) Litmus() machine.Litmus {
+	counts := c.Accesses
+	return machine.Litmus{
+		Name:          c.Name,
+		Threads:       c.Threads,
+		Mem:           c.Mem,
+		Deterministic: c.Deterministic,
+		Check: func(read func(uint32) uint32, regs [][isa.NumRegs]uint32) error {
+			for t := range counts {
+				if got, want := regs[t][2], uint32(counts[t]); got != want {
+					return fmt.Errorf("wprog: thread %d retired %d accesses, want %d", t, got, want)
+				}
+				if got := regs[t][3]; got != uint32(t) {
+					return fmt.Errorf("wprog: thread %d reports id %d", t, got)
+				}
+				if regs[t][1]|regs[t][4]|regs[t][5] != 0 {
+					return fmt.Errorf("wprog: thread %d scratch registers not cleared at HALT", t)
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// Instructions returns the total compiled program length across threads.
+func (c *Compiled) Instructions() int {
+	n := 0
+	for _, t := range c.Threads {
+		n += len(t.Program)
+	}
+	return n
+}
+
+// Predict runs the compacted trace through the §3 trace engine under the
+// given scheme and placement and returns the model's predicted counts. With
+// GuestContexts 0 the runtime's counters must match these exactly, modulo
+// the documented M3 offsets (see CheckCounts). mesh.Cores() must equal the
+// core count the workload was compiled for, or the thread→native mapping
+// (and with it every home) would diverge.
+func (c *Compiled) Predict(mesh geom.Mesh, scheme core.Scheme, place placement.Policy, guests int) (*core.Result, error) {
+	if mesh.Cores() != c.Cores {
+		return nil, fmt.Errorf("wprog: compiled for %d cores, predicting on %d", c.Cores, mesh.Cores())
+	}
+	cfg := core.DefaultConfig()
+	cfg.Mesh = mesh
+	cfg.GuestContexts = guests
+	cfg.ChargeMemory = false
+	eng, err := core.NewEngine(cfg, place, scheme)
+	if err != nil {
+		return nil, err
+	}
+	return eng.Run(c.Trace, nil)
+}
+
+// Counts is the message-count comparison between a model prediction and a
+// runtime execution, under the M3 offset rules: a migrated access completes
+// locally at the home core, so the runtime's local counter sees
+// model.Local + model.Migrations; context flits are (migrations +
+// evictions) × the per-context flit footprint of the scheme.
+type Counts struct {
+	Migrations   int64 `json:"migrations"`
+	Evictions    int64 `json:"evictions"`
+	RemoteOps    int64 `json:"remote_ops"`
+	LocalOps     int64 `json:"local_ops"`
+	ContextFlits int64 `json:"context_flits"`
+}
+
+// ModelCounts derives the runtime-comparable counters from a model result
+// under the given scheme (for the context-flit footprint).
+func ModelCounts(res *core.Result, scheme core.Scheme) Counts {
+	return Counts{
+		Migrations:   res.Migrations,
+		Evictions:    res.Evictions,
+		RemoteOps:    res.RemoteAccesses,
+		LocalOps:     res.Local + res.Migrations,
+		ContextFlits: (res.Migrations + res.Evictions) * machine.ContextFlitsFor(scheme),
+	}
+}
+
+// RuntimeCounts extracts the same counters from a machine result.
+func RuntimeCounts(res *machine.Result) Counts {
+	return Counts{
+		Migrations:   res.Migrations,
+		Evictions:    res.Evictions,
+		RemoteOps:    res.RemoteReads + res.RemoteWrites,
+		LocalOps:     res.LocalOps,
+		ContextFlits: res.ContextFlits,
+	}
+}
+
+// Diff returns a description per differing counter, empty when equal.
+func (a Counts) Diff(b Counts) []string {
+	var out []string
+	d := func(name string, x, y int64) {
+		if x != y {
+			out = append(out, fmt.Sprintf("%s %d vs %d", name, x, y))
+		}
+	}
+	d("migrations", a.Migrations, b.Migrations)
+	d("evictions", a.Evictions, b.Evictions)
+	d("remote ops", a.RemoteOps, b.RemoteOps)
+	d("local ops", a.LocalOps, b.LocalOps)
+	d("context flits", a.ContextFlits, b.ContextFlits)
+	return out
+}
+
+// CompileWorkload generates the named registry workload and compiles it.
+func CompileWorkload(name string, cfg workload.Config, cores int) (*Compiled, error) {
+	cfg, err := cfg.Normalized()
+	if err != nil {
+		return nil, err
+	}
+	g, err := workload.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	return Compile(g(cfg), cores)
+}
