@@ -1,0 +1,157 @@
+// Command em2serve is the open-loop job-serving front end: it injects
+// jobs (litmus programs) into a live EM² machine or cluster at a seeded
+// deterministic arrival rate, applies admission control against a bounded
+// in-flight window, SC-checks every completed job, and emits a JSON SLO
+// report (p50/p90/p99/p999 completion latency in machine cycles).
+//
+// Usage:
+//
+//	em2serve -jobs 64 -seed 7 -workload mix                 # in-process machine
+//	em2serve -transport tcp -nodes 2 -jobs 64 -seed 7       # self-hosted TCP cluster
+//	em2serve -transport tcp -manifest cluster.json ...      # external em2node processes
+//	em2serve -trace arrivals.txt -max-inflight 4            # trace-driven arrivals
+//
+// The report is deterministic: the same seed, arrival process and
+// workload produce a byte-identical report on the channel transport and
+// on any TCP cluster partitioning of the same mesh (the cost model
+// charges depend only on core geometry). -trace reads one absolute
+// arrival time in cycles per line ('#' comments and blank lines skipped).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/machine"
+	"repro/internal/serve"
+	"repro/internal/transport"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the whole command with injectable argv and streams, so the CLI
+// tests can pin flag handling and output without a subprocess.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("em2serve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	tr := fs.String("transport", "channel", "backend: channel (in-process) or tcp")
+	nodes := fs.Int("nodes", 2, "tcp: self-host this many in-process nodes on loopback")
+	manifest := fs.String("manifest", "", "tcp: run against externally started em2node processes on this manifest instead of self-hosting")
+	w := fs.Int("w", 2, "mesh width")
+	h := fs.Int("h", 2, "mesh height")
+	scheme := fs.String("scheme", "always-migrate", "decision scheme: "+strings.Join(machine.SchemeNames(), ", "))
+	placement := fs.String("placement", "striped:64", "placement: "+strings.Join(machine.PlacementNames(), ", "))
+	quantum := fs.Int("quantum", 0, "instructions per scheduling slice (0 = runtime default)")
+	workload := fs.String("workload", "mix", "job generator: "+strings.Join(serve.Workloads(), ", "))
+	jobs := fs.Int("jobs", 32, "number of Poisson arrivals (ignored with -trace)")
+	seed := fs.Int64("seed", 1, "seed for the arrival process and workload generator")
+	meanGap := fs.Float64("mean-gap", 2000, "mean Poisson interarrival gap in cycles")
+	trace := fs.String("trace", "", "trace-driven arrivals: file with one absolute arrival time (cycles) per line")
+	maxInflight := fs.Int("max-inflight", 8, "admission window: reject arrivals beyond this many in-flight jobs (0 = unbounded)")
+	timeout := fs.Duration("timeout", 60*time.Second, "per-job and drain guard")
+	out := fs.String("o", "", "write the report to this file instead of stdout")
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		return 2
+	}
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "em2serve:", err)
+		return 1
+	}
+
+	cfg := serve.Config{
+		W: *w, H: *h,
+		Scheme:      *scheme,
+		Placement:   *placement,
+		Quantum:     *quantum,
+		Workload:    *workload,
+		Jobs:        *jobs,
+		Seed:        *seed,
+		MeanGap:     *meanGap,
+		MaxInflight: *maxInflight,
+		Timeout:     *timeout,
+	}
+	if *trace != "" {
+		f, err := os.Open(*trace)
+		if err != nil {
+			return fail(err)
+		}
+		cfg.Arrivals, err = serve.ParseTrace(f)
+		f.Close()
+		if err != nil {
+			return fail(err)
+		}
+	}
+
+	var be serve.Backend
+	var nodeWG sync.WaitGroup
+	switch *tr {
+	case "channel":
+		var err error
+		if be, err = serve.NewLocalBackend(cfg); err != nil {
+			return fail(err)
+		}
+	case "tcp":
+		man, err := serveManifest(cfg, *manifest, *nodes, &nodeWG, stderr)
+		if err != nil {
+			return fail(err)
+		}
+		if be, err = serve.NewClusterBackend(cfg, man); err != nil {
+			return fail(err)
+		}
+	default:
+		return fail(fmt.Errorf("unknown transport %q (channel or tcp)", *tr))
+	}
+
+	rep, err := serve.Run(cfg, be)
+	be.Close()
+	nodeWG.Wait()
+	if err != nil {
+		return fail(err)
+	}
+	b, err := rep.JSON()
+	if err != nil {
+		return fail(err)
+	}
+	if *out != "" {
+		if err := os.WriteFile(*out, b, 0o644); err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(stderr, "em2serve: wrote %s (%d jobs completed, %d rejected)\n", *out, rep.Completed, rep.Rejected)
+	} else {
+		stdout.Write(b)
+	}
+	return 0
+}
+
+// serveManifest resolves the TCP cluster: an external manifest as-is, or
+// a self-hosted loopback cluster with one in-process ServeNode goroutine
+// per manifest entry (the nodes exit when the backend shuts the run down).
+func serveManifest(cfg serve.Config, manifestPath string, nodes int, wg *sync.WaitGroup, stderr io.Writer) (transport.Manifest, error) {
+	if manifestPath != "" {
+		return transport.LoadManifest(manifestPath)
+	}
+	man, err := transport.LocalManifest(nodes, cfg.W, cfg.H)
+	if err != nil {
+		return transport.Manifest{}, err
+	}
+	for i := range man.Nodes {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := machine.ServeNode(man, i); err != nil {
+				fmt.Fprintf(stderr, "em2serve: node %d: %v\n", i, err)
+			}
+		}(i)
+	}
+	return man, nil
+}

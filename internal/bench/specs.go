@@ -12,6 +12,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/machine"
 	"repro/internal/placement"
+	"repro/internal/serve"
 	"repro/internal/sim"
 	"repro/internal/transport"
 	"repro/internal/workload"
@@ -411,6 +412,8 @@ func Specs() []Spec {
 		},
 	}
 
+	specs = append(specs, serveSpecs()...)
+
 	specs = append(specs, Spec{
 		// The coalescing path in isolation: one scheduling cycle's burst —
 		// 16 contexts to the same peer — deferred into the batch buffer and
@@ -487,6 +490,108 @@ func Specs() []Spec {
 		)
 	}
 	return specs
+}
+
+// serveConfig sizes the open-loop serving benchmark: a seeded Poisson
+// arrival stream of mixed litmus jobs with a bounded admission window.
+func serveConfig(short bool) serve.Config {
+	jobs := 24
+	if short {
+		jobs = 8
+	}
+	return serve.Config{
+		W: 2, H: 2,
+		Workload:    "mix",
+		Jobs:        jobs,
+		Seed:        2011,
+		MeanGap:     1500,
+		MaxInflight: 8,
+		Timeout:     60 * time.Second,
+	}
+}
+
+// reportServe attaches the serving SLO numbers to the benchmark: jobs
+// completed per wall second and the report's own p99 latency (a modeled
+// quantity in machine cycles, identical across transports by contract).
+func reportServe(b *testing.B, rep *serve.Report) {
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(rep.Completed)*float64(b.N)/sec, "jobs/s")
+	}
+	b.ReportMetric(rep.LatencyCycles.P99, "p99_cycles")
+	b.ReportMetric(float64(rep.Rejected), "rejected/op")
+}
+
+// runServeTCP executes one serving run on a self-hosted two-node TCP
+// cluster, mirroring runTCP's node hosting.
+func runServeTCP(cfg serve.Config) (*serve.Report, error) {
+	man, err := transport.LocalManifest(2, cfg.W, cfg.H)
+	if err != nil {
+		return nil, err
+	}
+	errs := make(chan error, len(man.Nodes))
+	for i := range man.Nodes {
+		go func(i int) { errs <- machine.ServeNode(man, i) }(i)
+	}
+	be, err := serve.NewClusterBackend(cfg, man)
+	if err != nil {
+		return nil, err
+	}
+	rep, runErr := serve.Run(cfg, be)
+	be.Close()
+	for range man.Nodes {
+		if e := <-errs; e != nil && runErr == nil {
+			runErr = fmt.Errorf("bench: serve node: %v", e)
+		}
+	}
+	if runErr != nil {
+		return nil, runErr
+	}
+	return rep, nil
+}
+
+// serveSpecs benchmarks the whole serving pipeline — admission, the job
+// lifecycle (submit/ack/inject/halts/retire), per-job SC checking — on
+// both transports. Both entries are in the -short (CI) set.
+func serveSpecs() []Spec {
+	return []Spec{
+		{
+			Name: "serve/channel",
+			Run: func(b *testing.B, short bool, side *Side) {
+				cfg := serveConfig(short)
+				var rep *serve.Report
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					be, err := serve.NewLocalBackend(cfg)
+					if err != nil {
+						side.Fail(b, err)
+					}
+					r, err := serve.Run(cfg, be)
+					be.Close()
+					if err != nil {
+						side.Fail(b, err)
+					}
+					rep = r
+				}
+				reportServe(b, rep)
+			},
+		},
+		{
+			Name: "serve/tcp",
+			Run: func(b *testing.B, short bool, side *Side) {
+				cfg := serveConfig(short)
+				var rep *serve.Report
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					r, err := runServeTCP(cfg)
+					if err != nil {
+						side.Fail(b, err)
+					}
+					rep = r
+				}
+				reportServe(b, rep)
+			},
+		},
+	}
 }
 
 // shortVariant maps a workload to its -short sizing by name.

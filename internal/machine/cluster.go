@@ -209,11 +209,6 @@ func ServeNode(man transport.Manifest, idx int, opts ...NodeOption) error {
 	if cfg.Scheme, err = ParseScheme(spec.Scheme, cfg.Mesh); err != nil {
 		return err
 	}
-	threads, err := decodePrograms(spec)
-	if err != nil {
-		return err
-	}
-
 	tn.Prepare(spec.NumThreads)
 	part, err := NewPart(cfg, tn)
 	if err != nil {
@@ -222,8 +217,24 @@ func ServeNode(man transport.Manifest, idx int, opts ...NodeOption) error {
 	for a, v := range spec.Mem {
 		part.Preload(a, v, 0) // keeps only the addresses this node homes
 	}
-	if err := part.Start(threads, func(h transport.HaltMsg) { tn.SendHalt(h) }); err != nil {
-		return err
+	onHalt := func(h transport.HaltMsg) { tn.SendHalt(h) }
+	if spec.Serve {
+		// Job-serving mode: the slot pool starts empty and per-job specs
+		// arrive through JobSubmit frames, handled on the coordinator
+		// link's reader before any of the job's contexts can be injected.
+		tn.HandleJob(part.ApplyJob)
+		tn.HandleJobDone(func(d transport.JobDone) { part.ClearThreads(d.Slots) })
+		if err := part.StartServe(spec.NumThreads, onHalt); err != nil {
+			return err
+		}
+	} else {
+		threads, err := decodePrograms(spec)
+		if err != nil {
+			return err
+		}
+		if err := part.Start(threads, onHalt); err != nil {
+			return err
+		}
 	}
 	tn.Ready() // open the data plane: Prepare'd inboxes + handler are live
 
@@ -368,15 +379,32 @@ func RunCluster(man transport.Manifest, cfg ClusterConfig, threads []ThreadSpec,
 	res.FinalRegs = make([][isa.NumRegs]uint32, len(threads))
 	timer := time.NewTimer(cfg.Timeout)
 	defer timer.Stop()
-	for halted := 0; halted < len(threads); halted++ {
+	// Track exactly which threads halted: a halt counter alone would let a
+	// duplicate (or fabricated) report for one thread mask another thread
+	// that never finished, and the run would "complete" with garbage
+	// registers for the missing thread.
+	halted := make([]bool, len(threads))
+	for n := 0; n < len(threads); n++ {
 		select {
-		case h := <-co.Halts():
+		case h, ok := <-co.Halts():
+			if !ok {
+				return nil, fmt.Errorf("machine: halt channel closed with %d of %d threads halted", n, len(threads))
+			}
 			if h.Thread < 0 || h.Thread >= len(threads) {
 				return nil, fmt.Errorf("machine: halt report for unknown thread %d", h.Thread)
 			}
+			if halted[h.Thread] {
+				return nil, fmt.Errorf("machine: duplicate halt report for thread %d", h.Thread)
+			}
+			halted[h.Thread] = true
 			res.FinalRegs[h.Thread] = h.Regs
+		case err := <-co.Deaths():
+			// A node process died mid-run: every context and shard it held
+			// is gone. Fail loudly and immediately instead of letting the
+			// run bleed out into a timeout.
+			return nil, fmt.Errorf("machine: cluster run failed with %d of %d threads halted: %v", n, len(threads), err)
 		case <-timer.C:
-			return nil, fmt.Errorf("machine: cluster run timed out with %d of %d threads halted", halted, len(threads))
+			return nil, fmt.Errorf("machine: cluster run timed out with %d of %d threads halted", n, len(threads))
 		}
 	}
 

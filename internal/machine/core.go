@@ -24,6 +24,16 @@ type context struct {
 	native geom.CoreID
 	memSeq int64 // per-thread memory-op counter (program order for SC)
 
+	// cycles and msgs are the thread's §3 cost-model accumulators: one cycle
+	// per retired instruction plus the NoC latency of every traversal its
+	// execution caused (migrations, evictions, remote round trips), and the
+	// count of those traversals. They depend only on core geometry and the
+	// thread's own decision stream — never on how cores are partitioned into
+	// node processes — which is what lets the serve front end report
+	// byte-identical latencies across the channel and TCP transports.
+	cycles uint64
+	msgs   uint32
+
 	// pred is the thread's decision predictor; its state migrates with the
 	// context (transport.Context.Sched), so stateful schemes work across
 	// cores and across node processes without any shared tables.
@@ -87,6 +97,23 @@ func (n *coreNode) checkGuestPool() {
 	}
 }
 
+// shipCost returns the §3 cost-model latency, in cycles, of shipping c's
+// context over hops mesh hops — the charge a migration or eviction adds to
+// the context's own accumulator. It depends only on core geometry and the
+// context's predictor-state size, never on the node partitioning.
+func (n *coreNode) shipCost(c *context, hops int) uint64 {
+	bits := 8 * (transport.ContextWireBytes + c.pred.StateLen())
+	return uint64(wireNoC.Latency(hops, bits))
+}
+
+// remoteCost returns the cost-model latency of one remote-access round
+// trip over hops mesh hops: the request frame out plus the reply frame
+// back, each at its exact wire size.
+func remoteCost(hops int) uint64 {
+	return uint64(wireNoC.Latency(hops, 8*transport.MemReqFrameBytes) +
+		wireNoC.Latency(hops, 8*transport.MemRepFrameBytes))
+}
+
 // flush pushes the transport's coalesced sends out at this core's flush
 // points. A failed flush means a peer connection died with contexts in the
 // buffer — the run is lost, so say why once (the writer's error is sticky
@@ -131,6 +158,16 @@ func (n *coreNode) loop() {
 		// (Remote round trips inside the slice flush their own connection
 		// eagerly, so a buffered message waits at most one slice.)
 		n.flush()
+		// An abort (Part.Stop with contexts still resident — a serve drain,
+		// a coordinator teardown) must terminate this loop even though the
+		// runq never empties; without this check a resident non-halting
+		// context would keep the idle branch, and its done case, forever
+		// unreachable.
+		select {
+		case <-n.p.done:
+			return
+		default:
+		}
 	}
 }
 
@@ -207,6 +244,11 @@ func (n *coreNode) evictOneGuest() *context {
 			n.runq = append(n.runq[:i], n.runq[i+1:]...)
 			n.guests--
 			n.ctr.evictions.Add(1)
+			// The eviction traversal is charged to the evicted context (its
+			// thread caused the residency), before serialization so the wire
+			// carries the updated accumulators.
+			g.cycles += n.shipCost(g, n.p.cfg.Mesh.Hops(n.id, g.native))
+			g.msgs++
 			// Eviction inboxes hold every thread in the system, so this
 			// send never blocks (in-process) / never stalls the wire (TCP).
 			w := n.p.toWire(g)
@@ -274,8 +316,11 @@ func (n *coreNode) execute(c *context) {
 					// Ship the context; the instruction re-executes at home,
 					// where the access will be local. Either way (sent or
 					// transport torn down mid-run) the context has left this
-					// core.
+					// core. The traversal is charged before serialization so
+					// the wire carries the updated accumulators.
 					n.ctr.migrations.Add(1)
+					c.cycles += n.shipCost(c, n.p.cfg.Mesh.Hops(n.id, home))
+					c.msgs++
 					w := n.p.toWire(c)
 					n.ctr.contextFlits.Add(contextFlits(w))
 					// A send error means the transport was torn down mid-run;
@@ -289,6 +334,8 @@ func (n *coreNode) execute(c *context) {
 				} else {
 					n.ctr.remoteReads.Add(1)
 				}
+				c.cycles += remoteCost(n.p.cfg.Mesh.Hops(n.id, home))
+				c.msgs += 2 // request out, reply back
 			} else {
 				n.ctr.localOps.Add(1)
 			}
@@ -299,17 +346,20 @@ func (n *coreNode) execute(c *context) {
 			c.observed = false // the access completed; the next one is fresh
 			c.pc++
 			n.ctr.instructions.Add(1)
+			c.cycles++
 			continue
 		}
 		if in.Op == isa.HALT {
 			n.ctr.instructions.Add(1)
+			c.cycles++
 			c.pred.Flush() // end of the thread's access stream
-			n.p.onHalt(transport.HaltMsg{Thread: c.thread, Regs: c.regs})
+			n.p.onHalt(transport.HaltMsg{Thread: c.thread, Regs: c.regs, Cycles: c.cycles, Msgs: c.msgs})
 			n.guestDeparted(c)
 			return
 		}
 		executeALU(c, in)
 		n.ctr.instructions.Add(1)
+		c.cycles++
 	}
 	n.requeue(c)
 }

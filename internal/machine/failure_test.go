@@ -1,0 +1,171 @@
+package machine
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/isa"
+	"repro/internal/transport"
+)
+
+// spinForever reads an address that is never written and loops until it
+// becomes non-zero — a thread that can only end when the run is torn down.
+func spinForever() []isa.Instr {
+	return isa.MustAssemble(`
+	spin:
+		lw   r1, 128(r0)
+		beq  r1, r0, spin
+		halt
+	`)
+}
+
+// TestNodeDeathFailsLoudly kills one node process mid-run and requires
+// RunCluster to fail promptly via the death channel, not bleed out into
+// its timeout: the old halt loop only selected on halts and the timer, so
+// a dead node meant a full-timeout silent hang.
+func TestNodeDeathFailsLoudly(t *testing.T) {
+	t.Parallel()
+	man, err := transport.LocalManifest(2, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "manifest.json")
+	if err := man.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	cmds := make([]*exec.Cmd, len(man.Nodes))
+	for i := range man.Nodes {
+		cmds[i] = reexecNode(path, i)
+		if err := cmds[i].Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func(c *exec.Cmd) func() {
+			return func() { c.Process.Kill(); c.Wait() }
+		}(cmds[i]))
+	}
+
+	runErr := make(chan error, 1)
+	go func() {
+		_, err := RunCluster(man, ClusterConfig{Timeout: 60 * time.Second},
+			[]ThreadSpec{{Program: spinForever()}}, nil)
+		runErr <- err
+	}()
+
+	// Let the run dial, load and start spinning, then kill the far node.
+	time.Sleep(1 * time.Second)
+	cmds[1].Process.Kill()
+
+	select {
+	case err := <-runErr:
+		if err == nil {
+			t.Fatal("RunCluster succeeded with a dead node and a thread that never halts")
+		}
+		if !strings.Contains(err.Error(), "cluster run failed") {
+			t.Fatalf("node death surfaced as %q, want a loud cluster-run failure", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("RunCluster did not notice the dead node within 15s (timeout bleed-out)")
+	}
+}
+
+// TestRunClusterRejectsBogusHalts drives RunCluster against a fake node
+// (a bare transport endpoint) that reports malformed HALTs. A duplicate
+// report must not satisfy the halt count on behalf of a thread that never
+// finished, and an out-of-range thread id must be rejected outright.
+func TestRunClusterRejectsBogusHalts(t *testing.T) {
+	t.Parallel()
+	for _, tc := range []struct {
+		name  string
+		halts []int
+		want  string
+	}{
+		{"duplicate", []int{0, 0}, "duplicate halt report for thread 0"},
+		{"unknown-thread", []int{7}, "unknown thread 7"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			man, err := transport.LocalManifest(1, 2, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tn, err := transport.ListenNode(man, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { tn.Close() })
+			go func() {
+				spec := <-tn.Loads()
+				tn.Prepare(spec.NumThreads)
+				tn.Ready()
+				for _, th := range tc.halts {
+					tn.SendHalt(transport.HaltMsg{Thread: th})
+				}
+				<-tn.ShutdownC()
+			}()
+			lit := StoreBufferingLitmus(64)
+			_, err = RunCluster(man, ClusterConfig{Timeout: 10 * time.Second}, lit.Threads, lit.Mem)
+			if err == nil {
+				t.Fatal("RunCluster accepted bogus halt reports")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("got error %q, want it to mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestServeNodeAbortsMidRun shuts the coordinator down while the node
+// still holds a context that will never halt. ServeNode must stop its core
+// loops and return instead of hanging on a busy context: the core loop
+// only observed Stop while blocked, so a context that kept executing kept
+// its core alive forever.
+func TestServeNodeAbortsMidRun(t *testing.T) {
+	t.Parallel()
+	man, err := transport.LocalManifest(1, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- ServeNode(man, 0) }()
+
+	co, err := transport.DialCluster(man, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	threads := []ThreadSpec{{Program: spinForever()}}
+	programs, err := encodePrograms(threads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := co.Load(&transport.LoadSpec{
+		Scheme:     "always-migrate",
+		Placement:  "striped:64",
+		NumThreads: 1,
+		Programs:   programs,
+		Regs:       []map[int]uint32{nil},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := co.InjectEviction(geom.CoreID(0), transport.Context{Thread: 0, Native: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := co.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(300 * time.Millisecond) // let the context start spinning
+	co.Shutdown()
+	co.Close()
+
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("ServeNode returned error on abort: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("ServeNode did not return within 10s of coordinator shutdown (core loop wedged on a busy context)")
+	}
+}

@@ -25,6 +25,14 @@ func (l *lockedPolicy) touch(a cache.Addr, by geom.CoreID) geom.CoreID {
 	return l.p.Touch(a, by)
 }
 
+// peek resolves a's current home without binding: a read-only lookup for
+// inspection APIs, which must never perturb a dynamic placement.
+func (l *lockedPolicy) peek(a cache.Addr) (geom.CoreID, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.p.HomeOf(a)
+}
+
 // coreCounters is one core's runtime metrics. Each counter is written only
 // by its core's own goroutine, so the atomics are uncontended; they exist
 // so Collect can read a consistent snapshot from another goroutine.
@@ -81,9 +89,16 @@ type Part struct {
 	// with nil entries for cores other endpoints own.
 	shards []*shard
 	// ctr is indexed by core id; only owned cores' slots are ever written.
-	ctr    []coreCounters
-	nodes  []*coreNode
-	specs  []ThreadSpec
+	ctr   []coreCounters
+	nodes []*coreNode
+	// specs is the per-slot thread table. Slots are atomic pointers because
+	// serve mode rewrites them between jobs (SetThread/ClearThreads) while
+	// the core goroutines are live; the atomics make the handoff visible and
+	// race-detector clean. The serve protocol guarantees a slot is never
+	// rewritten while one of its contexts is resident or in flight (the
+	// JobAck barrier orders installation before injection; a halt report
+	// orders completion before reuse).
+	specs  []atomic.Pointer[ThreadSpec]
 	onHalt func(transport.HaltMsg)
 	done   chan struct{}
 	wg     sync.WaitGroup
@@ -145,8 +160,15 @@ func (p *Part) Preload(addr uint32, value uint32, by geom.CoreID) {
 }
 
 // Peek returns the current word at addr and whether this part homes it.
+// The home lookup is read-only: peeking an address no thread has touched
+// must not bind its page (a dynamic placement would otherwise home it at
+// core 0 as a side effect of inspection), so an unbound address reports
+// not-homed.
 func (p *Part) Peek(addr uint32) (uint32, bool) {
-	home := p.place.touch(cache.Addr(addr), 0)
+	home, ok := p.place.peek(cache.Addr(addr))
+	if !ok {
+		return 0, false
+	}
 	if s := p.shards[home]; s != nil {
 		return s.peek(addr), true
 	}
@@ -160,7 +182,27 @@ func (p *Part) Start(threads []ThreadSpec, onHalt func(transport.HaltMsg)) error
 	if err := validateSpecs(threads); err != nil {
 		return err
 	}
-	p.specs = threads
+	p.specs = make([]atomic.Pointer[ThreadSpec], len(threads))
+	for i := range threads {
+		t := threads[i]
+		p.specs[i].Store(&t)
+	}
+	return p.start(onHalt)
+}
+
+// StartServe spawns the core loops over a pool of numSlots empty thread
+// slots: programs arrive later, per job, through SetThread. A context for
+// a slot whose spec has not been installed is protocol corruption (the
+// serve submit/ack barrier exists to prevent it) and panics in fromWire.
+func (p *Part) StartServe(numSlots int, onHalt func(transport.HaltMsg)) error {
+	if numSlots <= 0 {
+		return fmt.Errorf("machine: serve pool needs at least one slot")
+	}
+	p.specs = make([]atomic.Pointer[ThreadSpec], numSlots)
+	return p.start(onHalt)
+}
+
+func (p *Part) start(onHalt func(transport.HaltMsg)) error {
 	p.onHalt = onHalt
 	for _, id := range p.tr.Owned() {
 		n := &coreNode{
@@ -178,10 +220,39 @@ func (p *Part) Start(threads []ThreadSpec, onHalt func(transport.HaltMsg)) error
 }
 
 // Stop winds the core loops down; resident contexts finish their current
-// quantum first. Call only when no thread is still running (all halted).
+// quantum first, then every core exits — including cores whose contexts
+// would never halt on their own (an abort or serve drain).
 func (p *Part) Stop() {
 	close(p.done)
 	p.wg.Wait()
+}
+
+// SetThread installs spec in a serve slot. The caller must guarantee no
+// context of the slot is resident or in flight (the serve submit/ack and
+// halt protocol provides exactly that ordering).
+func (p *Part) SetThread(slot int, spec ThreadSpec) error {
+	if slot < 0 || slot >= len(p.specs) {
+		return fmt.Errorf("machine: thread slot %d outside the %d-slot pool", slot, len(p.specs))
+	}
+	if len(spec.Program) == 0 {
+		return fmt.Errorf("machine: slot %d: empty program", slot)
+	}
+	if err := validateSpecs([]ThreadSpec{spec}); err != nil {
+		return err
+	}
+	p.specs[slot].Store(&spec)
+	return nil
+}
+
+// ClearThreads retires serve slots after their job completed: a stray late
+// context for a cleared slot fails loudly instead of executing a stale
+// program.
+func (p *Part) ClearThreads(slots []int) {
+	for _, s := range slots {
+		if s >= 0 && s < len(p.specs) {
+			p.specs[s].Store(nil)
+		}
+	}
 }
 
 // PerCoreMetrics snapshots the runtime counters of this part's owned
@@ -247,6 +318,8 @@ func (p *Part) toWire(c *context) transport.Context {
 		Thread: int32(c.thread),
 		Native: int32(c.native),
 		MemSeq: c.memSeq,
+		Cycles: c.cycles,
+		Msgs:   c.msgs,
 		Arch:   archContext(c),
 	}
 	if c.observed {
@@ -267,6 +340,13 @@ func (p *Part) fromWire(w transport.Context) *context {
 	if t < 0 || t >= len(p.specs) {
 		panic(fmt.Sprintf("machine: context for unknown thread %d", t))
 	}
+	sp := p.specs[t].Load()
+	if sp == nil {
+		// A context for a slot with no installed spec means the serve
+		// submit/ack barrier was violated (or a stray context outlived its
+		// job's retirement): protocol corruption, fail loudly.
+		panic(fmt.Sprintf("machine: context for thread slot %d with no installed spec", t))
+	}
 	pred := p.cfg.Scheme.NewPredictor(t)
 	if len(w.Sched) > 0 {
 		if err := pred.SetState(w.Sched); err != nil {
@@ -280,9 +360,11 @@ func (p *Part) fromWire(w transport.Context) *context {
 		thread:   t,
 		pc:       w.Arch.PC,
 		regs:     w.Arch.Regs,
-		spec:     &p.specs[t],
+		spec:     sp,
 		native:   geom.CoreID(w.Native),
 		memSeq:   w.MemSeq,
+		cycles:   w.Cycles,
+		msgs:     w.Msgs,
 		pred:     pred,
 		observed: w.Flags&transport.FlagObserved != 0,
 	}

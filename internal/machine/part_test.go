@@ -1,0 +1,45 @@
+package machine
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/geom"
+	"repro/internal/placement"
+	"repro/internal/transport"
+)
+
+// TestPeekDoesNotBindPlacement pins the read-only contract of Part.Peek:
+// inspecting an address no thread has touched must not bind its page under
+// a dynamic placement. The old implementation resolved the home via
+// place.touch(addr, 0), which first-touch-bound the page to core 0 — so a
+// later Preload by core 2 would land the data at the wrong home.
+func TestPeekDoesNotBindPlacement(t *testing.T) {
+	t.Parallel()
+	ft := placement.NewFirstTouch(64)
+	cfg := testConfig()
+	cfg.Placement = ft
+	tr := transport.NewLocal(cfg.Mesh.Cores(), 1)
+	p, err := NewPart(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const addr = 0x200
+	if v, ok := p.Peek(addr); ok || v != 0 {
+		t.Fatalf("Peek of untouched addr = (%d, %v), want (0, false)", v, ok)
+	}
+	if home, ok := ft.HomeOf(cache.Addr(addr)); ok {
+		t.Fatalf("Peek bound untouched page to core %d", home)
+	}
+
+	// First touch after the peek must still win: Preload by core 2 homes the
+	// page at core 2, and Peek now sees the stored word there.
+	p.Preload(addr, 99, geom.CoreID(2))
+	if home, ok := ft.HomeOf(cache.Addr(addr)); !ok || home != 2 {
+		t.Fatalf("home after Preload by core 2 = (%d, %v), want (2, true)", home, ok)
+	}
+	if v, ok := p.Peek(addr); !ok || v != 99 {
+		t.Fatalf("Peek after Preload = (%d, %v), want (99, true)", v, ok)
+	}
+}

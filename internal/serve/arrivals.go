@@ -1,0 +1,56 @@
+package serve
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math/rand"
+	"strconv"
+	"strings"
+)
+
+// PoissonArrivals returns n absolute arrival times in cycles, with
+// exponentially distributed interarrival gaps of the given mean, from a
+// seeded generator: the same seed always produces the same sequence, which
+// is what makes an open-loop run replayable.
+func PoissonArrivals(seed int64, n int, meanGap float64) []uint64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]uint64, n)
+	var t float64
+	for i := range out {
+		t += rng.ExpFloat64() * meanGap
+		out[i] = uint64(t)
+	}
+	return out
+}
+
+// ParseTrace reads a trace-driven arrival process: one absolute arrival
+// time in cycles per line, non-decreasing. Blank lines and lines starting
+// with '#' are skipped.
+func ParseTrace(r io.Reader) ([]uint64, error) {
+	var out []uint64
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		s := strings.TrimSpace(sc.Text())
+		if s == "" || strings.HasPrefix(s, "#") {
+			continue
+		}
+		v, err := strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("serve: trace line %d: %q is not an arrival time in cycles", line, s)
+		}
+		if len(out) > 0 && v < out[len(out)-1] {
+			return nil, fmt.Errorf("serve: trace line %d: arrival %d before the previous arrival %d", line, v, out[len(out)-1])
+		}
+		out = append(out, v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("serve: empty arrival trace")
+	}
+	return out, nil
+}

@@ -1,0 +1,283 @@
+// Package serve is the open-loop job-serving front end for a live EM²
+// machine or cluster: jobs (small litmus programs) arrive at a seeded
+// deterministic rate, are admitted against a bounded in-flight window or
+// rejected with a count, run on the machine through the job lifecycle
+// (submit → ack → inject → halts → retire), and report per-job completion
+// latency in machine cycles and interconnect messages as an SLO summary
+// (p50/p90/p99/p999).
+//
+// Determinism contract: the same Config — seed, arrival process, workload,
+// scheme, placement, mesh — produces a byte-identical Report whether the
+// backend is the in-process channel transport or a TCP cluster, because
+// the cost model charges depend only on core geometry and each thread's
+// own decision stream, never on how cores are partitioned into node
+// processes. The differential test in this package pins that guarantee.
+//
+// Every completed job is independently verified for sequential
+// consistency: each job runs in a private 4 KiB address region, so its
+// memory events can be filtered out of the machine's merged log and fed to
+// machine.CheckSCFrom with the job's own initial image.
+package serve
+
+import (
+	"container/heap"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"repro/internal/machine"
+	"repro/internal/stats"
+	"repro/internal/transport"
+)
+
+// Config describes one serving run. It deliberately carries nothing
+// transport-specific: the backend (channel or TCP) is chosen by the
+// caller, and the Report must not depend on the choice.
+type Config struct {
+	W, H      int    // mesh geometry (default 2×2)
+	Scheme    string // decision scheme wire name (default always-migrate)
+	Placement string // placement wire name (default striped:64)
+	Quantum   int    // instructions per scheduling slice (0 = runtime default)
+
+	Workload string // job generator: sb | counter | rand-priv | mix (default mix)
+	Jobs     int    // number of Poisson arrivals (default 32; ignored with Arrivals)
+	Seed     int64  // seeds the arrival process and the workload generator
+	MeanGap  float64 // mean Poisson interarrival gap in cycles (default 2000)
+	// Arrivals, when non-nil, is an explicit trace of absolute arrival
+	// times in cycles (non-decreasing) and overrides Jobs/MeanGap.
+	Arrivals []uint64
+
+	// MaxInflight bounds the number of virtually in-flight jobs; an arrival
+	// finding the window full is rejected and counted. 0 = unbounded.
+	MaxInflight int
+
+	// Timeout guards each physical job execution and the final drain.
+	Timeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.W == 0 && c.H == 0 {
+		c.W, c.H = 2, 2
+	}
+	if c.Scheme == "" {
+		c.Scheme = "always-migrate"
+	}
+	if c.Placement == "" {
+		c.Placement = "striped:64"
+	}
+	if c.Workload == "" {
+		c.Workload = "mix"
+	}
+	if c.Jobs == 0 {
+		c.Jobs = 32
+	}
+	if c.MeanGap == 0 {
+		c.MeanGap = 2000
+	}
+	if c.Timeout == 0 {
+		c.Timeout = 60 * time.Second
+	}
+	return c
+}
+
+// Report is the run's SLO summary. Its JSON form is the determinism
+// surface: every field must be identical across backends for the same
+// Config, so it contains no transport- or partitioning-dependent data
+// (no node counts, no wire statistics, no event logs).
+type Report struct {
+	Version     string `json:"version"`
+	Workload    string `json:"workload"`
+	Seed        int64  `json:"seed"`
+	Scheme      string `json:"scheme"`
+	Placement   string `json:"placement"`
+	MeshW       int    `json:"mesh_w"`
+	MeshH       int    `json:"mesh_h"`
+	MaxInflight int    `json:"max_inflight"`
+
+	Submitted int `json:"submitted"`
+	Completed int `json:"completed"`
+	Rejected  int `json:"rejected"`
+	// SCChecked counts the completed jobs whose execution passed an
+	// independent per-job sequential-consistency check; a run only returns
+	// a report when it equals Completed.
+	SCChecked int `json:"sc_checked"`
+
+	// MakespanCycles is the latest virtual completion time: the open-loop
+	// clock at which the last admitted job finished.
+	MakespanCycles uint64 `json:"makespan_cycles"`
+
+	LatencyCycles stats.Summary `json:"latency_cycles"`
+	MsgsPerJob    stats.Summary `json:"msgs_per_job"`
+
+	// Counters are the machine's aggregate runtime counters over the whole
+	// run (instructions, migrations, remote ops, context flits, …) —
+	// identical across backends because every count is attributed to cores,
+	// not nodes.
+	Counters map[string]int64 `json:"counters"`
+}
+
+// JSON renders the report in its canonical byte form: indented, keys in
+// struct order, trailing newline.
+func (r *Report) JSON() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// completionHeap is a min-heap of virtual completion times; its length is
+// the number of virtually in-flight jobs.
+type completionHeap []uint64
+
+func (h completionHeap) Len() int            { return len(h) }
+func (h completionHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h completionHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *completionHeap) Push(x interface{}) { *h = append(*h, x.(uint64)) }
+func (h *completionHeap) Pop() interface{} {
+	old := *h
+	x := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return x
+}
+
+// Run drives one open-loop serving run against the backend: generate the
+// arrival sequence, admit or reject each job against the in-flight window,
+// execute admitted jobs on the machine, then drain, SC-check every
+// completed job, and summarize.
+//
+// Physically the jobs execute one at a time; the open-loop clock is
+// virtual. A job's latency is the §3 cost-model cycle count accumulated by
+// its slowest thread — a quantity independent of what else the host is
+// running — so its virtual completion is arrival + latency, and the
+// admission window replays exactly as a concurrent server would schedule
+// it, deterministically.
+func Run(cfg Config, be Backend) (*Report, error) {
+	cfg = cfg.withDefaults()
+	arrivals := cfg.Arrivals
+	if arrivals == nil {
+		arrivals = PoissonArrivals(cfg.Seed, cfg.Jobs, cfg.MeanGap)
+	}
+	for i := 1; i < len(arrivals); i++ {
+		if arrivals[i] < arrivals[i-1] {
+			return nil, fmt.Errorf("serve: arrival trace goes backwards at index %d (%d after %d)",
+				i, arrivals[i], arrivals[i-1])
+		}
+	}
+
+	type jobRec struct {
+		index int
+		base  uint32
+		mem   map[uint32]uint32
+	}
+	var (
+		inflight   = &completionHeap{}
+		latencies  []float64
+		msgsPerJob []float64
+		completed  []jobRec
+		rejected   int
+		makespan   uint64
+	)
+	for i, t := range arrivals {
+		for inflight.Len() > 0 && (*inflight)[0] <= t {
+			heap.Pop(inflight)
+		}
+		if cfg.MaxInflight > 0 && inflight.Len() >= cfg.MaxInflight {
+			rejected++
+			continue
+		}
+		job, err := buildJob(cfg, i)
+		if err != nil {
+			return nil, err
+		}
+		halts, err := be.RunJob(job, cfg.Timeout)
+		if err != nil {
+			return nil, fmt.Errorf("serve: job %d (%s): %v", i, job.Name, err)
+		}
+		var lat uint64
+		var msgs uint64
+		for _, h := range halts {
+			if h.Cycles > lat {
+				lat = h.Cycles // the job completes when its slowest thread halts
+			}
+			msgs += uint64(h.Msgs)
+		}
+		latencies = append(latencies, float64(lat))
+		msgsPerJob = append(msgsPerJob, float64(msgs))
+		fin := t + lat
+		if fin > makespan {
+			makespan = fin
+		}
+		heap.Push(inflight, fin)
+		completed = append(completed, jobRec{index: i, base: job.Base, mem: job.Mem})
+	}
+
+	dr, err := be.Drain(cfg.Timeout)
+	if err != nil {
+		return nil, err
+	}
+	// Per-job SC: each job owns a private region, so its events are exactly
+	// the merged log filtered by region, and its initial memory is its own
+	// rebased image.
+	byRegion := make(map[uint32][]machine.Event)
+	for _, ev := range dr.Events {
+		r := ev.Addr / RegionBytes
+		byRegion[r] = append(byRegion[r], ev)
+	}
+	checked := 0
+	for _, jr := range completed {
+		if err := machine.CheckSCFrom(jr.mem, byRegion[jr.base/RegionBytes]); err != nil {
+			return nil, fmt.Errorf("serve: job %d failed its SC check: %v", jr.index, err)
+		}
+		checked++
+	}
+
+	return &Report{
+		Version:        "em2serve/v1",
+		Workload:       cfg.Workload,
+		Seed:           cfg.Seed,
+		Scheme:         cfg.Scheme,
+		Placement:      cfg.Placement,
+		MeshW:          cfg.W,
+		MeshH:          cfg.H,
+		MaxInflight:    cfg.MaxInflight,
+		Submitted:      len(arrivals),
+		Completed:      len(completed),
+		Rejected:       rejected,
+		SCChecked:      checked,
+		MakespanCycles: makespan,
+		LatencyCycles:  stats.Summarize(latencies),
+		MsgsPerJob:     stats.Summarize(msgsPerJob),
+		Counters:       dr.Counters,
+	}, nil
+}
+
+// haltsForJob collects one halt per slot from the stream ch, guarded by
+// deaths (a lost node) and the timeout. Shared by both backends.
+func haltsForJob(job *Job, ch <-chan transport.HaltMsg, deaths <-chan error, timeout time.Duration) ([]transport.HaltMsg, error) {
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	out := make([]transport.HaltMsg, len(job.Threads))
+	seen := make([]bool, len(job.Threads))
+	for n := 0; n < len(job.Threads); n++ {
+		select {
+		case h, ok := <-ch:
+			if !ok {
+				return nil, fmt.Errorf("halt channel closed with %d of %d threads halted", n, len(job.Threads))
+			}
+			if h.Thread < 0 || h.Thread >= len(job.Threads) {
+				return nil, fmt.Errorf("halt report for slot %d outside the job's %d slots", h.Thread, len(job.Threads))
+			}
+			if seen[h.Thread] {
+				return nil, fmt.Errorf("duplicate halt report for slot %d", h.Thread)
+			}
+			seen[h.Thread] = true
+			out[h.Thread] = h
+		case err := <-deaths:
+			return nil, fmt.Errorf("failed with %d of %d threads halted: %v", n, len(job.Threads), err)
+		case <-timer.C:
+			return nil, fmt.Errorf("timed out with %d of %d threads halted", n, len(job.Threads))
+		}
+	}
+	return out, nil
+}

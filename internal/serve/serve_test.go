@@ -1,0 +1,316 @@
+package serve
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/isa"
+	"repro/internal/machine"
+	"repro/internal/transport"
+)
+
+func testCfg(jobs int) Config {
+	return Config{
+		W: 2, H: 2,
+		Workload:    "mix",
+		Jobs:        jobs,
+		Seed:        7,
+		MeanGap:     1500,
+		MaxInflight: 8,
+		Timeout:     60 * time.Second,
+	}
+}
+
+func runLocal(t *testing.T, cfg Config) *Report {
+	t.Helper()
+	be, err := NewLocalBackend(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer be.Close()
+	rep, err := Run(cfg, be)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func reportBytes(t *testing.T, rep *Report) []byte {
+	t.Helper()
+	b, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestServeLocalDeterministic pins the seeded-replay guarantee on the
+// channel backend: the same Config yields a byte-identical report, every
+// job is SC-checked, and the admission accounting balances.
+func TestServeLocalDeterministic(t *testing.T) {
+	t.Parallel()
+	cfg := testCfg(12)
+	a := runLocal(t, cfg)
+	b := runLocal(t, cfg)
+	if a.Submitted != 12 || a.Completed+a.Rejected != a.Submitted {
+		t.Fatalf("admission accounting: submitted=%d completed=%d rejected=%d", a.Submitted, a.Completed, a.Rejected)
+	}
+	if a.Completed == 0 {
+		t.Fatal("no jobs completed")
+	}
+	if a.SCChecked != a.Completed {
+		t.Fatalf("SC-checked %d of %d completed jobs", a.SCChecked, a.Completed)
+	}
+	if a.LatencyCycles.N != a.Completed || a.LatencyCycles.Min <= 0 {
+		t.Fatalf("latency summary over %d samples with min %v", a.LatencyCycles.N, a.LatencyCycles.Min)
+	}
+	ab, bb := reportBytes(t, a), reportBytes(t, b)
+	if !bytes.Equal(ab, bb) {
+		t.Fatalf("same seed produced different reports:\n--- run A\n%s\n--- run B\n%s", ab, bb)
+	}
+}
+
+// TestServeDifferentialTransports is the tentpole acceptance test: the
+// same seeded serving run produces a byte-identical SLO report on the
+// in-process channel transport and on a real 2-node TCP cluster.
+func TestServeDifferentialTransports(t *testing.T) {
+	t.Parallel()
+	cfg := testCfg(9)
+	local := runLocal(t, cfg)
+
+	man, err := transport.LocalManifest(2, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := range man.Nodes {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := machine.ServeNode(man, i); err != nil {
+				t.Errorf("serve node %d: %v", i, err)
+			}
+		}(i)
+	}
+	be, err := NewClusterBackend(cfg, man)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clustered, err := Run(cfg, be)
+	be.Close()
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	lb, cb := reportBytes(t, local), reportBytes(t, clustered)
+	if !bytes.Equal(lb, cb) {
+		t.Fatalf("channel and TCP transports produced different reports:\n--- channel\n%s\n--- tcp\n%s", lb, cb)
+	}
+}
+
+// TestServeAdmissionRejects fills the in-flight window with simultaneous
+// arrivals: exactly MaxInflight jobs are admitted, the rest are rejected
+// with a count, and the rejected jobs leave no trace in the latency sample.
+func TestServeAdmissionRejects(t *testing.T) {
+	t.Parallel()
+	cfg := testCfg(0)
+	cfg.Arrivals = []uint64{0, 0, 0, 0, 0, 0}
+	cfg.MaxInflight = 2
+	rep := runLocal(t, cfg)
+	if rep.Submitted != 6 || rep.Completed != 2 || rep.Rejected != 4 {
+		t.Fatalf("submitted=%d completed=%d rejected=%d, want 6/2/4", rep.Submitted, rep.Completed, rep.Rejected)
+	}
+	if rep.LatencyCycles.N != 2 {
+		t.Fatalf("latency sample has %d entries, want the 2 admitted jobs", rep.LatencyCycles.N)
+	}
+}
+
+// TestServeTraceArrivals drives the run from an explicit arrival trace
+// spaced wider than any job latency: every job is admitted even with a
+// window of one.
+func TestServeTraceArrivals(t *testing.T) {
+	t.Parallel()
+	cfg := testCfg(0)
+	cfg.Arrivals = []uint64{0, 1 << 20, 2 << 20, 3 << 20}
+	cfg.MaxInflight = 1
+	rep := runLocal(t, cfg)
+	if rep.Completed != 4 || rep.Rejected != 0 {
+		t.Fatalf("completed=%d rejected=%d, want 4/0", rep.Completed, rep.Rejected)
+	}
+	if rep.MakespanCycles <= 3<<20 {
+		t.Fatalf("makespan %d does not extend past the last arrival", rep.MakespanCycles)
+	}
+}
+
+// TestRunRejectsBackwardsTrace pins the trace validation.
+func TestRunRejectsBackwardsTrace(t *testing.T) {
+	t.Parallel()
+	cfg := testCfg(0)
+	cfg.Arrivals = []uint64{100, 50}
+	be, err := NewLocalBackend(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer be.Close()
+	if _, err := Run(cfg, be); err == nil || !strings.Contains(err.Error(), "goes backwards") {
+		t.Fatalf("got %v, want a backwards-trace error", err)
+	}
+}
+
+func TestPoissonArrivals(t *testing.T) {
+	t.Parallel()
+	a := PoissonArrivals(3, 50, 1000)
+	b := PoissonArrivals(3, 50, 1000)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %d vs %d", i, a[i], b[i])
+		}
+		if i > 0 && a[i] < a[i-1] {
+			t.Fatalf("arrival %d (%d) before arrival %d (%d)", i, a[i], i-1, a[i-1])
+		}
+	}
+	c := PoissonArrivals(4, 50, 1000)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical arrival sequences")
+	}
+}
+
+func TestParseTrace(t *testing.T) {
+	t.Parallel()
+	got, err := ParseTrace(strings.NewReader("# header\n10\n\n20\n20\n35\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{10, 20, 20, 35}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	for _, bad := range []string{"10\n5\n", "abc\n", "", "# only comments\n"} {
+		if _, err := ParseTrace(strings.NewReader(bad)); err == nil {
+			t.Fatalf("ParseTrace(%q) accepted a bad trace", bad)
+		}
+	}
+}
+
+// TestRebase pins the relocation rules: memory operands move from r0 to
+// the base register, the base register is pinned in the initial registers,
+// the memory image shifts, and non-relocatable programs are rejected.
+func TestRebase(t *testing.T) {
+	t.Parallel()
+	lit := machine.StoreBufferingLitmus(64)
+	base := Base(4)
+	threads, mem, err := Rebase(lit, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ti, spec := range threads {
+		if got := spec.Regs[baseReg]; got != base {
+			t.Fatalf("thread %d: r%d = %d, want base %d", ti, baseReg, got, base)
+		}
+		for i, in := range spec.Program {
+			orig := lit.Threads[ti].Program[i]
+			if orig.IsMem() {
+				if in.Rs != baseReg || in.Imm != orig.Imm {
+					t.Fatalf("thread %d instr %d: rebased to %+v", ti, i, in)
+				}
+			} else if in != orig {
+				t.Fatalf("thread %d instr %d: non-memory instruction changed: %+v -> %+v", ti, i, orig, in)
+			}
+		}
+	}
+	for a, v := range lit.Mem {
+		if mem[base+a] != v {
+			t.Fatalf("memory word %#x did not shift to %#x", a, base+a)
+		}
+	}
+
+	reject := func(name string, lit machine.Litmus, want string) {
+		t.Helper()
+		if _, _, err := Rebase(lit, base); err == nil || !strings.Contains(err.Error(), want) {
+			t.Fatalf("%s: got %v, want error mentioning %q", name, err, want)
+		}
+	}
+	reject("writes-base-reg", machine.Litmus{Threads: []machine.ThreadSpec{{
+		Program: []isa.Instr{{Op: isa.ADDI, Rd: baseReg, Rs: 0, Imm: 1}, {Op: isa.HALT}},
+	}}}, "reserved region base register")
+	reject("non-absolute-addressing", machine.Litmus{Threads: []machine.ThreadSpec{{
+		Program: []isa.Instr{{Op: isa.LW, Rd: 1, Rs: 2, Imm: 0}, {Op: isa.HALT}},
+	}}}, "only absolute r0 addressing")
+	reject("address-outside-region", machine.Litmus{Threads: []machine.ThreadSpec{{
+		Program: []isa.Instr{{Op: isa.LW, Rd: 1, Rs: 0, Imm: RegionBytes}, {Op: isa.HALT}},
+	}}}, "outside")
+	reject("initial-reg-collision", machine.Litmus{Threads: []machine.ThreadSpec{{
+		Program: []isa.Instr{{Op: isa.HALT}},
+		Regs:    map[int]uint32{baseReg: 9},
+	}}}, "collides")
+}
+
+// TestWorkloadsGenerate sanity-checks every named workload end to end on a
+// tiny run.
+func TestWorkloadsGenerate(t *testing.T) {
+	t.Parallel()
+	for _, w := range Workloads() {
+		t.Run(w, func(t *testing.T) {
+			t.Parallel()
+			cfg := testCfg(4)
+			cfg.Workload = w
+			rep := runLocal(t, cfg)
+			if rep.Completed == 0 || rep.SCChecked != rep.Completed {
+				t.Fatalf("workload %s: completed=%d sc_checked=%d", w, rep.Completed, rep.SCChecked)
+			}
+		})
+	}
+}
+
+// TestRebasedJobMatchesOriginal runs the counter litmus raw at region 0 on
+// one machine and rebased into a high region on another: the final
+// counter, read at the shifted address, must match — the rebase is a pure
+// relocation.
+func TestRebasedJobMatchesOriginal(t *testing.T) {
+	t.Parallel()
+	lit := machine.AtomicCounterLitmus(3, 4)
+	base := Base(9)
+	threads, mem, err := Rebase(lit, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(th []machine.ThreadSpec, image map[uint32]uint32) *machine.Machine {
+		t.Helper()
+		mcfg, err := machineConfig(testCfg(1).withDefaults())
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := machine.New(mcfg, len(th))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for a, v := range image {
+			m.Preload(a, v, 0)
+		}
+		if _, err := m.Run(th); err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	orig := run(lit.Threads, lit.Mem)
+	moved := run(threads, mem)
+	if o, m := orig.Read(0), moved.Read(base); o != m || m != 12 {
+		t.Fatalf("counter at %#x is %d, original at 0 is %d, want both 12", base, m, o)
+	}
+}

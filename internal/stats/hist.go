@@ -210,13 +210,16 @@ func (h *Hist) Render(width int) string {
 
 // Summary holds order statistics of a float64 sample.
 type Summary struct {
-	N                       int
-	Mean, Std               float64
-	Min, P50, P90, P99, Max float64
+	N                             int
+	Mean, Std                     float64
+	Min, P50, P90, P99, P999, Max float64
 }
 
 // Summarize computes summary statistics of xs. An empty input yields the
-// zero Summary.
+// zero Summary. The variance is computed in two passes (sum of squared
+// deviations from the mean) rather than the one-pass sq/n − mean² form,
+// which cancels catastrophically for large-magnitude samples like serving
+// latencies in machine cycles.
 func Summarize(xs []float64) Summary {
 	if len(xs) == 0 {
 		return Summary{}
@@ -224,16 +227,16 @@ func Summarize(xs []float64) Summary {
 	s := make([]float64, len(xs))
 	copy(s, xs)
 	sort.Float64s(s)
-	var sum, sq float64
+	var sum float64
 	for _, x := range s {
 		sum += x
-		sq += x * x
 	}
 	n := float64(len(s))
 	mean := sum / n
-	variance := sq/n - mean*mean
-	if variance < 0 {
-		variance = 0
+	var sqDev float64
+	for _, x := range s {
+		d := x - mean
+		sqDev += d * d
 	}
 	q := func(p float64) float64 {
 		idx := int(math.Ceil(p*n)) - 1
@@ -248,11 +251,12 @@ func Summarize(xs []float64) Summary {
 	return Summary{
 		N:    len(s),
 		Mean: mean,
-		Std:  math.Sqrt(variance),
+		Std:  math.Sqrt(sqDev / n),
 		Min:  s[0],
 		P50:  q(0.50),
 		P90:  q(0.90),
 		P99:  q(0.99),
+		P999: q(0.999),
 		Max:  s[len(s)-1],
 	}
 }

@@ -211,3 +211,44 @@ func TestSummarize(t *testing.T) {
 		t.Errorf("singleton summary = %+v", one)
 	}
 }
+
+func TestSummarizeBoundaries(t *testing.T) {
+	// n=1: every quantile is the sample itself, zero spread.
+	one := Summarize([]float64{42})
+	if one.P50 != 42 || one.P90 != 42 || one.P99 != 42 || one.P999 != 42 {
+		t.Errorf("n=1 quantiles = %+v", one)
+	}
+	if one.Std != 0 || one.Mean != 42 {
+		t.Errorf("n=1 moments = %+v", one)
+	}
+
+	// n=2: the median is the lower sample (ceil-rank convention), the upper
+	// quantiles are the larger one, and the population std is half the gap.
+	two := Summarize([]float64{10, 20})
+	if two.P50 != 10 {
+		t.Errorf("n=2 p50 = %v", two.P50)
+	}
+	if two.P90 != 20 || two.P99 != 20 || two.P999 != 20 {
+		t.Errorf("n=2 tail = %+v", two)
+	}
+	if math.Abs(two.Std-5) > 1e-12 {
+		t.Errorf("n=2 std = %v", two.Std)
+	}
+}
+
+func TestSummarizeLargeMagnitude(t *testing.T) {
+	// Latencies in machine cycles sit at large magnitudes with small spread.
+	// All three samples are exactly representable, but mean² ≈ 1e18 has an
+	// ULP spacing of 128, so the one-pass sq/n − mean² formula cannot
+	// resolve the true variance of 2/3; the two-pass form is exact.
+	// Population std of {b, b+1, b+2} is sqrt(2/3) regardless of b.
+	base := 1e9
+	s := Summarize([]float64{base, base + 1, base + 2})
+	want := math.Sqrt(2.0 / 3.0)
+	if math.Abs(s.Std-want) > 1e-9 {
+		t.Errorf("std = %v, want %v (catastrophic cancellation?)", s.Std, want)
+	}
+	if s.P999 != base+2 {
+		t.Errorf("p999 = %v", s.P999)
+	}
+}

@@ -137,13 +137,53 @@ type LoadSpec struct {
 	Programs      [][]uint32       // Programs[t]: thread t's instructions, isa.Encode form
 	Regs          []map[int]uint32 // initial register values per thread
 	Mem           map[uint32]uint32
+	// Serve opens the machine in job-serving mode: NumThreads sizes a pool
+	// of empty slots (Programs/Regs/Mem stay empty) and programs arrive
+	// per job through JobSubmit frames instead of riding the LoadSpec.
+	Serve bool
+}
+
+// JobSpec is one serve-mode job: programs and initial registers for the
+// slots it occupies, plus its slice of the initial memory image. Like the
+// LoadSpec, it is broadcast to every node; each node installs the thread
+// specs (replicated, like instruction memory) and preloads the addresses
+// it homes.
+type JobSpec struct {
+	Job      int
+	Slots    []int            // global thread slots, one per job thread
+	Programs [][]uint32       // Programs[i]: Slots[i]'s instructions, isa.Encode form
+	Regs     []map[int]uint32 // initial register values per job thread
+	Mem      map[uint32]uint32
+}
+
+// JobAck confirms (or refuses) one node's installation of a JobSpec. The
+// coordinator must not inject the job's contexts until every node acked:
+// a migration can cross node links and arrive ahead of the coordinator's
+// own JobSubmit frame, and a context for a slot with no installed spec is
+// protocol corruption.
+type JobAck struct {
+	Job  int
+	Node int
+	Err  string `json:",omitempty"`
+}
+
+// JobDone retires a completed job's slots on every node, so a stray late
+// context for a retired slot fails loudly instead of executing a stale
+// program.
+type JobDone struct {
+	Job   int
+	Slots []int
 }
 
 // HaltMsg reports a thread's HALT to the coordinator, carrying its final
-// register file from whichever core it was resident on.
+// register file from whichever core it was resident on and the cost
+// counters its context accumulated (machine cycles and interconnect
+// messages under the §3 cost model).
 type HaltMsg struct {
 	Thread int
 	Regs   [isa.NumRegs]uint32
+	Cycles uint64
+	Msgs   uint32
 }
 
 // CollectReply is one node's post-run state: its counters (aggregate and
@@ -270,6 +310,8 @@ type Node struct {
 	mig      map[geom.CoreID]chan Context
 	evict    map[geom.CoreID]chan Context
 	handler  func(core geom.CoreID, req MemRequest) MemReply
+	jobH     func(*JobSpec) error
+	jobDoneH func(JobDone)
 	nextID   atomic.Uint64
 	pending  map[uint64]*pendingCall
 	loads    chan *LoadSpec
@@ -456,6 +498,35 @@ func (n *Node) handleFrame(c *conn, f Frame) error {
 		if call != nil {
 			call.ch <- f.Rep
 		}
+	case FrameJobSubmit:
+		spec := new(JobSpec)
+		if err := json.Unmarshal(f.Blob, spec); err != nil {
+			return malformedf("job spec: %v", err)
+		}
+		if !n.waitReady() {
+			return errStopRead
+		}
+		if n.jobH == nil {
+			return malformedf("job submit to a node not serving jobs")
+		}
+		// Handled synchronously on the reader goroutine: eviction injections
+		// that follow on this same connection must find the specs installed.
+		ack := JobAck{Job: spec.Job, Node: n.idx}
+		if err := n.jobH(spec); err != nil {
+			ack.Err = err.Error()
+		}
+		return c.sendJSON(FrameJobAck, &ack)
+	case FrameJobDone:
+		var d JobDone
+		if err := json.Unmarshal(f.Blob, &d); err != nil {
+			return malformedf("job done: %v", err)
+		}
+		if !n.waitReady() {
+			return errStopRead
+		}
+		if n.jobDoneH != nil {
+			n.jobDoneH(d)
+		}
 	case FrameCollect:
 		select {
 		case n.collects <- struct{}{}:
@@ -620,6 +691,16 @@ func (n *Node) EvictionIn(core geom.CoreID) <-chan Context { return n.inbox(n.ev
 // HandleMem implements Transport.
 func (n *Node) HandleMem(h func(core geom.CoreID, req MemRequest) MemReply) { n.handler = h }
 
+// HandleJob installs the serve-mode job installer, called synchronously on
+// the coordinator link's reader for every JobSubmit (so injections that
+// follow on the same connection find the specs in place). Install before
+// Ready; a JobSubmit with no handler is protocol corruption.
+func (n *Node) HandleJob(h func(*JobSpec) error) { n.jobH = h }
+
+// HandleJobDone installs the retirement callback for JobDone frames.
+// Install before Ready.
+func (n *Node) HandleJobDone(h func(JobDone)) { n.jobDoneH = h }
+
 // SendMigration implements Transport: a channel push when dst is owned
 // locally, a deferred frame into the owning node's batch buffer otherwise —
 // coalesced with every other ready message at the next Flush.
@@ -707,14 +788,19 @@ func (n *Node) Remote(dst geom.CoreID, req MemRequest) (MemReply, error) {
 
 // Coordinator is the driver side of a cluster run: it owns no cores but
 // connects to every node to broadcast the LoadSpec, inject the initial
-// contexts, gather HALT reports, and collect the post-run state.
+// contexts, gather HALT reports, and collect the post-run state. In serve
+// mode it additionally broadcasts JobSubmit/JobDone frames and gathers the
+// per-node acks.
 type Coordinator struct {
-	man   Manifest
-	route []int
-	conns []*conn
-	nc    netCounters
-	halts chan HaltMsg
-	colls chan CollectReply
+	man     Manifest
+	route   []int
+	conns   []*conn
+	nc      netCounters
+	halts   chan HaltMsg
+	colls   chan CollectReply
+	jobAcks chan JobAck
+	deaths  chan error
+	down    atomic.Bool // set by Shutdown/Close: reader exits become orderly
 }
 
 // DialCluster connects to every node in the manifest, retrying until
@@ -724,11 +810,13 @@ func DialCluster(man Manifest, timeout time.Duration) (*Coordinator, error) {
 		return nil, err
 	}
 	co := &Coordinator{
-		man:   man,
-		route: man.routes(),
-		conns: make([]*conn, len(man.Nodes)),
-		halts: make(chan HaltMsg, 4096),
-		colls: make(chan CollectReply, len(man.Nodes)),
+		man:     man,
+		route:   man.routes(),
+		conns:   make([]*conn, len(man.Nodes)),
+		halts:   make(chan HaltMsg, 4096),
+		colls:   make(chan CollectReply, len(man.Nodes)),
+		jobAcks: make(chan JobAck, len(man.Nodes)),
+		deaths:  make(chan error, len(man.Nodes)),
 	}
 	for i, ns := range man.Nodes {
 		c, err := dialRetry(ns.Addr, timeout)
@@ -742,12 +830,12 @@ func DialCluster(man Manifest, timeout time.Duration) (*Coordinator, error) {
 			return nil, err
 		}
 		co.conns[i] = cc
-		go co.readLoop(cc)
+		go co.readLoop(i, cc)
 	}
 	return co, nil
 }
 
-func (co *Coordinator) readLoop(c *conn) {
+func (co *Coordinator) readLoop(node int, c *conn) {
 	err := readBatches(c.br, &co.nc, func(f Frame) error {
 		switch f.Kind {
 		case FrameHalt:
@@ -762,16 +850,31 @@ func (co *Coordinator) readLoop(c *conn) {
 				return malformedf("collect reply: %v", err)
 			}
 			co.colls <- rep
+		case FrameJobAck:
+			var ack JobAck
+			if err := json.Unmarshal(f.Blob, &ack); err != nil {
+				return malformedf("job ack: %v", err)
+			}
+			co.jobAcks <- ack
 		default:
 			return malformedf("unexpected frame kind %d on the coordinator link", f.Kind)
 		}
 		return nil
 	})
-	// Same policy as the node side: corruption fails loudly. The run will
-	// still end in a timeout (halts or collect replies from this node are
-	// gone), but the cause is on stderr instead of lost.
+	// Corruption fails loudly either way. Any reader exit before the
+	// coordinator itself initiated shutdown — EOF from a dying node process,
+	// a cut connection, a malformed stream — is a node death: report it on
+	// Deaths so the driver can fail the run immediately instead of
+	// discovering the loss as a timeout (or, worse, miscounting garbage
+	// halts toward completion).
 	if errors.Is(err, ErrMalformedFrame) {
 		fmt.Fprintf(os.Stderr, "transport: coordinator: %v\n", err)
+	}
+	if !co.down.Load() {
+		select {
+		case co.deaths <- fmt.Errorf("transport: connection to node %d lost: %v", node, err):
+		default:
+		}
 	}
 }
 
@@ -814,6 +917,53 @@ func (co *Coordinator) NetStats() NetStats { return co.nc.snapshot() }
 // Halts delivers HALT reports as threads finish.
 func (co *Coordinator) Halts() <-chan HaltMsg { return co.halts }
 
+// Deaths delivers one error per node connection that failed before the
+// coordinator initiated shutdown — a node process dying mid-run. A driver
+// awaiting halts should select on it and fail the run loudly.
+func (co *Coordinator) Deaths() <-chan error { return co.deaths }
+
+// SubmitJob broadcasts one job's specs to every node and waits for every
+// ack — the barrier that keeps a cross-node migration from reaching a node
+// before that node installed the job's thread specs. Inject the job's
+// contexts only after SubmitJob returns nil.
+func (co *Coordinator) SubmitJob(spec *JobSpec, timeout time.Duration) error {
+	for _, c := range co.conns {
+		if err := c.sendJSON(FrameJobSubmit, spec); err != nil {
+			return err
+		}
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	for acked := 0; acked < len(co.conns); acked++ {
+		select {
+		case ack := <-co.jobAcks:
+			if ack.Job != spec.Job {
+				return fmt.Errorf("transport: node %d acked job %d while job %d was submitting", ack.Node, ack.Job, spec.Job)
+			}
+			if ack.Err != "" {
+				return fmt.Errorf("transport: node %d rejected job %d: %s", ack.Node, spec.Job, ack.Err)
+			}
+		case err := <-co.deaths:
+			return err
+		case <-timer.C:
+			return fmt.Errorf("transport: job %d: %d of %d nodes acked before timeout", spec.Job, acked, len(co.conns))
+		}
+	}
+	return nil
+}
+
+// RetireJob broadcasts a JobDone, clearing the job's slots on every node.
+// No ack: per-connection ordering guarantees a later JobSubmit reusing the
+// slots is processed after the retirement.
+func (co *Coordinator) RetireJob(d JobDone) error {
+	for _, c := range co.conns {
+		if err := c.sendJSON(FrameJobDone, &d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Collect broadcasts the collect request and gathers one reply per node.
 func (co *Coordinator) Collect(timeout time.Duration) ([]CollectReply, error) {
 	for _, c := range co.conns {
@@ -836,8 +986,10 @@ func (co *Coordinator) Collect(timeout time.Duration) ([]CollectReply, error) {
 	return reps, nil
 }
 
-// Shutdown tells every node to exit.
+// Shutdown tells every node to exit. Connection teardowns that follow are
+// orderly: they no longer count as node deaths.
 func (co *Coordinator) Shutdown() {
+	co.down.Store(true)
 	for _, c := range co.conns {
 		if c != nil {
 			c.w.appendKind(FrameShutdown, 0)
@@ -847,6 +999,7 @@ func (co *Coordinator) Shutdown() {
 
 // Close drops the coordinator's connections.
 func (co *Coordinator) Close() {
+	co.down.Store(true)
 	for _, c := range co.conns {
 		if c != nil {
 			c.c.Close()

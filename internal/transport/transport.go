@@ -42,6 +42,14 @@ type Context struct {
 	Thread int32
 	Native int32
 	MemSeq int64
+	// Cycles and Msgs are the thread's accumulated cost counters — machine
+	// cycles of work and interconnect traversals charged under the §3 cost
+	// model. They ride in the context (like the predictor state) because a
+	// thread's cost is a property of the thread, not of any one core it
+	// visited: at HALT the counters surface in the HaltMsg, giving the serve
+	// front end per-job completion latency with no per-node collection.
+	Cycles uint64
+	Msgs   uint32
 	Flags  uint8
 	Arch   isa.Context
 	// Sched is the thread's serialized predictor state (fixed length for a
@@ -56,10 +64,17 @@ type Context struct {
 const FlagObserved uint8 = 1 << 0
 
 // ContextWireBytes is the exact encoded size of a Context with no scheme
-// state: 19 bytes of routing metadata (thread, native, memSeq, flags, and
-// the u16 Sched length) plus the architectural context. A context carrying
-// predictor state encodes to ContextWireBytes + len(Sched).
-const ContextWireBytes = 19 + isa.ContextWireBytes
+// state: 31 bytes of routing metadata and cost counters (thread, native,
+// memSeq, cycles, msgs, flags, and the u16 Sched length) plus the
+// architectural context. A context carrying predictor state encodes to
+// ContextWireBytes + len(Sched).
+const ContextWireBytes = 31 + isa.ContextWireBytes
+
+// schedLenOffset is the byte offset of the u16 Sched length inside an
+// encoded Context — the field that makes a context self-delimiting on the
+// wire. parseFrame (wire.go) and DecodeWire both read it, so it lives in
+// one place.
+const schedLenOffset = 29
 
 // MaxSchedBytes bounds the predictor-state trailer: its length must fit
 // the u16 wire header. The machine validates a scheme's StateLen against
@@ -82,6 +97,8 @@ func (c Context) AppendWire(b []byte) []byte {
 	b = binary.BigEndian.AppendUint32(b, uint32(c.Thread))
 	b = binary.BigEndian.AppendUint32(b, uint32(c.Native))
 	b = binary.BigEndian.AppendUint64(b, uint64(c.MemSeq))
+	b = binary.BigEndian.AppendUint64(b, c.Cycles)
+	b = binary.BigEndian.AppendUint32(b, c.Msgs)
 	b = append(b, c.Flags)
 	b = binary.BigEndian.AppendUint16(b, uint16(len(c.Sched)))
 	b = c.Arch.AppendWire(b)
@@ -103,19 +120,21 @@ func (c *Context) DecodeWire(b []byte) error {
 	if len(b) < ContextWireBytes {
 		return fmt.Errorf("transport: context wire length %d, want at least %d", len(b), ContextWireBytes)
 	}
-	schedLen := int(binary.BigEndian.Uint16(b[17:]))
+	schedLen := int(binary.BigEndian.Uint16(b[schedLenOffset:]))
 	if len(b) != ContextWireBytes+schedLen {
 		return fmt.Errorf("transport: context wire length %d, want %d (%d scheme-state bytes)",
 			len(b), ContextWireBytes+schedLen, schedLen)
 	}
-	arch, err := isa.DecodeContext(b[19 : 19+isa.ContextWireBytes])
+	arch, err := isa.DecodeContext(b[31 : 31+isa.ContextWireBytes])
 	if err != nil {
 		return err
 	}
 	c.Thread = int32(binary.BigEndian.Uint32(b))
 	c.Native = int32(binary.BigEndian.Uint32(b[4:]))
 	c.MemSeq = int64(binary.BigEndian.Uint64(b[8:]))
-	c.Flags = b[16]
+	c.Cycles = binary.BigEndian.Uint64(b[16:])
+	c.Msgs = binary.BigEndian.Uint32(b[24:])
+	c.Flags = b[28]
 	c.Arch = arch
 	c.Sched = append(c.Sched[:0], b[ContextWireBytes:]...)
 	return nil

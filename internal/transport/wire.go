@@ -28,7 +28,11 @@ import (
 type FrameKind uint8
 
 // The frame kinds. Migration, eviction, memory request and memory reply are
-// the data plane; the rest are the coordinator's control plane.
+// the data plane; the rest are the coordinator's control plane. The job
+// frames carry the serve lifecycle: JobSubmit broadcasts one job's thread
+// specs, JobAck confirms a node installed them (the coordinator injects the
+// job's contexts only after every node acked — a migration must never reach
+// a node before its specs did), and JobDone retires the job's slots.
 const (
 	FrameHello FrameKind = iota + 1
 	FrameMigration
@@ -40,6 +44,9 @@ const (
 	FrameCollect
 	FrameCollectRep
 	FrameShutdown
+	FrameJobSubmit
+	FrameJobAck
+	FrameJobDone
 )
 
 const (
@@ -59,6 +66,14 @@ const (
 	memReqBody = 4 + 8 + 4 + 8 + 1 + 4 + 4
 	// memRepBody is the fixed body size of a FrameMemRep: id u64 + value u32.
 	memRepBody = 8 + 4
+
+	// MemReqFrameBytes and MemRepFrameBytes are the full on-wire sizes
+	// (kind byte included) of one remote-access request and reply frame —
+	// the payloads the cost model charges for a remote round trip, exported
+	// so the machine's per-thread cycle accounting bills exactly what the
+	// wire would carry.
+	MemReqFrameBytes = 1 + memReqBody
+	MemRepFrameBytes = 1 + memRepBody
 
 	// flushThreshold force-flushes a batch buffer that grows past this many
 	// bytes even between explicit Flush calls, bounding buffer memory.
@@ -150,7 +165,7 @@ func AppendFrame(b []byte, f Frame) []byte {
 		return appendMemReqFrame(b, f.Dst, f.ID, f.Req)
 	case FrameMemRep:
 		return appendMemRepFrame(b, f.ID, f.Rep)
-	case FrameLoad, FrameHalt, FrameCollectRep:
+	case FrameLoad, FrameHalt, FrameCollectRep, FrameJobSubmit, FrameJobAck, FrameJobDone:
 		return appendBlobFrame(b, f.Kind, f.Blob)
 	case FrameCollect, FrameShutdown:
 		return append(b, byte(f.Kind)) // kind byte only
@@ -186,9 +201,9 @@ func parseFrame(b []byte) (Frame, int, error) {
 		}
 		f.Dst = geom.CoreID(binary.BigEndian.Uint32(p))
 		ctx := p[4:]
-		// The context is self-delimiting: its SchedLen header (offset 17)
-		// declares the trailer. DecodeContext re-validates the total.
-		total := ContextWireBytes + int(binary.BigEndian.Uint16(ctx[17:]))
+		// The context is self-delimiting: its SchedLen header declares the
+		// trailer. DecodeContext re-validates the total.
+		total := ContextWireBytes + int(binary.BigEndian.Uint16(ctx[schedLenOffset:]))
 		if len(ctx) < total {
 			return Frame{}, 0, malformedf("context frame truncated: %d of %d bytes", len(ctx), total)
 		}
@@ -216,7 +231,7 @@ func parseFrame(b []byte) (Frame, int, error) {
 		f.ID = binary.BigEndian.Uint64(p)
 		f.Rep.Value = binary.BigEndian.Uint32(p[8:])
 		return f, 1 + memRepBody, nil
-	case FrameLoad, FrameHalt, FrameCollectRep:
+	case FrameLoad, FrameHalt, FrameCollectRep, FrameJobSubmit, FrameJobAck, FrameJobDone:
 		if err := need(4); err != nil {
 			return Frame{}, 0, err
 		}
