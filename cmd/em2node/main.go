@@ -21,6 +21,16 @@
 // Start one em2node per manifest entry (any order — peers retry their
 // dials), then run the driver against the same manifest. A node serves
 // exactly one run.
+//
+// A node acknowledges its LoadSpec (success after the data plane is
+// wired, or its actual error — a bad scheme name fails the coordinator
+// with that message, not a bare connection drop), sends async heartbeats
+// with live wire stats while it runs, and streams its collect reply back
+// as per-core chunks — the O(nodes) control plane that lets one
+// coordinator drive 8+ node processes (DESIGN.md §6). A cluster of
+// em2nodes scales to the paper's 64-core machine and beyond: CI runs 8
+// of them on an 8x8 mesh bit-identical to the single-process run, and
+// README documents the 256-core soak.
 package main
 
 import (

@@ -29,6 +29,14 @@
 //	em2sim -cluster 3 -workload ocean -scheme history:2
 //	em2sim -cluster 2 -workload fft:8,1,7 -cores 4 -threads 4 -stats
 //	em2sim -cluster 4 -cluster-prog rand-priv:7 -cores 16 -stats
+//	em2sim -cluster 16 -cores 256 -threads 256 -workload ocean:256,1,1 \
+//	    -scheme history:2 -placement page-striped -json   # the README soak
+//
+// The control plane is O(nodes): a node's load failure surfaces with its
+// actual error message (load-ack barrier), injection reaches each node as
+// one batched write, collection streams back in per-core chunks, and a
+// hung run's timeout diagnostic lists each node's last heartbeat
+// (DESIGN.md §6).
 package main
 
 import (

@@ -413,6 +413,7 @@ func Specs() []Spec {
 	}
 
 	specs = append(specs, serveSpecs()...)
+	specs = append(specs, tcp64Specs()...)
 
 	specs = append(specs, Spec{
 		// The coalescing path in isolation: one scheduling cycle's burst —

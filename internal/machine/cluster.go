@@ -166,11 +166,16 @@ func WithWireStats(w io.Writer) NodeOption {
 	return func(o *nodeOptions) { o.wireStats = w }
 }
 
+// defaultHeartbeatMillis is the node liveness-report interval when the
+// LoadSpec does not set one.
+const defaultHeartbeatMillis = 500
+
 // ServeNode runs one cluster node to completion: listen per the manifest,
-// receive the coordinator's LoadSpec, execute the owned cores' loops with
-// contexts and remote accesses crossing the TCP transport, report HALTs,
-// answer the collect request, and exit on shutdown. This is the whole of
-// cmd/em2node.
+// receive the coordinator's LoadSpec, acknowledge it (or report the
+// actual load failure), execute the owned cores' loops with contexts and
+// remote accesses crossing the TCP transport, heartbeat liveness, report
+// HALTs, stream the collect reply in per-core chunks, and exit on
+// shutdown. This is the whole of cmd/em2node.
 func ServeNode(man transport.Manifest, idx int, opts ...NodeOption) error {
 	var opt nodeOptions
 	for _, o := range opts {
@@ -197,6 +202,13 @@ func ServeNode(man transport.Manifest, idx int, opts ...NodeOption) error {
 	case <-tn.ShutdownC():
 		return nil // coordinator aborted before loading
 	}
+	// failLoad ships the actual failure message to the coordinator before
+	// this process exits: "unknown scheme …" at the driver beats a bare
+	// connection death.
+	failLoad := func(err error) error {
+		tn.SendLoadAck(transport.LoadAck{Node: idx, Err: err.Error()})
+		return err
+	}
 	cfg := Config{
 		Mesh:          geom.NewMesh(man.W, man.H),
 		GuestContexts: spec.GuestContexts,
@@ -204,15 +216,15 @@ func ServeNode(man transport.Manifest, idx int, opts ...NodeOption) error {
 		LogEvents:     spec.LogEvents,
 	}
 	if cfg.Placement, err = ParsePlacement(spec.Placement, cfg.Mesh.Cores()); err != nil {
-		return err
+		return failLoad(err)
 	}
 	if cfg.Scheme, err = ParseScheme(spec.Scheme, cfg.Mesh); err != nil {
-		return err
+		return failLoad(err)
 	}
 	tn.Prepare(spec.NumThreads)
 	part, err := NewPart(cfg, tn)
 	if err != nil {
-		return err
+		return failLoad(err)
 	}
 	for a, v := range spec.Mem {
 		part.Preload(a, v, 0) // keeps only the addresses this node homes
@@ -223,20 +235,39 @@ func ServeNode(man transport.Manifest, idx int, opts ...NodeOption) error {
 		// arrive through JobSubmit frames, handled on the coordinator
 		// link's reader before any of the job's contexts can be injected.
 		tn.HandleJob(part.ApplyJob)
-		tn.HandleJobDone(func(d transport.JobDone) { part.ClearThreads(d.Slots) })
+		// Retirement, also on the reader: clear the slots, reclaim the
+		// job's region from the owned shards, and return the reclaimed
+		// events so the coordinator can SC-check the job and reuse the
+		// region knowing every node released it.
+		tn.HandleJobDone(func(d transport.JobDone) transport.JobRetired {
+			part.ClearThreads(d.Slots)
+			ret := transport.JobRetired{Job: d.Job, Node: idx}
+			if d.Reclaim {
+				ret.Events, ret.Words = part.ReclaimRegion(d.Base, d.Base+d.Size)
+			}
+			return ret
+		})
 		if err := part.StartServe(spec.NumThreads, onHalt); err != nil {
-			return err
+			return failLoad(err)
 		}
 	} else {
 		threads, err := decodePrograms(spec)
 		if err != nil {
-			return err
+			return failLoad(err)
 		}
 		if err := part.Start(threads, onHalt); err != nil {
-			return err
+			return failLoad(err)
 		}
 	}
 	tn.Ready() // open the data plane: Prepare'd inboxes + handler are live
+	if err := tn.SendLoadAck(transport.LoadAck{Node: idx}); err != nil {
+		return err
+	}
+	hb := spec.HeartbeatMillis
+	if hb <= 0 {
+		hb = defaultHeartbeatMillis
+	}
+	tn.StartHeartbeat(time.Duration(hb) * time.Millisecond)
 
 	select {
 	case <-tn.CollectRequests():
@@ -244,10 +275,16 @@ func ServeNode(man transport.Manifest, idx int, opts ...NodeOption) error {
 		part.Stop() // coordinator aborted mid-run (timeout, error)
 		return nil
 	}
-	rep := part.Collect(idx)
+	// Stream the post-run state in per-core chunks; wire counters are
+	// snapshotted before the stream so they do not count its own traffic,
+	// then ride the final Done chunk.
 	net := tn.NetStats()
-	rep.Net = &net
-	if err := tn.SendCollect(rep); err != nil {
+	if err := part.CollectChunked(idx, func(ch transport.CollectChunk) error {
+		if ch.Done {
+			ch.Net = &net
+		}
+		return tn.SendCollectChunk(ch)
+	}); err != nil {
 		return err
 	}
 	<-tn.ShutdownC()
@@ -279,6 +316,30 @@ type ClusterResult struct {
 	// the injection batching (a whole run's initial contexts reach each
 	// node in one write).
 	CoordNet transport.NetStats
+}
+
+// heartbeatSummary renders the coordinator's last-seen heartbeats for a
+// timeout diagnostic: which nodes were still alive, and how stale each
+// one's last report was. Advisory only — it annotates errors, never
+// results.
+func heartbeatSummary(co *transport.Coordinator, nodes int) string {
+	infos := co.Heartbeats()
+	if len(infos) == 0 {
+		return fmt.Sprintf("no heartbeats from any of %d nodes", nodes)
+	}
+	seen := make(map[int]transport.HeartbeatInfo, len(infos))
+	for _, hi := range infos {
+		seen[hi.Node] = hi
+	}
+	parts := make([]string, 0, nodes)
+	for i := 0; i < nodes; i++ {
+		if hi, ok := seen[i]; ok {
+			parts = append(parts, fmt.Sprintf("node %d seq %d %.1fs ago", i, hi.Seq, time.Since(hi.At).Seconds()))
+		} else {
+			parts = append(parts, fmt.Sprintf("node %d silent", i))
+		}
+	}
+	return "last heartbeats: " + strings.Join(parts, ", ")
 }
 
 // mergePerCore concatenates per-node core metrics and sorts by core id.
@@ -358,6 +419,11 @@ func RunCluster(man transport.Manifest, cfg ClusterConfig, threads []ThreadSpec,
 	}); err != nil {
 		return nil, err
 	}
+	// The ack barrier turns a node's load failure into its actual error
+	// message and guarantees every data plane is open before injection.
+	if err := co.AwaitLoadAcks(cfg.Timeout); err != nil {
+		return nil, err
+	}
 
 	cores := mesh.Cores()
 	for t := range threads {
@@ -404,7 +470,8 @@ func RunCluster(man transport.Manifest, cfg ClusterConfig, threads []ThreadSpec,
 			// run bleed out into a timeout.
 			return nil, fmt.Errorf("machine: cluster run failed with %d of %d threads halted: %v", n, len(threads), err)
 		case <-timer.C:
-			return nil, fmt.Errorf("machine: cluster run timed out with %d of %d threads halted", n, len(threads))
+			return nil, fmt.Errorf("machine: cluster run timed out with %d of %d threads halted (%s)",
+				n, len(threads), heartbeatSummary(co, len(man.Nodes)))
 		}
 	}
 

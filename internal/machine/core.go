@@ -117,12 +117,15 @@ func remoteCost(hops int) uint64 {
 // flush pushes the transport's coalesced sends out at this core's flush
 // points. A failed flush means a peer connection died with contexts in the
 // buffer — the run is lost, so say why once (the writer's error is sticky
-// and would repeat every cycle) instead of letting the cluster die as a
-// bare timeout.
+// and would repeat every cycle) and park the whole part: work produced
+// after the wire is gone can never leave the machine, so continuing to
+// execute would just spin until external teardown. The abort trips the
+// loop's post-execute done check, terminating every core in this part.
 func (n *coreNode) flush() {
 	if err := n.p.tr.Flush(); err != nil && !n.flushFailed {
 		n.flushFailed = true
 		fmt.Fprintf(os.Stderr, "machine: core %d: transport flush: %v\n", n.id, err)
+		n.p.abort()
 	}
 }
 

@@ -1,6 +1,7 @@
 package machine
 
 import (
+	"fmt"
 	"os/exec"
 	"path/filepath"
 	"strings"
@@ -101,6 +102,7 @@ func TestRunClusterRejectsBogusHalts(t *testing.T) {
 				spec := <-tn.Loads()
 				tn.Prepare(spec.NumThreads)
 				tn.Ready()
+				tn.SendLoadAck(transport.LoadAck{Node: 0}) // pass the ack barrier
 				for _, th := range tc.halts {
 					tn.SendHalt(transport.HaltMsg{Thread: th})
 				}
@@ -116,6 +118,99 @@ func TestRunClusterRejectsBogusHalts(t *testing.T) {
 			}
 		})
 	}
+}
+
+// TestServeNodeReportsLoadError drives a real ServeNode with a LoadSpec
+// only the node can reject and requires the coordinator to receive the
+// node's actual error message through the ack barrier — before this fix
+// the node process just exited and the coordinator saw a bare connection
+// death.
+func TestServeNodeReportsLoadError(t *testing.T) {
+	t.Parallel()
+	man, err := transport.LocalManifest(1, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- ServeNode(man, 0) }()
+
+	co, err := transport.DialCluster(man, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer co.Close()
+	if err := co.Load(&transport.LoadSpec{
+		Scheme:     "bogus-scheme",
+		Placement:  "striped:64",
+		NumThreads: 1,
+		Programs:   [][]uint32{{0}},
+		Regs:       []map[int]uint32{nil},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	err = co.AwaitLoadAcks(10 * time.Second)
+	if err == nil {
+		t.Fatal("AwaitLoadAcks succeeded despite an unloadable spec")
+	}
+	if !strings.Contains(err.Error(), "bogus-scheme") {
+		t.Fatalf("load failure surfaced as %q, want the node's actual parse error", err)
+	}
+	co.Shutdown()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("ServeNode returned nil after failing to load")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("ServeNode did not exit after its load failed")
+	}
+}
+
+// failingFlushTransport wraps a working transport with a wire that can be
+// declared dead: Flush fails, exactly what a node sees when a peer
+// connection drops with contexts in the batch buffer.
+type failingFlushTransport struct {
+	transport.Transport
+	dead bool
+}
+
+func (f *failingFlushTransport) Flush() error {
+	if f.dead {
+		return fmt.Errorf("injected wire failure")
+	}
+	return f.Transport.Flush()
+}
+
+// TestDeadTransportParksPart pins the dead-transport fix: once a core's
+// flush records the sticky failure, the whole part must park (no work it
+// produces can ever leave the machine) instead of spinning until external
+// teardown.
+func TestDeadTransportParksPart(t *testing.T) {
+	t.Parallel()
+	tr := &failingFlushTransport{Transport: transport.NewLocal(4, 1), dead: true}
+	pl, err := ParsePlacement("striped:64", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Mesh: geom.NewMesh(2, 2), Placement: pl}
+	part, err := NewPart(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := part.Start([]ThreadSpec{{Program: spinForever()}}, func(transport.HaltMsg) {}); err != nil {
+		t.Fatal(err)
+	}
+	// Inject the spinning context; its core's first flush point hits the
+	// dead wire and must abort the part.
+	if err := tr.SendEviction(0, transport.Context{Thread: 0, Native: 0}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-part.done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("part kept executing for 10s on a dead transport (flush failure did not park it)")
+	}
+	part.Stop()
 }
 
 // TestServeNodeAbortsMidRun shuts the coordinator down while the node

@@ -98,10 +98,11 @@ type Part struct {
 	// rewritten while one of its contexts is resident or in flight (the
 	// JobAck barrier orders installation before injection; a halt report
 	// orders completion before reuse).
-	specs  []atomic.Pointer[ThreadSpec]
-	onHalt func(transport.HaltMsg)
-	done   chan struct{}
-	wg     sync.WaitGroup
+	specs    []atomic.Pointer[ThreadSpec]
+	onHalt   func(transport.HaltMsg)
+	done     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
 }
 
 // NewPart builds the part for the cores tr owns and installs its memory
@@ -223,8 +224,17 @@ func (p *Part) start(onHalt func(transport.HaltMsg)) error {
 // quantum first, then every core exits — including cores whose contexts
 // would never halt on their own (an abort or serve drain).
 func (p *Part) Stop() {
-	close(p.done)
+	p.abort()
 	p.wg.Wait()
+}
+
+// abort signals every core loop to exit without waiting for them. A core
+// whose transport died calls it (coreNode.flush): work produced after the
+// wire is gone can never leave the machine, so the whole part parks
+// instead of spinning until external teardown. Idempotent, so the abort
+// and a later Stop compose.
+func (p *Part) abort() {
+	p.stopOnce.Do(func() { close(p.done) })
 }
 
 // SetThread installs spec in a serve slot. The caller must guarantee no
@@ -297,6 +307,54 @@ func (p *Part) Collect(node int) transport.CollectReply {
 		}
 	}
 	return rep
+}
+
+// CollectChunked streams this part's post-run state through emit as a
+// sequence of transport.CollectChunks: one per owned core (that core's
+// metrics, its shard's events and memory slice), then a final Done chunk
+// with the aggregate counters. The caller (ServeNode) may add wire stats
+// to the Done chunk before sending. Chunking bounds each control-plane
+// blob by one core's state, which is what keeps a 256-core node's
+// collection inside the wire's blob cap.
+func (p *Part) CollectChunked(node int, emit func(transport.CollectChunk) error) error {
+	var agg transport.CoreMetrics
+	for _, id := range p.tr.Owned() {
+		m := p.ctr[id].metrics(id)
+		agg = agg.Add(m)
+		mem, events := p.shards[id].snapshot()
+		if err := emit(transport.CollectChunk{Node: node, PerCore: &m, Events: events, Mem: mem}); err != nil {
+			return err
+		}
+	}
+	return emit(transport.CollectChunk{
+		Node: node,
+		Done: true,
+		Counters: map[string]int64{
+			"instructions":  agg.Instructions,
+			"migrations":    agg.Migrations,
+			"evictions":     agg.Evictions,
+			"remote_reads":  agg.RemoteReads,
+			"remote_writes": agg.RemoteWrites,
+			"local_ops":     agg.LocalOps,
+			"context_flits": agg.ContextFlits,
+			"overcommits":   agg.Overcommits,
+		},
+	})
+}
+
+// ReclaimRegion deletes the words and removes the event-log entries of
+// [lo, hi) from every owned shard, returning the removed events (core
+// order) and the total words reclaimed — the serve path's retirement hook
+// that keeps a long-running server's footprint bounded.
+func (p *Part) ReclaimRegion(lo, hi uint32) ([]transport.Event, int) {
+	var events []transport.Event
+	words := 0
+	for _, id := range p.tr.Owned() {
+		ev, w := p.shards[id].reclaim(lo, hi)
+		events = append(events, ev...)
+		words += w
+	}
+	return events, words
 }
 
 // MemImage returns a copy of every word this part's shards hold, without

@@ -84,6 +84,40 @@ func (s *shard) apply(req transport.MemRequest) transport.MemReply {
 	return rep
 }
 
+// reclaim deletes every word homed here in [lo, hi) and removes (and
+// returns) the range's event-log entries, preserving the kept entries'
+// relative order. Retiring a serve job's region through it keeps a
+// long-running server's shard footprint bounded by the live jobs instead
+// of growing with every job ever served. The returned events stay valid
+// for SC checking: each still carries its Home and shard-local Seq, and
+// the checker orders by those, not by log position.
+func (s *shard) reclaim(lo, hi uint32) ([]Event, int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	words := 0
+	for a := range s.mem {
+		if a >= lo && a < hi {
+			delete(s.mem, a)
+			words++
+		}
+	}
+	var removed []Event
+	kept := s.events[:0]
+	for _, e := range s.events {
+		if e.Addr >= lo && e.Addr < hi {
+			removed = append(removed, e)
+		} else {
+			kept = append(kept, e)
+		}
+	}
+	// Zero the tail so removed entries are not pinned by the backing array.
+	for i := len(kept); i < len(s.events); i++ {
+		s.events[i] = Event{}
+	}
+	s.events = kept
+	return removed, words
+}
+
 // peek reads a word for post-run inspection.
 func (s *shard) peek(addr uint32) uint32 {
 	s.mu.Lock()

@@ -15,8 +15,14 @@ import (
 type Backend interface {
 	// RunJob installs the job in the slot pool, injects its contexts, and
 	// returns one halt per slot (indexed by slot) once every thread
-	// finished, leaving the pool cleared for the next job.
+	// finished. Follow with Retire before reusing the slots or region.
 	RunJob(j *Job, timeout time.Duration) ([]transport.HaltMsg, error)
+	// Retire clears the job's slots and reclaims its memory region —
+	// deleting the region's shard words and removing (and returning) its
+	// event-log entries, which is what keeps a long-running server's
+	// footprint bounded by the in-flight window instead of O(jobs). The
+	// returned events feed the job's own SC check.
+	Retire(j *Job, timeout time.Duration) ([]machine.Event, error)
 	// Drain ends the run and returns the machine's merged post-run state.
 	Drain(timeout time.Duration) (*DrainResult, error)
 	// Close releases the backend; safe after Drain and on error paths.
@@ -24,9 +30,13 @@ type Backend interface {
 }
 
 // DrainResult is the machine's post-run state a report is built from.
+// With every job retired through Retire, Events must be empty and
+// MemWords zero — serve.Run enforces both, so a reclamation leak fails
+// the run instead of silently growing the server.
 type DrainResult struct {
 	Events   []machine.Event
 	Counters map[string]int64
+	MemWords int // words still held by the machine's shards at drain
 }
 
 // machineConfig builds the runtime config both backends validate against.
@@ -91,18 +101,19 @@ func (b *localBackend) RunJob(j *Job, timeout time.Duration) ([]transport.HaltMs
 	if err := injectJob(j, b.cores, b.tr.SendEviction); err != nil {
 		return nil, err
 	}
-	halts, err := haltsForJob(j, b.halts, nil, timeout)
-	if err != nil {
-		return nil, err
-	}
+	return haltsForJob(j, b.halts, nil, timeout)
+}
+
+func (b *localBackend) Retire(j *Job, _ time.Duration) ([]machine.Event, error) {
 	b.part.ClearThreads(j.Slots())
-	return halts, nil
+	events, _ := b.part.ReclaimRegion(j.Base, j.Base+RegionBytes)
+	return events, nil
 }
 
 func (b *localBackend) Drain(time.Duration) (*DrainResult, error) {
 	b.stop()
 	coll := b.part.Collect(0)
-	return &DrainResult{Events: coll.Events, Counters: coll.Counters}, nil
+	return &DrainResult{Events: coll.Events, Counters: coll.Counters, MemWords: len(coll.Mem)}, nil
 }
 
 func (b *localBackend) stop() {
@@ -145,14 +156,20 @@ func NewClusterBackend(cfg Config, man transport.Manifest) (Backend, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := co.Load(&transport.LoadSpec{
+	err = co.Load(&transport.LoadSpec{
 		Serve:      true,
 		Quantum:    cfg.Quantum,
 		Scheme:     cfg.Scheme,
 		Placement:  cfg.Placement,
 		LogEvents:  true,
 		NumThreads: slots,
-	}); err != nil {
+	})
+	if err == nil {
+		// The ack barrier surfaces a node's actual load failure here
+		// instead of as a bare connection death on the first job.
+		err = co.AwaitLoadAcks(cfg.Timeout)
+	}
+	if err != nil {
 		co.Shutdown()
 		co.Close()
 		return nil, err
@@ -177,14 +194,20 @@ func (b *clusterBackend) RunJob(j *Job, timeout time.Duration) ([]transport.Halt
 	if err := b.co.Flush(); err != nil {
 		return nil, err
 	}
-	halts, err := haltsForJob(j, b.co.Halts(), b.co.Deaths(), timeout)
-	if err != nil {
-		return nil, err
-	}
-	if err := b.co.RetireJob(transport.JobDone{Job: j.Index, Slots: j.Slots()}); err != nil {
-		return nil, err
-	}
-	return halts, nil
+	return haltsForJob(j, b.co.Halts(), b.co.Deaths(), timeout)
+}
+
+func (b *clusterBackend) Retire(j *Job, timeout time.Duration) ([]machine.Event, error) {
+	// The retirement barrier: every node cleared the slots and reclaimed
+	// the region before the coordinator may reuse either. The merged reply
+	// carries the job's events from whichever nodes homed its addresses.
+	return b.co.RetireJob(transport.JobDone{
+		Job:     j.Index,
+		Slots:   j.Slots(),
+		Base:    j.Base,
+		Size:    RegionBytes,
+		Reclaim: true,
+	}, timeout)
 }
 
 func (b *clusterBackend) Drain(timeout time.Duration) (*DrainResult, error) {
@@ -195,6 +218,7 @@ func (b *clusterBackend) Drain(timeout time.Duration) (*DrainResult, error) {
 	dr := &DrainResult{Counters: make(map[string]int64)}
 	for _, rep := range reps {
 		dr.Events = append(dr.Events, rep.Events...)
+		dr.MemWords += len(rep.Mem)
 		for k, v := range rep.Counters {
 			dr.Counters[k] += v
 		}

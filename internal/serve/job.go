@@ -7,8 +7,8 @@ import (
 	"repro/internal/machine"
 )
 
-// RegionBytes is the size of each job's private address region. Job i runs
-// entirely inside [Base(i), Base(i)+RegionBytes): region 0 is left unused
+// RegionBytes is the size of each job's private address region. A job
+// runs entirely inside [base, base+RegionBytes); region 0 is left unused
 // so a stray zero address cannot alias a job.
 const RegionBytes = 4096
 
@@ -18,8 +18,50 @@ const RegionBytes = 4096
 // the same program text runs in any region.
 const baseReg = 29
 
-// Base returns job i's region base address.
-func Base(i int) uint32 { return RegionBytes * (uint32(i) + 1) }
+// RegionCount sizes the region pool: the maximum number of physically
+// live (admitted but not yet retired) jobs. The old allocator derived a
+// job's base from its index (4096·(i+1)), which silently wrapped the
+// 32-bit address space at job 2²⁰−1, aliasing two live jobs' regions and
+// corrupting the per-job SC filter; the pool recycles a fixed set of
+// regions instead, so job indices are unbounded. Jobs execute one at a
+// time physically, so even 1024 is far more headroom than any schedule
+// can use — exhaustion means a retire leak, and Acquire errors loudly.
+const RegionCount = 1024
+
+// regionPool hands out private job regions, lowest-free first (a
+// deterministic order, so both backends build byte-identical jobs).
+type regionPool struct {
+	used [RegionCount]bool
+	live int
+}
+
+// Acquire returns the lowest free region's base address, or errors if all
+// RegionCount regions are live — which can only mean retired jobs are not
+// being released, and must fail loudly rather than alias a live region.
+func (p *regionPool) Acquire() (uint32, error) {
+	for i := range p.used {
+		if !p.used[i] {
+			p.used[i] = true
+			p.live++
+			return RegionBytes * (uint32(i) + 1), nil
+		}
+	}
+	return 0, fmt.Errorf("serve: region pool exhausted (%d regions live; retired jobs are not being released)", RegionCount)
+}
+
+// Release returns a region to the pool at job retirement.
+func (p *regionPool) Release(base uint32) error {
+	i := base/RegionBytes - 1
+	if base == 0 || base%RegionBytes != 0 || i >= RegionCount {
+		return fmt.Errorf("serve: release of %#x, not a pool region base", base)
+	}
+	if !p.used[i] {
+		return fmt.Errorf("serve: double release of region %#x", base)
+	}
+	p.used[i] = false
+	p.live--
+	return nil
+}
 
 // Job is one admitted unit of work: a litmus program rebased into its
 // private region, ready to install in slots 0..len(Threads)-1.
@@ -89,13 +131,13 @@ func jobLitmus(workload string, seed int64, i int) (machine.Litmus, error) {
 	return machine.Litmus{}, fmt.Errorf("serve: unknown workload %q (valid: %v)", workload, Workloads())
 }
 
-// buildJob generates and rebases job i.
-func buildJob(cfg Config, i int) (*Job, error) {
+// buildJob generates job i and rebases it into the region at base (an
+// Acquire'd pool region).
+func buildJob(cfg Config, i int, base uint32) (*Job, error) {
 	lit, err := jobLitmus(cfg.Workload, cfg.Seed, i)
 	if err != nil {
 		return nil, err
 	}
-	base := Base(i)
 	threads, mem, err := Rebase(lit, base)
 	if err != nil {
 		return nil, fmt.Errorf("serve: job %d (%s): %v", i, lit.Name, err)

@@ -14,9 +14,13 @@
 // processes. The differential test in this package pins that guarantee.
 //
 // Every completed job is independently verified for sequential
-// consistency: each job runs in a private 4 KiB address region, so its
-// memory events can be filtered out of the machine's merged log and fed to
-// machine.CheckSCFrom with the job's own initial image.
+// consistency: each job runs in a private 4 KiB region drawn from a
+// recycled pool (RegionCount regions — job count is unbounded), and
+// retirement reclaims the region's shard words and event-log entries,
+// returning the events for the job's own machine.CheckSCFrom pass. The
+// reclamation is what keeps a long-running server's footprint bounded by
+// the in-flight window instead of O(jobs); Run enforces it by failing if
+// the final drain finds any stray events or leftover words.
 package serve
 
 import (
@@ -39,9 +43,9 @@ type Config struct {
 	Placement string // placement wire name (default striped:64)
 	Quantum   int    // instructions per scheduling slice (0 = runtime default)
 
-	Workload string // job generator: sb | counter | rand-priv | mix (default mix)
-	Jobs     int    // number of Poisson arrivals (default 32; ignored with Arrivals)
-	Seed     int64  // seeds the arrival process and the workload generator
+	Workload string  // job generator: sb | counter | rand-priv | mix (default mix)
+	Jobs     int     // number of Poisson arrivals (default 32; ignored with Arrivals)
+	Seed     int64   // seeds the arrival process and the workload generator
 	MeanGap  float64 // mean Poisson interarrival gap in cycles (default 2000)
 	// Arrivals, when non-nil, is an explicit trace of absolute arrival
 	// times in cycles (non-decreasing) and overrides Jobs/MeanGap.
@@ -165,16 +169,13 @@ func Run(cfg Config, be Backend) (*Report, error) {
 		}
 	}
 
-	type jobRec struct {
-		index int
-		base  uint32
-		mem   map[uint32]uint32
-	}
 	var (
 		inflight   = &completionHeap{}
+		pool       regionPool
 		latencies  []float64
 		msgsPerJob []float64
-		completed  []jobRec
+		completed  int
+		checked    int
 		rejected   int
 		makespan   uint64
 	)
@@ -186,7 +187,11 @@ func Run(cfg Config, be Backend) (*Report, error) {
 			rejected++
 			continue
 		}
-		job, err := buildJob(cfg, i)
+		base, err := pool.Acquire()
+		if err != nil {
+			return nil, err
+		}
+		job, err := buildJob(cfg, i, base)
 		if err != nil {
 			return nil, err
 		}
@@ -209,27 +214,35 @@ func Run(cfg Config, be Backend) (*Report, error) {
 			makespan = fin
 		}
 		heap.Push(inflight, fin)
-		completed = append(completed, jobRec{index: i, base: job.Base, mem: job.Mem})
+		completed++
+		// Retire now: the returned events are exactly this job's (its region
+		// is private while it holds it), so the SC check happens here, and
+		// the reclamation frees the region's words and events before the
+		// pool can hand the region to a later job.
+		events, err := be.Retire(job, cfg.Timeout)
+		if err != nil {
+			return nil, fmt.Errorf("serve: job %d (%s) retirement: %v", i, job.Name, err)
+		}
+		if err := machine.CheckSCFrom(job.Mem, events); err != nil {
+			return nil, fmt.Errorf("serve: job %d failed its SC check: %v", i, err)
+		}
+		checked++
+		if err := pool.Release(base); err != nil {
+			return nil, err
+		}
 	}
 
 	dr, err := be.Drain(cfg.Timeout)
 	if err != nil {
 		return nil, err
 	}
-	// Per-job SC: each job owns a private region, so its events are exactly
-	// the merged log filtered by region, and its initial memory is its own
-	// rebased image.
-	byRegion := make(map[uint32][]machine.Event)
-	for _, ev := range dr.Events {
-		r := ev.Addr / RegionBytes
-		byRegion[r] = append(byRegion[r], ev)
-	}
-	checked := 0
-	for _, jr := range completed {
-		if err := machine.CheckSCFrom(jr.mem, byRegion[jr.base/RegionBytes]); err != nil {
-			return nil, fmt.Errorf("serve: job %d failed its SC check: %v", jr.index, err)
-		}
-		checked++
+	// The boundedness invariant: every job was retired and reclaimed, so
+	// the drained machine must hold no events and no words. A violation is
+	// a reclamation leak — exactly the O(jobs) growth retirement exists to
+	// prevent — and fails the run loudly.
+	if len(dr.Events) > 0 || dr.MemWords != 0 {
+		return nil, fmt.Errorf("serve: drain found %d stray events and %d leftover words after %d retired jobs (region reclamation leak)",
+			len(dr.Events), dr.MemWords, completed)
 	}
 
 	return &Report{
@@ -242,7 +255,7 @@ func Run(cfg Config, be Backend) (*Report, error) {
 		MeshH:          cfg.H,
 		MaxInflight:    cfg.MaxInflight,
 		Submitted:      len(arrivals),
-		Completed:      len(completed),
+		Completed:      completed,
 		Rejected:       rejected,
 		SCChecked:      checked,
 		MakespanCycles: makespan,

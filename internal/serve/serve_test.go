@@ -112,6 +112,115 @@ func TestServeDifferentialTransports(t *testing.T) {
 	}
 }
 
+// TestServeDifferential8Node extends the channel-vs-TCP byte-identity
+// check to a maximally sharded cluster: 8 node processes, one core each,
+// over the fan-out injection, retirement-barrier, and incremental-collect
+// control plane. Any partitioning dependence in the new paths — chunk
+// reassembly, reclaimed-event merging, heartbeat traffic leaking into the
+// report — breaks the byte comparison.
+func TestServeDifferential8Node(t *testing.T) {
+	t.Parallel()
+	cfg := testCfg(9)
+	cfg.W, cfg.H = 4, 2
+	local := runLocal(t, cfg)
+
+	man, err := transport.LocalManifest(8, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := range man.Nodes {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := machine.ServeNode(man, i); err != nil {
+				t.Errorf("serve node %d: %v", i, err)
+			}
+		}(i)
+	}
+	be, err := NewClusterBackend(cfg, man)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clustered, err := Run(cfg, be)
+	be.Close()
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	lb, cb := reportBytes(t, local), reportBytes(t, clustered)
+	if !bytes.Equal(lb, cb) {
+		t.Fatalf("channel and 8-node TCP produced different reports:\n--- channel\n%s\n--- 8-node tcp\n%s", lb, cb)
+	}
+}
+
+// TestServeSoakBounded is the long-run regression for the unbounded-
+// serving bugs: 2000 jobs on a 64-core mesh through the recycled region
+// pool. Run itself enforces the boundedness invariant — every retirement
+// must have reclaimed its region's words and events, and the final drain
+// errors on any stray state — so completing the soak is the assertion
+// that an open-loop server no longer grows O(jobs).
+func TestServeSoakBounded(t *testing.T) {
+	t.Parallel()
+	cfg := testCfg(2000)
+	cfg.W, cfg.H = 8, 8
+	rep := runLocal(t, cfg)
+	if rep.Submitted != 2000 || rep.Completed+rep.Rejected != 2000 {
+		t.Fatalf("admission accounting: submitted=%d completed=%d rejected=%d", rep.Submitted, rep.Completed, rep.Rejected)
+	}
+	if rep.Completed < 1000 {
+		t.Fatalf("only %d of 2000 jobs completed (window stuck?)", rep.Completed)
+	}
+	if rep.SCChecked != rep.Completed {
+		t.Fatalf("SC-checked %d of %d completed jobs", rep.SCChecked, rep.Completed)
+	}
+}
+
+// TestRegionPool pins the allocator the soak relies on: lowest-free
+// deterministic ordering, recycling, and a loud error on exhaustion —
+// the old Base(i) allocator silently wrapped the address space at job
+// 2²⁰−1 instead.
+func TestRegionPool(t *testing.T) {
+	t.Parallel()
+	var p regionPool
+	a, err := p.Acquire()
+	if err != nil || a != RegionBytes {
+		t.Fatalf("first acquire = %#x, %v; want lowest region %#x", a, err, RegionBytes)
+	}
+	b, err := p.Acquire()
+	if err != nil || b != 2*RegionBytes {
+		t.Fatalf("second acquire = %#x, %v", b, err)
+	}
+	if err := p.Release(a); err != nil {
+		t.Fatal(err)
+	}
+	// Recycling: the freed region is reused before any fresh one.
+	c, err := p.Acquire()
+	if err != nil || c != a {
+		t.Fatalf("acquire after release = %#x, %v; want recycled %#x", c, err, a)
+	}
+	if err := p.Release(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Release(a); err == nil {
+		t.Fatal("double release accepted")
+	}
+	if err := p.Release(RegionBytes + 1); err == nil {
+		t.Fatal("release of a non-region address accepted")
+	}
+	// Exhaustion is loud, not a wraparound.
+	var full regionPool
+	for i := 0; i < RegionCount; i++ {
+		if _, err := full.Acquire(); err != nil {
+			t.Fatalf("acquire %d of %d failed: %v", i, RegionCount, err)
+		}
+	}
+	if _, err := full.Acquire(); err == nil || !strings.Contains(err.Error(), "exhausted") {
+		t.Fatalf("exhausted pool returned %v, want a loud exhaustion error", err)
+	}
+}
+
 // TestServeAdmissionRejects fills the in-flight window with simultaneous
 // arrivals: exactly MaxInflight jobs are admitted, the rest are rejected
 // with a count, and the rejected jobs leave no trace in the latency sample.
@@ -214,7 +323,7 @@ func TestParseTrace(t *testing.T) {
 func TestRebase(t *testing.T) {
 	t.Parallel()
 	lit := machine.StoreBufferingLitmus(64)
-	base := Base(4)
+	base := uint32(5 * RegionBytes)
 	threads, mem, err := Rebase(lit, base)
 	if err != nil {
 		t.Fatal(err)
@@ -285,7 +394,7 @@ func TestWorkloadsGenerate(t *testing.T) {
 func TestRebasedJobMatchesOriginal(t *testing.T) {
 	t.Parallel()
 	lit := machine.AtomicCounterLitmus(3, 4)
-	base := Base(9)
+	base := uint32(10 * RegionBytes)
 	threads, mem, err := Rebase(lit, base)
 	if err != nil {
 		t.Fatal(err)

@@ -141,6 +141,49 @@ type LoadSpec struct {
 	// of empty slots (Programs/Regs/Mem stay empty) and programs arrive
 	// per job through JobSubmit frames instead of riding the LoadSpec.
 	Serve bool
+	// HeartbeatMillis sets the node's liveness/metrics heartbeat interval;
+	// 0 selects the default (500 ms). Heartbeats are advisory — they never
+	// enter any deterministic result surface.
+	HeartbeatMillis int
+}
+
+// LoadAck confirms (or refuses) one node's LoadSpec installation. A node
+// that fails to build its part — bad scheme or placement name, undecodable
+// programs — reports the actual error here before exiting, so the
+// coordinator surfaces the message instead of a bare connection death. A
+// successful ack is sent after the node's data plane is open (Ready), so
+// awaiting all acks is also a readiness barrier.
+type LoadAck struct {
+	Node int
+	Err  string `json:",omitempty"`
+}
+
+// Heartbeat is a node's periodic liveness-and-metrics report: a sequence
+// number and the node's cumulative wire counters. It flows asynchronously
+// on the coordinator link — liveness is observed, not inferred from
+// connection death — and is purely advisory: nothing deterministic may
+// depend on it.
+type Heartbeat struct {
+	Node int
+	Seq  uint64
+	Net  NetStats
+}
+
+// CollectChunk is one increment of a node's post-run state: per-core
+// chunks (that core's metrics, its shard's events and memory slice) stream
+// as the node drains, followed by a final Done chunk carrying the node's
+// aggregate counters and wire stats. Chunking bounds each control blob by
+// one core's state instead of one node's, which is what keeps a 256-core
+// collection inside the wire's blob cap.
+type CollectChunk struct {
+	Node    int
+	PerCore *CoreMetrics      `json:",omitempty"` // per-core chunk
+	Events  []Event           `json:",omitempty"`
+	Mem     map[uint32]uint32 `json:",omitempty"`
+	// Done marks the node's final chunk, carrying the aggregates.
+	Done     bool             `json:",omitempty"`
+	Counters map[string]int64 `json:",omitempty"`
+	Net      *NetStats        `json:",omitempty"`
 }
 
 // JobSpec is one serve-mode job: programs and initial registers for the
@@ -169,10 +212,30 @@ type JobAck struct {
 
 // JobDone retires a completed job's slots on every node, so a stray late
 // context for a retired slot fails loudly instead of executing a stale
-// program.
+// program. When Reclaim is set it also names the job's memory region
+// [Base, Base+Size): each node deletes the region's shard words and
+// removes (and returns, via JobRetired) the region's event-log entries,
+// which is what keeps an open-loop server's footprint bounded by the
+// in-flight window instead of growing O(jobs).
 type JobDone struct {
-	Job   int
-	Slots []int
+	Job     int
+	Slots   []int
+	Base    uint32 `json:",omitempty"`
+	Size    uint32 `json:",omitempty"`
+	Reclaim bool   `json:",omitempty"`
+}
+
+// JobRetired is one node's reply to a JobDone: confirmation that the slots
+// are cleared, plus — when the JobDone asked for reclamation — the retired
+// region's event-log entries (removed from the node's shards) and the
+// number of shard words reclaimed. The coordinator gathers one per node
+// before reusing the region, making retirement a barrier like submission.
+type JobRetired struct {
+	Job    int
+	Node   int
+	Events []Event `json:",omitempty"`
+	Words  int     `json:",omitempty"`
+	Err    string  `json:",omitempty"`
 }
 
 // HaltMsg reports a thread's HALT to the coordinator, carrying its final
@@ -311,7 +374,8 @@ type Node struct {
 	evict    map[geom.CoreID]chan Context
 	handler  func(core geom.CoreID, req MemRequest) MemReply
 	jobH     func(*JobSpec) error
-	jobDoneH func(JobDone)
+	jobDoneH func(JobDone) JobRetired
+	hbOnce   sync.Once
 	nextID   atomic.Uint64
 	pending  map[uint64]*pendingCall
 	loads    chan *LoadSpec
@@ -524,9 +588,14 @@ func (n *Node) handleFrame(c *conn, f Frame) error {
 		if !n.waitReady() {
 			return errStopRead
 		}
-		if n.jobDoneH != nil {
-			n.jobDoneH(d)
+		if n.jobDoneH == nil {
+			return malformedf("job done to a node not serving jobs")
 		}
+		// Synchronous on the reader, like JobSubmit: the reply confirms the
+		// slots are cleared and the region reclaimed before the coordinator
+		// can reuse either.
+		ret := n.jobDoneH(d)
+		return c.sendJSON(FrameJobRetired, &ret)
 	case FrameCollect:
 		select {
 		case n.collects <- struct{}{}:
@@ -647,6 +716,61 @@ func (n *Node) SendCollect(rep CollectReply) error {
 	return c.sendJSON(FrameCollectRep, &rep)
 }
 
+// SendLoadAck reports the outcome of installing the LoadSpec: success
+// after the node's data plane is open, or the actual failure message —
+// so the coordinator surfaces "bad scheme name" instead of a bare
+// connection death.
+func (n *Node) SendLoadAck(ack LoadAck) error {
+	c, err := n.coord.get(n.shutdown)
+	if err != nil {
+		return err
+	}
+	return c.sendJSON(FrameLoadAck, &ack)
+}
+
+// SendCollectChunk streams one increment of the node's post-run state.
+// The node sends per-core chunks as it drains and a final Done chunk
+// carrying its aggregates; the coordinator reassembles them in arrival
+// order (per-connection FIFO makes that the send order).
+func (n *Node) SendCollectChunk(ch CollectChunk) error {
+	c, err := n.coord.get(n.shutdown)
+	if err != nil {
+		return err
+	}
+	return c.sendJSON(FrameCollectChunk, &ch)
+}
+
+// StartHeartbeat begins the node's liveness/metrics heartbeat toward the
+// coordinator: every interval, a Heartbeat frame with an increasing Seq
+// and the node's cumulative wire counters. The goroutine exits on
+// shutdown or the first send error (a dead coordinator link needs no
+// further liveness reports). Idempotent; interval must be positive.
+func (n *Node) StartHeartbeat(interval time.Duration) {
+	n.hbOnce.Do(func() {
+		go func() {
+			tick := time.NewTicker(interval)
+			defer tick.Stop()
+			var seq uint64
+			for {
+				select {
+				case <-n.shutdown:
+					return
+				case <-tick.C:
+				}
+				c, err := n.coord.get(n.shutdown)
+				if err != nil {
+					return
+				}
+				seq++
+				hb := Heartbeat{Node: n.idx, Seq: seq, Net: n.nc.snapshot()}
+				if err := c.sendJSON(FrameHeartbeat, &hb); err != nil {
+					return
+				}
+			}
+		}()
+	})
+}
+
 // NetStats snapshots the node's wire-level traffic counters, summed over
 // every connection.
 func (n *Node) NetStats() NetStats { return n.nc.snapshot() }
@@ -697,9 +821,11 @@ func (n *Node) HandleMem(h func(core geom.CoreID, req MemRequest) MemReply) { n.
 // Ready; a JobSubmit with no handler is protocol corruption.
 func (n *Node) HandleJob(h func(*JobSpec) error) { n.jobH = h }
 
-// HandleJobDone installs the retirement callback for JobDone frames.
-// Install before Ready.
-func (n *Node) HandleJobDone(h func(JobDone)) { n.jobDoneH = h }
+// HandleJobDone installs the retirement callback for JobDone frames. It
+// runs synchronously on the coordinator link's reader (like HandleJob) and
+// its JobRetired reply — slot clearance plus any reclaimed events — goes
+// straight back on the same connection. Install before Ready.
+func (n *Node) HandleJobDone(h func(JobDone) JobRetired) { n.jobDoneH = h }
 
 // SendMigration implements Transport: a channel push when dst is owned
 // locally, a deferred frame into the owning node's batch buffer otherwise —
@@ -792,15 +918,31 @@ func (n *Node) Remote(dst geom.CoreID, req MemRequest) (MemReply, error) {
 // mode it additionally broadcasts JobSubmit/JobDone frames and gathers the
 // per-node acks.
 type Coordinator struct {
-	man     Manifest
-	route   []int
-	conns   []*conn
-	nc      netCounters
-	halts   chan HaltMsg
-	colls   chan CollectReply
-	jobAcks chan JobAck
-	deaths  chan error
-	down    atomic.Bool // set by Shutdown/Close: reader exits become orderly
+	man      Manifest
+	route    []int
+	conns    []*conn
+	nc       netCounters
+	halts    chan HaltMsg
+	colls    chan CollectReply
+	jobAcks  chan JobAck
+	loadAcks chan LoadAck
+	retired  chan JobRetired
+	deaths   chan error
+	down     atomic.Bool // set by Shutdown/Close: reader exits become orderly
+
+	hbMu sync.Mutex
+	hb   map[int]HeartbeatInfo
+}
+
+// HeartbeatInfo is the coordinator's last-seen liveness record for one
+// node: the heartbeat's sequence number and wire counters, stamped with
+// the coordinator-side arrival time. Advisory only — it feeds timeout
+// diagnostics, never results.
+type HeartbeatInfo struct {
+	Node int
+	Seq  uint64
+	At   time.Time
+	Net  NetStats
 }
 
 // DialCluster connects to every node in the manifest, retrying until
@@ -810,13 +952,16 @@ func DialCluster(man Manifest, timeout time.Duration) (*Coordinator, error) {
 		return nil, err
 	}
 	co := &Coordinator{
-		man:     man,
-		route:   man.routes(),
-		conns:   make([]*conn, len(man.Nodes)),
-		halts:   make(chan HaltMsg, 4096),
-		colls:   make(chan CollectReply, len(man.Nodes)),
-		jobAcks: make(chan JobAck, len(man.Nodes)),
-		deaths:  make(chan error, len(man.Nodes)),
+		man:      man,
+		route:    man.routes(),
+		conns:    make([]*conn, len(man.Nodes)),
+		halts:    make(chan HaltMsg, 4096),
+		colls:    make(chan CollectReply, len(man.Nodes)),
+		jobAcks:  make(chan JobAck, len(man.Nodes)),
+		loadAcks: make(chan LoadAck, len(man.Nodes)),
+		retired:  make(chan JobRetired, len(man.Nodes)),
+		deaths:   make(chan error, len(man.Nodes)),
+		hb:       make(map[int]HeartbeatInfo),
 	}
 	for i, ns := range man.Nodes {
 		c, err := dialRetry(ns.Addr, timeout)
@@ -836,6 +981,10 @@ func DialCluster(man Manifest, timeout time.Duration) (*Coordinator, error) {
 }
 
 func (co *Coordinator) readLoop(node int, c *conn) {
+	// acc reassembles this node's streamed CollectChunks. Chunks for node i
+	// arrive only on node i's connection, so the accumulator is local to
+	// this reader — no lock, no cross-node interleaving.
+	var acc *CollectReply
 	err := readBatches(c.br, &co.nc, func(f Frame) error {
 		switch f.Kind {
 		case FrameHalt:
@@ -850,12 +999,56 @@ func (co *Coordinator) readLoop(node int, c *conn) {
 				return malformedf("collect reply: %v", err)
 			}
 			co.colls <- rep
+		case FrameCollectChunk:
+			var ch CollectChunk
+			if err := json.Unmarshal(f.Blob, &ch); err != nil {
+				return malformedf("collect chunk: %v", err)
+			}
+			if ch.Node != node {
+				return malformedf("collect chunk for node %d on node %d's connection", ch.Node, node)
+			}
+			if acc == nil {
+				acc = &CollectReply{Node: node, Mem: make(map[uint32]uint32)}
+			}
+			if ch.PerCore != nil {
+				acc.PerCore = append(acc.PerCore, *ch.PerCore)
+			}
+			acc.Events = append(acc.Events, ch.Events...)
+			for a, v := range ch.Mem {
+				acc.Mem[a] = v
+			}
+			if ch.Done {
+				acc.Counters = ch.Counters
+				acc.Net = ch.Net
+				co.colls <- *acc
+				acc = nil
+			}
 		case FrameJobAck:
 			var ack JobAck
 			if err := json.Unmarshal(f.Blob, &ack); err != nil {
 				return malformedf("job ack: %v", err)
 			}
 			co.jobAcks <- ack
+		case FrameLoadAck:
+			var ack LoadAck
+			if err := json.Unmarshal(f.Blob, &ack); err != nil {
+				return malformedf("load ack: %v", err)
+			}
+			co.loadAcks <- ack
+		case FrameJobRetired:
+			var ret JobRetired
+			if err := json.Unmarshal(f.Blob, &ret); err != nil {
+				return malformedf("job retired: %v", err)
+			}
+			co.retired <- ret
+		case FrameHeartbeat:
+			var hb Heartbeat
+			if err := json.Unmarshal(f.Blob, &hb); err != nil {
+				return malformedf("heartbeat: %v", err)
+			}
+			co.hbMu.Lock()
+			co.hb[node] = HeartbeatInfo{Node: node, Seq: hb.Seq, At: time.Now(), Net: hb.Net}
+			co.hbMu.Unlock()
 		default:
 			return malformedf("unexpected frame kind %d on the coordinator link", f.Kind)
 		}
@@ -878,7 +1071,8 @@ func (co *Coordinator) readLoop(node int, c *conn) {
 	}
 }
 
-// Load broadcasts the run description to every node.
+// Load broadcasts the run description to every node. Follow with
+// AwaitLoadAcks to learn whether every node actually installed it.
 func (co *Coordinator) Load(spec *LoadSpec) error {
 	for _, c := range co.conns {
 		if err := c.sendJSON(FrameLoad, spec); err != nil {
@@ -886,6 +1080,51 @@ func (co *Coordinator) Load(spec *LoadSpec) error {
 		}
 	}
 	return nil
+}
+
+// AwaitLoadAcks gathers one LoadAck per node: the barrier that turns a
+// node's load failure into its actual error message ("unknown scheme
+// …") instead of a bare connection death. A node that fails to load
+// sends its error ack and then exits, so when a death arrives the ack
+// that explains it may already be queued — pending acks are preferred
+// over deaths.
+func (co *Coordinator) AwaitLoadAcks(timeout time.Duration) error {
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	for acked := 0; acked < len(co.conns); acked++ {
+		var ack LoadAck
+		select {
+		case ack = <-co.loadAcks:
+		case err := <-co.deaths:
+			// The failing node's explanatory ack may have raced in ahead of
+			// its connection teardown; drain it before reporting the death.
+			select {
+			case ack = <-co.loadAcks:
+			default:
+				return err
+			}
+		case <-timer.C:
+			return fmt.Errorf("transport: load: %d of %d nodes acked before timeout", acked, len(co.conns))
+		}
+		if ack.Err != "" {
+			return fmt.Errorf("transport: node %d failed to load: %s", ack.Node, ack.Err)
+		}
+	}
+	return nil
+}
+
+// Heartbeats snapshots the last heartbeat seen from each node, sorted by
+// node index. Nodes that have not yet heartbeated are absent. Advisory:
+// use it to annotate timeouts, never to compute results.
+func (co *Coordinator) Heartbeats() []HeartbeatInfo {
+	co.hbMu.Lock()
+	infos := make([]HeartbeatInfo, 0, len(co.hb))
+	for _, hi := range co.hb {
+		infos = append(infos, hi)
+	}
+	co.hbMu.Unlock()
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Node < infos[j].Node })
+	return infos
 }
 
 // InjectEviction places an initial context: like the in-process machine,
@@ -952,16 +1191,38 @@ func (co *Coordinator) SubmitJob(spec *JobSpec, timeout time.Duration) error {
 	return nil
 }
 
-// RetireJob broadcasts a JobDone, clearing the job's slots on every node.
-// No ack: per-connection ordering guarantees a later JobSubmit reusing the
-// slots is processed after the retirement.
-func (co *Coordinator) RetireJob(d JobDone) error {
+// RetireJob broadcasts a JobDone and gathers one JobRetired per node —
+// the barrier that keeps the coordinator from reusing the job's slots or
+// memory region before every node cleared them. When d.Reclaim is set,
+// the merged reply carries the retired region's event-log entries
+// (removed from every node's shards; merge order is irrelevant because SC
+// checking orders events by home and sequence).
+func (co *Coordinator) RetireJob(d JobDone, timeout time.Duration) ([]Event, error) {
 	for _, c := range co.conns {
 		if err := c.sendJSON(FrameJobDone, &d); err != nil {
-			return err
+			return nil, err
 		}
 	}
-	return nil
+	var events []Event
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	for retired := 0; retired < len(co.conns); retired++ {
+		select {
+		case ret := <-co.retired:
+			if ret.Job != d.Job {
+				return nil, fmt.Errorf("transport: node %d retired job %d while job %d was retiring", ret.Node, ret.Job, d.Job)
+			}
+			if ret.Err != "" {
+				return nil, fmt.Errorf("transport: node %d failed to retire job %d: %s", ret.Node, d.Job, ret.Err)
+			}
+			events = append(events, ret.Events...)
+		case err := <-co.deaths:
+			return nil, err
+		case <-timer.C:
+			return nil, fmt.Errorf("transport: job %d: %d of %d nodes retired before timeout", d.Job, retired, len(co.conns))
+		}
+	}
+	return events, nil
 }
 
 // Collect broadcasts the collect request and gathers one reply per node.

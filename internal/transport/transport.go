@@ -20,6 +20,17 @@
 // never blocks delivering into it — the socket is always drained, writes
 // never stall, and the in-process deadlock-freedom argument becomes a
 // bounded-wire-credit argument (DESIGN.md §6).
+//
+// The control plane is sharded to keep the coordinator off the critical
+// path at paper scale (64–256 cores, 8+ nodes): injection defers into the
+// per-node batch buffers and ships as one write per node (O(nodes)
+// coordinator writes, not O(threads) round trips); loading is acknowledged
+// per node (LoadAck carries the node's actual failure message); collection
+// streams incrementally (CollectChunk per core, then a Done aggregate) so
+// no single control blob scales with a node's core count; job retirement
+// is a barrier (JobDone → JobRetired) that reclaims the job's shard words
+// and events; and node liveness rides an async Heartbeat frame instead of
+// being inferred from connection death.
 package transport
 
 import (

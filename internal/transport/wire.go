@@ -32,7 +32,13 @@ type FrameKind uint8
 // frames carry the serve lifecycle: JobSubmit broadcasts one job's thread
 // specs, JobAck confirms a node installed them (the coordinator injects the
 // job's contexts only after every node acked — a migration must never reach
-// a node before its specs did), and JobDone retires the job's slots.
+// a node before its specs did), JobDone retires the job's slots, and
+// JobRetired confirms the retirement and carries back the job's reclaimed
+// shard events. LoadAck, Heartbeat and CollectChunk shard the coordinator's
+// control plane at scale: LoadAck surfaces a node's actual load error (or
+// readiness) instead of a bare connection death, Heartbeat streams node
+// liveness and wire metrics asynchronously, and CollectChunk replaces the
+// single barrier CollectRep blob with an incremental per-core stream.
 const (
 	FrameHello FrameKind = iota + 1
 	FrameMigration
@@ -47,6 +53,10 @@ const (
 	FrameJobSubmit
 	FrameJobAck
 	FrameJobDone
+	FrameLoadAck
+	FrameHeartbeat
+	FrameCollectChunk
+	FrameJobRetired
 )
 
 const (
@@ -109,7 +119,7 @@ type Frame struct {
 	Ctx  []byte      // FrameMigration, FrameEviction: canonical Context bytes
 	Req  MemRequest  // FrameMemReq
 	Rep  MemReply    // FrameMemRep
-	Blob []byte      // FrameLoad, FrameHalt, FrameCollectRep: JSON body
+	Blob []byte      // control-plane kinds (Load, Halt, CollectRep, job/ack/heartbeat/chunk frames): JSON body
 }
 
 // The per-kind frame encoders below are shared by AppendFrame and the
@@ -165,7 +175,8 @@ func AppendFrame(b []byte, f Frame) []byte {
 		return appendMemReqFrame(b, f.Dst, f.ID, f.Req)
 	case FrameMemRep:
 		return appendMemRepFrame(b, f.ID, f.Rep)
-	case FrameLoad, FrameHalt, FrameCollectRep, FrameJobSubmit, FrameJobAck, FrameJobDone:
+	case FrameLoad, FrameHalt, FrameCollectRep, FrameJobSubmit, FrameJobAck, FrameJobDone,
+		FrameLoadAck, FrameHeartbeat, FrameCollectChunk, FrameJobRetired:
 		return appendBlobFrame(b, f.Kind, f.Blob)
 	case FrameCollect, FrameShutdown:
 		return append(b, byte(f.Kind)) // kind byte only
@@ -231,7 +242,8 @@ func parseFrame(b []byte) (Frame, int, error) {
 		f.ID = binary.BigEndian.Uint64(p)
 		f.Rep.Value = binary.BigEndian.Uint32(p[8:])
 		return f, 1 + memRepBody, nil
-	case FrameLoad, FrameHalt, FrameCollectRep, FrameJobSubmit, FrameJobAck, FrameJobDone:
+	case FrameLoad, FrameHalt, FrameCollectRep, FrameJobSubmit, FrameJobAck, FrameJobDone,
+		FrameLoadAck, FrameHeartbeat, FrameCollectChunk, FrameJobRetired:
 		if err := need(4); err != nil {
 			return Frame{}, 0, err
 		}
