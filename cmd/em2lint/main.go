@@ -1,0 +1,24 @@
+// Command em2lint is the repo's determinism/wire-invariant linter: a
+// multichecker over the internal/analysis suite (detrange, errsink,
+// framecheck, locksend, noclock) speaking the `go vet -vettool` protocol.
+//
+// Usage:
+//
+//	go build -o /tmp/em2lint ./cmd/em2lint
+//	go vet -vettool=/tmp/em2lint ./...
+//
+// `em2lint -list` prints the analyzers. CI runs the same invocation as the
+// blocking lint-em2 job; the suite's contract — what each analyzer
+// enforces, the historical bug behind it, and the annotation escape
+// hatches — is documented in DESIGN.md "Determinism invariants,
+// mechanically enforced".
+package main
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/analysis/unitchecker"
+)
+
+func main() {
+	unitchecker.Main(analysis.All()...)
+}

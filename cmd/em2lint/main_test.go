@@ -1,0 +1,54 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildLint compiles the real em2lint binary into a temp dir and returns
+// its path. Both tests drive the exact artifact CI uses, through the exact
+// `go vet -vettool` protocol — not the analyzers in-process.
+func buildLint(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "em2lint")
+	out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("building em2lint: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestVettoolFindsKnownBad runs the built binary over testdata/badmod, a
+// self-contained module violating every invariant, and asserts each of the
+// five analyzers reports at least one diagnostic through go vet.
+func TestVettoolFindsKnownBad(t *testing.T) {
+	bin := buildLint(t)
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	cmd.Dir = filepath.Join("testdata", "badmod")
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet over badmod exited clean; want diagnostics\n%s", out)
+	}
+	for _, name := range []string{"detrange", "errsink", "framecheck", "locksend", "noclock"} {
+		if !strings.Contains(string(out), "[em2lint/"+name+"]") {
+			t.Errorf("no %s diagnostic in go vet output:\n%s", name, out)
+		}
+	}
+}
+
+// TestVettoolRepoClean is the CLI twin of the internal/analysis
+// self-check: the tree itself must stay em2lint-clean, test files
+// included (the in-process self-check only loads non-test files).
+func TestVettoolRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-repo vet run in -short mode")
+	}
+	bin := buildLint(t)
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	cmd.Dir = filepath.Join("..", "..")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go vet -vettool=em2lint ./... not clean: %v\n%s", err, out)
+	}
+}

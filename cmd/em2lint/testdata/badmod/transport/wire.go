@@ -1,0 +1,40 @@
+// Package transport is a deliberately broken wire layer: the em2lint CLI
+// test runs `go vet -vettool=em2lint ./...` over this module and asserts
+// every analyzer reports it. FrameB is missing from both switches and no
+// _test.go file references any kind, so framecheck fires three ways.
+package transport
+
+// FrameKind tags a wire frame.
+type FrameKind uint8
+
+const (
+	FrameA FrameKind = iota + 1
+	FrameB
+)
+
+// AppendFrame forgets FrameB.
+func AppendFrame(b []byte, k FrameKind) []byte {
+	switch k {
+	case FrameA:
+		return append(b, byte(k))
+	}
+	return b
+}
+
+// parseFrame also forgets FrameB.
+func parseFrame(b []byte) (FrameKind, error) {
+	k := FrameKind(b[0])
+	switch k {
+	case FrameA:
+		return k, nil
+	}
+	return 0, nil
+}
+
+var _ = parseFrame
+
+// Transport carries the Send/Flush surface the machine package misuses.
+type Transport interface {
+	SendEviction(dst int) error
+	Flush() error
+}

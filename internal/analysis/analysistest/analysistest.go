@@ -1,0 +1,107 @@
+// Package analysistest runs em2lint analyzers over GOPATH-style fixture
+// trees and checks their diagnostics against `// want` expectations — the
+// testing idiom of golang.org/x/tools/go/analysis/analysistest, rebuilt on
+// the repo's from-source loader so it needs no dependencies.
+//
+// A fixture package lives at <testdata>/src/<import path>/; its import
+// path is what gates the deterministic-package analyzers, so fixtures pick
+// paths like "det/machine" (gated) or "det/other" (not). Expectations are
+// trailing comments:
+//
+//	for k := range m { // want `range over map`
+//
+// Each backquoted or double-quoted string after "want" is a regexp that
+// must match exactly one diagnostic reported on that line; diagnostics
+// with no matching expectation, and expectations with no matching
+// diagnostic, both fail the test.
+package analysistest
+
+import (
+	"regexp"
+	"strconv"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// wantRE captures the quoted regexps of a want comment.
+var wantRE = regexp.MustCompile("//\\s*want\\s+((?:(?:`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\")\\s*)+)")
+
+var chunkRE = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// Run loads each fixture package from testdata/src, applies a, and checks
+// the diagnostics against the fixtures' want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	loader := analysis.NewLoader(testdata)
+	for _, path := range pkgPaths {
+		lp, err := loader.Load(path)
+		if err != nil {
+			t.Errorf("load %s: %v", path, err)
+			continue
+		}
+		diags, err := analysis.RunAnalyzer(a, lp)
+		if err != nil {
+			t.Errorf("run %s on %s: %v", a.Name, path, err)
+			continue
+		}
+		check(t, a, lp, diags)
+	}
+}
+
+func check(t *testing.T, a *analysis.Analyzer, lp *analysis.LoadedPackage, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range lp.Files {
+		fname := lp.Fset.Position(f.Pos()).Filename
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				line := lp.Fset.Position(c.Pos()).Line
+				for _, chunk := range chunkRE.FindAllString(m[1], -1) {
+					pat, err := strconv.Unquote(chunk)
+					if err != nil {
+						t.Errorf("%s:%d: bad want pattern %s: %v", fname, line, chunk, err)
+						continue
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Errorf("%s:%d: bad want regexp %q: %v", fname, line, pat, err)
+						continue
+					}
+					wants = append(wants, &expectation{file: fname, line: line, re: re})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		posn := lp.Fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == posn.Filename && w.line == posn.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected %s diagnostic: %s", posn, a.Name, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: no %s diagnostic matched %q", w.file, w.line, a.Name, w.re)
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Detrange flags `range` over a map (and over maps.Keys/Values/All
+// iterators) inside deterministic packages. Go randomizes map iteration
+// order per run, so any map walk whose body's effect depends on visit order
+// — appending rows to a report, sending frames, accumulating
+// floating-point sums — silently breaks the bit-identical contract.
+//
+// Three shapes are allowed without annotation:
+//
+//   - `for range m { ... }`: no iteration variables, every trip identical.
+//   - a body that only collects keys, `for k := range m { ks = append(ks, k) }`
+//     — the canonical collect-then-sort idiom (the sort follows the loop).
+//   - a line annotated `//em2:unordered-ok: <why>`.
+//
+// The historical bug this would have caught: PR 1 found sim's TableT1
+// emitting rows straight out of a map walk, byte-different across runs
+// until the cells were restructured around sorted keys.
+var Detrange = &Analyzer{
+	Name: "detrange",
+	Doc:  "flag nondeterministic map iteration in deterministic packages",
+	Run:  runDetrange,
+}
+
+func runDetrange(pass *Pass) error {
+	if !deterministicPkg(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			over := rangeOverUnordered(pass.TypesInfo, rs)
+			if over == "" {
+				return true
+			}
+			if rs.Key == nil && rs.Value == nil {
+				return true // for range m {}: order cannot be observed
+			}
+			if keyCollectOnly(rs) {
+				return true
+			}
+			if annotated(pass, rs.Pos(), markUnorderedOK) {
+				return true
+			}
+			pass.Reportf(rs.Pos(),
+				"range over %s has nondeterministic iteration order in deterministic package %s; sort the keys first or annotate //em2:unordered-ok: <why>",
+				over, pass.Pkg.Path())
+			return true
+		})
+	}
+	return nil
+}
+
+// rangeOverUnordered classifies what rs ranges over: "map ..." for map
+// types, "maps.Keys(...)" style for the unordered stdlib map iterators, or
+// "" for ordered sequences.
+func rangeOverUnordered(info *types.Info, rs *ast.RangeStmt) string {
+	tv := info.TypeOf(rs.X)
+	if tv != nil {
+		if _, ok := tv.Underlying().(*types.Map); ok {
+			return "map " + types.ExprString(rs.X)
+		}
+	}
+	// maps.Keys/Values/All return iterators that inherit map order.
+	if call, ok := ast.Unparen(rs.X).(*ast.CallExpr); ok {
+		if fn := calleeFunc(info, call); fn != nil && fn.Pkg() != nil &&
+			fn.Pkg().Path() == "maps" {
+			switch fn.Name() {
+			case "Keys", "Values", "All":
+				return "maps." + fn.Name() + "(...)"
+			}
+		}
+	}
+	return ""
+}
+
+// keyCollectOnly reports whether every statement of rs's body is
+// `x = append(x, k)` where k is rs's key variable — the collect-keys idiom
+// whose result the caller is expected to sort. The value variable must be
+// absent (or blank): capturing values order-dependently disqualifies the
+// loop.
+func keyCollectOnly(rs *ast.RangeStmt) bool {
+	key, ok := rs.Key.(*ast.Ident)
+	if !ok || key.Name == "_" {
+		return false
+	}
+	if v, ok := rs.Value.(*ast.Ident); rs.Value != nil && (!ok || v.Name != "_") {
+		return false
+	}
+	if len(rs.Body.List) == 0 {
+		return false
+	}
+	for _, st := range rs.Body.List {
+		as, ok := st.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return false
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok || len(call.Args) != 2 {
+			return false
+		}
+		if fun, ok := call.Fun.(*ast.Ident); !ok || fun.Name != "append" {
+			return false
+		}
+		if types.ExprString(call.Args[0]) != types.ExprString(as.Lhs[0]) {
+			return false
+		}
+		if arg, ok := call.Args[1].(*ast.Ident); !ok || arg.Name != key.Name {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,125 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Errsink flags discarded error results from the calls whose failures the
+// runtime must propagate: transport Send*/Flush (a dead wire must park the
+// part, not spin — PR 7's dead-transport fix) and machine Part lifecycle
+// calls (Start, StartServe, SetThread, ApplyJob, CollectChunked — a
+// swallowed load failure is exactly the silent node death the load-ack
+// barrier exists to surface). Both the bare-statement form and the
+// explicit `_ =` discard are flagged: a deliberate discard must say why,
+// as `//em2:errsink-ok: <why>` on the line.
+var Errsink = &Analyzer{
+	Name: "errsink",
+	Doc:  "flag discarded errors from transport sends/flushes and Part lifecycle calls",
+	Run:  runErrsink,
+}
+
+func runErrsink(pass *Pass) error {
+	if !deterministicPkg(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			switch st := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = st.X.(*ast.CallExpr)
+			case *ast.AssignStmt:
+				// Only the single-value form `_ = call` can discard the
+				// error of the tracked calls (each returns just an error).
+				if len(st.Lhs) == 1 && len(st.Rhs) == 1 {
+					if id, ok := st.Lhs[0].(*ast.Ident); ok && id.Name == "_" {
+						call, _ = st.Rhs[0].(*ast.CallExpr)
+					}
+				}
+			case *ast.GoStmt:
+				call = st.Call
+			case *ast.DeferStmt:
+				call = st.Call
+			}
+			if call == nil || !errsinkTracked(pass.TypesInfo, call) {
+				return true
+			}
+			if annotated(pass, call.Pos(), markErrsinkOK) {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"error result of %s is discarded; transport and Part failures must propagate (or annotate //em2:errsink-ok: <why>)",
+				types.ExprString(call.Fun))
+			return true
+		})
+	}
+	return nil
+}
+
+// partLifecycle is the set of Part methods whose error results carry load
+// or lifecycle failures.
+var partLifecycle = map[string]bool{
+	"Start":          true,
+	"StartServe":     true,
+	"SetThread":      true,
+	"ApplyJob":       true,
+	"CollectChunked": true,
+}
+
+// errsinkTracked reports whether call invokes a method whose discarded
+// error errsink polices: a transport Send*/Flush, or a Part lifecycle
+// method, in either case returning an error as its only result.
+func errsinkTracked(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return false
+	}
+	sig := fn.Signature()
+	if sig.Recv() == nil {
+		return false
+	}
+	if res := sig.Results(); res.Len() != 1 || !isErrorType(res.At(0).Type()) {
+		return false
+	}
+	name := fn.Name()
+	if fromTransportPackage(fn) {
+		return name == "Flush" || (strings.HasPrefix(name, "Send") && len(name) > 4)
+	}
+	if !partLifecycle[name] {
+		return false
+	}
+	return recvNamed(sig) == "Part" && fromMachinePackage(fn)
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// recvNamed returns the name of the receiver's (possibly pointer-stripped)
+// named type, or "".
+func recvNamed(sig *types.Signature) string {
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// fromMachinePackage reports whether obj is declared in a package with a
+// "machine" path segment.
+func fromMachinePackage(obj types.Object) bool {
+	if obj.Pkg() == nil {
+		return false
+	}
+	for _, seg := range strings.Split(obj.Pkg().Path(), "/") {
+		if seg == "machine" {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,139 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// This file is the suite's second driver: a from-source package loader for
+// environments with no compiled export data — the analysistest fixture
+// corpora (GOPATH-style trees under testdata/src) and the full-repo
+// self-check (a temporary GOPATH whose src/repro is a symlink to the repo
+// root). The first driver, the unitchecker subpackage, consumes the export
+// data `go vet` hands it; this one type-checks everything, dependencies
+// included, from source via go/importer's "source" compiler, so it works
+// offline and without a build cache.
+//
+// The "source" importer resolves through the process-global build.Default
+// context, so loads are serialized under loadMu and the context is
+// restored after each load. A Loader retains its importer across Load
+// calls: the self-check walks every repo package with one stdlib
+// type-check, not one per package.
+
+var loadMu sync.Mutex
+
+// A Loader type-checks packages from source out of one GOPATH directory.
+type Loader struct {
+	gopath string
+	fset   *token.FileSet
+	imp    types.Importer
+}
+
+// NewLoader returns a Loader rooted at gopath (packages live under
+// gopath/src/<import path>). A relative gopath is resolved against the
+// current directory — the go/build machinery requires GOPATH absolute.
+func NewLoader(gopath string) *Loader {
+	if abs, err := filepath.Abs(gopath); err == nil {
+		gopath = abs
+	}
+	return &Loader{gopath: gopath}
+}
+
+// A LoadedPackage bundles the inputs an analyzer Pass needs.
+type LoadedPackage struct {
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+}
+
+// Load parses and type-checks the package at importPath (non-test files
+// only, matching the `go vet ./...` unit) and returns the Pass inputs.
+func (l *Loader) Load(importPath string) (*LoadedPackage, error) {
+	loadMu.Lock()
+	defer loadMu.Unlock()
+
+	saved := build.Default
+	build.Default.GOPATH = l.gopath
+	build.Default.CgoEnabled = false // pure-Go stdlib variants (net, os/user)
+	defer func() { build.Default = saved }()
+
+	// go/build resolves imports by shelling out to the module-aware go
+	// command whenever the process sits inside a module (as tests do);
+	// that path knows nothing about our synthetic GOPATH. GO111MODULE=off
+	// forces the in-process GOPATH/src lookup for the duration of the load.
+	savedMod, hadMod := os.LookupEnv("GO111MODULE")
+	os.Setenv("GO111MODULE", "off")
+	defer func() {
+		if hadMod {
+			os.Setenv("GO111MODULE", savedMod)
+		} else {
+			os.Unsetenv("GO111MODULE")
+		}
+	}()
+
+	if l.fset == nil {
+		l.fset = token.NewFileSet()
+		l.imp = importer.ForCompiler(l.fset, "source", nil)
+	}
+
+	dir := filepath.Join(l.gopath, "src", filepath.FromSlash(importPath))
+	bp, err := build.Default.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: list %s: %w", importPath, err)
+	}
+	names := append([]string(nil), bp.GoFiles...)
+	sort.Strings(names)
+
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+
+	info := &types.Info{
+		Types: make(map[ast.Expr]types.TypeAndValue),
+		Defs:  make(map[*ast.Ident]types.Object),
+		Uses:  make(map[*ast.Ident]types.Object),
+	}
+	conf := types.Config{Importer: l.imp}
+	pkg, err := conf.Check(importPath, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: typecheck %s: %w", importPath, err)
+	}
+	return &LoadedPackage{Fset: l.fset, Files: files, Pkg: pkg, TypesInfo: info}, nil
+}
+
+// RunAnalyzer applies a to lp and returns the diagnostics sorted by
+// position.
+func RunAnalyzer(a *Analyzer, lp *LoadedPackage) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      lp.Fset,
+		Files:     lp.Files,
+		Pkg:       lp.Pkg,
+		TypesInfo: lp.TypesInfo,
+		Report:    func(d Diagnostic) { diags = append(diags, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, lp.Pkg.Path(), err)
+	}
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	return diags, nil
+}

@@ -1,0 +1,206 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Locksend flags transport Send*/Flush calls made while a sync.Mutex or
+// sync.RWMutex is held. A remote send can block on the wire (begin() waits
+// for a mid-flush buffer at its caps; Write stalls on a full socket), so a
+// send or flush under a shard or part lock couples wire backpressure to
+// the lock that memory requests need — the flush-under-lock deadlock class
+// that PR 7's sticky-failure abort brushed against.
+//
+// The tracking is intra-function and block-structured: a `mu.Lock()` (or
+// `RLock`) statement marks mu held for the following statements of its
+// block (and their nested blocks) until a matching `mu.Unlock()` statement;
+// `defer mu.Unlock()` holds it to the end of the function. Function
+// literals are not entered — they run later, under whatever locks their
+// caller then holds. A site a human has argued safe carries
+// `//em2:locksend-ok: <why>`.
+var Locksend = &Analyzer{
+	Name: "locksend",
+	Doc:  "flag transport Send*/Flush calls made while a mutex is held",
+	Run:  runLocksend,
+}
+
+func runLocksend(pass *Pass) error {
+	if !deterministicPkg(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ls := &lockScan{pass: pass}
+			ls.block(fd.Body.List, map[string]bool{})
+		}
+	}
+	return nil
+}
+
+type lockScan struct {
+	pass *Pass
+}
+
+// block walks stmts in order, threading the set of held mutexes (keyed by
+// the rendered receiver expression, e.g. "s.mu").
+func (ls *lockScan) block(stmts []ast.Stmt, held map[string]bool) {
+	for _, st := range stmts {
+		switch st := st.(type) {
+		case *ast.ExprStmt:
+			if mu, op := mutexOp(ls.pass.TypesInfo, st.X); mu != "" {
+				if op == "Lock" {
+					held[mu] = true
+				} else {
+					delete(held, mu)
+				}
+				continue
+			}
+		case *ast.DeferStmt:
+			// defer mu.Unlock() releases at return: the lock stays held for
+			// the remainder of the body. Other defers may contain sends —
+			// they run after the body, possibly still under other locks, so
+			// scan their call for sends too.
+			if mu, op := mutexOp(ls.pass.TypesInfo, st.Call); mu != "" && op == "Unlock" {
+				continue
+			}
+		}
+		ls.checkSends(st, held)
+		ls.subBlocks(st, held)
+	}
+}
+
+// subBlocks recurses into st's nested statement blocks with a copy of the
+// held set: a branch that locks without unlocking does not poison its
+// siblings, and a branch that unlocks does not clear the path after the
+// statement (conservative in the direction of missing exotic flows rather
+// than crying wolf).
+func (ls *lockScan) subBlocks(st ast.Stmt, held map[string]bool) {
+	copyHeld := func() map[string]bool {
+		h := make(map[string]bool, len(held))
+		for k := range held {
+			h[k] = true
+		}
+		return h
+	}
+	switch st := st.(type) {
+	case *ast.BlockStmt:
+		ls.block(st.List, copyHeld())
+	case *ast.IfStmt:
+		ls.block(st.Body.List, copyHeld())
+		if st.Else != nil {
+			ls.subBlocks(st.Else, held)
+		}
+	case *ast.ForStmt:
+		ls.block(st.Body.List, copyHeld())
+	case *ast.RangeStmt:
+		ls.block(st.Body.List, copyHeld())
+	case *ast.SwitchStmt:
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				ls.block(cc.Body, copyHeld())
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				ls.block(cc.Body, copyHeld())
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				ls.block(cc.Body, copyHeld())
+			}
+		}
+	case *ast.LabeledStmt:
+		ls.subBlocks(st.Stmt, held)
+	}
+}
+
+// checkSends reports any transport send/flush call inside st's expressions
+// while a lock is held. Nested function literals and nested statement
+// blocks are skipped (blocks are walked by subBlocks with their own held
+// set; literals run later).
+func (ls *lockScan) checkSends(st ast.Stmt, held map[string]bool) {
+	if len(held) == 0 {
+		return
+	}
+	ast.Inspect(st, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit, *ast.BlockStmt:
+			return false
+		case *ast.CallExpr:
+			if !isTransportSend(ls.pass.TypesInfo, n) {
+				return true
+			}
+			if annotated(ls.pass, n.Pos(), markLocksendOK) {
+				return true
+			}
+			ls.pass.Reportf(n.Pos(),
+				"%s called while %s is held: a blocking send/flush under a lock couples wire backpressure to the lock; release it first or annotate //em2:locksend-ok: <why>",
+				types.ExprString(n.Fun), heldNames(held))
+		}
+		return true
+	})
+}
+
+// mutexOp reports whether e is a Lock/RLock/Unlock/RUnlock call on a
+// sync.Mutex or sync.RWMutex value, returning the rendered receiver and
+// "Lock" or "Unlock" (read variants normalized).
+func mutexOp(info *types.Info, e ast.Expr) (mu, op string) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return "", ""
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", ""
+	}
+	switch fn.Name() {
+	case "Lock", "RLock":
+		op = "Lock"
+	case "Unlock", "RUnlock":
+		op = "Unlock"
+	default:
+		return "", ""
+	}
+	return types.ExprString(sel.X), op
+}
+
+// isTransportSend reports whether call invokes a Send* or Flush method
+// declared by the transport layer (a package with a "transport" path
+// segment — the Transport interface, the Coordinator/Node endpoints, or a
+// fixture stand-in).
+func isTransportSend(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Signature().Recv() == nil {
+		return false
+	}
+	name := fn.Name()
+	if name != "Flush" && !(strings.HasPrefix(name, "Send") && len(name) > 4) {
+		return false
+	}
+	return fromTransportPackage(fn)
+}
+
+// heldNames renders the held set sorted — deterministic output for
+// deterministic linting.
+func heldNames(held map[string]bool) string {
+	var names []string
+	for k := range held {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}

@@ -1,0 +1,104 @@
+package analysis_test
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// TestSelfCheckRepoClean pins the analyzer suite against regressions from
+// both directions: the full-repo run must produce zero diagnostics, so a
+// new violation anywhere in the tree fails `go test ./internal/analysis`
+// even without the CI lint-em2 job — and an analyzer that starts crying
+// wolf on existing, argued-safe code fails the same way. It is the
+// loader-based twin of CI's `go vet -vettool=em2lint ./...`.
+func TestSelfCheckRepoClean(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A GOPATH whose src/repro is the repo root lets the from-source
+	// loader resolve the module's own import paths.
+	gopath := t.TempDir()
+	if err := os.Mkdir(filepath.Join(gopath, "src"), 0o777); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Symlink(root, filepath.Join(gopath, "src", "repro")); err != nil {
+		t.Skipf("cannot symlink the repo into a GOPATH: %v", err)
+	}
+
+	pkgs := repoPackages(t, root)
+	if len(pkgs) < 10 {
+		t.Fatalf("found only %d repo packages (%v); the walk is broken", len(pkgs), pkgs)
+	}
+
+	loader := analysis.NewLoader(gopath)
+	total := 0
+	for _, path := range pkgs {
+		lp, err := loader.Load(path)
+		if err != nil {
+			t.Fatalf("load %s: %v", path, err)
+		}
+		for _, a := range analysis.All() {
+			diags, err := analysis.RunAnalyzer(a, lp)
+			if err != nil {
+				t.Fatalf("%s on %s: %v", a.Name, path, err)
+			}
+			for _, d := range diags {
+				total++
+				t.Errorf("%s: %s [em2lint/%s]", lp.Fset.Position(d.Pos), d.Message, a.Name)
+			}
+		}
+	}
+	if total > 0 {
+		t.Errorf("em2lint self-check: %d diagnostics; the tree must stay lint-clean (fix the sites or annotate them with a justification)", total)
+	}
+}
+
+// repoPackages walks the repo for directories holding non-test Go files
+// and returns their repro/... import paths, sorted.
+func repoPackages(t *testing.T, root string) []string {
+	t.Helper()
+	var pkgs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (strings.HasPrefix(name, ".") || name == "testdata") {
+			return filepath.SkipDir
+		}
+		entries, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		for _, e := range entries {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+				rel, err := filepath.Rel(root, path)
+				if err != nil {
+					return err
+				}
+				if rel == "." {
+					pkgs = append(pkgs, "repro")
+				} else {
+					pkgs = append(pkgs, "repro/"+filepath.ToSlash(rel))
+				}
+				break
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(pkgs)
+	return pkgs
+}

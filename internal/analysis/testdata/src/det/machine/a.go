@@ -1,0 +1,64 @@
+// Package machine is a detrange fixture: its import path carries the
+// "machine" segment, so it is gated as deterministic.
+package machine
+
+import (
+	"maps"
+	"sort"
+)
+
+// rows builds output straight out of a map walk: flagged.
+func rows(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `range over map m has nondeterministic iteration order`
+		out = append(out, k+"x")
+	}
+	return out
+}
+
+// values captures map values order-dependently: flagged.
+func values(m map[string]int) []int {
+	var out []int
+	for _, v := range m { // want `range over map m`
+		out = append(out, v)
+	}
+	return out
+}
+
+// iterKeys walks the maps.Keys iterator order-dependently: flagged.
+func iterKeys(m map[string]int) []string {
+	var out []string
+	for k := range maps.Keys(m) { // want `range over maps\.Keys\(\.\.\.\)`
+		out = append(out, k+"!")
+	}
+	return out
+}
+
+// sortedKeys is the canonical collect-then-sort idiom: allowed.
+func sortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// count has no iteration variables, so order cannot be observed: allowed.
+func count(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// sum is order-dependent in general but argued safe: annotated.
+func sum(m map[string]int) int {
+	s := 0
+	//em2:unordered-ok: commutative integer sum
+	for _, v := range m {
+		s += v
+	}
+	return s
+}

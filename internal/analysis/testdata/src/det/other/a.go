@@ -1,0 +1,11 @@
+// Package other is a detrange negative fixture: its import path has no
+// deterministic segment, so nothing here is flagged.
+package other
+
+func f(m map[int]int) int {
+	t := 0
+	for _, v := range m {
+		t += v
+	}
+	return t
+}

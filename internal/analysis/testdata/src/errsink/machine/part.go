@@ -1,0 +1,11 @@
+// Package machine is the errsink fixtures' Part stand-in: lifecycle
+// methods returning error, plus Stop (no error) as the negative case.
+package machine
+
+type Part struct{}
+
+func (p *Part) Start() error          { return nil }
+func (p *Part) StartServe(int) error  { return nil }
+func (p *Part) SetThread(int) error   { return nil }
+func (p *Part) Stop()                 {}
+func (p *Part) CollectChunked() error { return nil }

@@ -1,0 +1,26 @@
+// Package serve is the errsink fixture ("serve" segment: deterministic).
+package serve
+
+import (
+	"errsink/machine"
+	"errsink/transport"
+)
+
+func bad(tr transport.Transport, p *machine.Part) {
+	tr.Flush()             // want `error result of tr\.Flush is discarded`
+	_ = tr.SendEviction(1) // want `error result of tr\.SendEviction is discarded`
+	p.Start()              // want `error result of p\.Start is discarded`
+	go p.CollectChunked()  // want `error result of p\.CollectChunked is discarded`
+}
+
+func good(tr transport.Transport, p *machine.Part) error {
+	if err := tr.Flush(); err != nil {
+		return err
+	}
+	p.Stop() // no error result: not tracked
+	return p.Start()
+}
+
+func annotated(tr transport.Transport) {
+	_ = tr.Flush() // em2:errsink-ok: fixture proves the annotation
+}

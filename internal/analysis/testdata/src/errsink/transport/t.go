@@ -1,0 +1,8 @@
+// Package transport is the errsink fixtures' transport stand-in.
+package transport
+
+type Transport interface {
+	SendMigration(dst int) error
+	SendEviction(dst int) error
+	Flush() error
+}

@@ -1,0 +1,31 @@
+// Package transport is a framecheck fixture: it declares a FrameKind with
+// deliberate coverage holes. FrameC is encoded but not decoded; FrameD is
+// decoded but not encoded and appears in no test file (wire_test.go in
+// this directory references A, B and C only).
+package transport
+
+type FrameKind uint8
+
+const (
+	FrameA FrameKind = iota + 1
+	FrameB
+	FrameC // want `FrameC is not handled by any case of the parseFrame decode switch`
+	FrameD // want `FrameD is not handled by any case of the AppendFrame encode switch` `FrameD appears in no _test.go file`
+)
+
+func AppendFrame(b []byte, k FrameKind) []byte {
+	switch k {
+	case FrameA, FrameB, FrameC:
+		return append(b, byte(k))
+	}
+	return b
+}
+
+func parseFrame(b []byte) FrameKind {
+	k := FrameKind(b[0])
+	switch k {
+	case FrameA:
+	case FrameB, FrameD:
+	}
+	return k
+}

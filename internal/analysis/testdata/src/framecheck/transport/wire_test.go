@@ -1,0 +1,8 @@
+package transport
+
+// The fixture's round-trip corpus: references FrameA, FrameB and FrameC.
+// FrameD is deliberately absent — framecheck's test-coverage arm reads
+// this file from disk (the loader never compiles fixture test files).
+func roundTripAll() []FrameKind {
+	return []FrameKind{FrameA, FrameB, FrameC}
+}

@@ -1,0 +1,68 @@
+// Package machine is the locksend fixture ("machine" segment:
+// deterministic).
+package machine
+
+import (
+	"sync"
+
+	"locksend/transport"
+)
+
+type part struct {
+	mu sync.Mutex
+	tr transport.Transport
+}
+
+func (p *part) flushUnderLock() {
+	p.mu.Lock()
+	p.tr.Flush() // want `p\.tr\.Flush called while p\.mu is held`
+	p.mu.Unlock()
+}
+
+func (p *part) sendUnderDeferredUnlock() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	_ = p.tr.SendMigration(1) // want `p\.tr\.SendMigration called while p\.mu is held`
+}
+
+func (p *part) sendAfterUnlock() {
+	p.mu.Lock()
+	x := 1
+	p.mu.Unlock()
+	_ = p.tr.SendMigration(x)
+}
+
+func (p *part) branches(cond bool) {
+	if cond {
+		p.mu.Lock()
+		_ = p.tr.Flush() // want `called while p\.mu is held`
+		p.mu.Unlock()
+	}
+	_ = p.tr.Flush() // after the branch: nothing held on this path
+}
+
+// goroutineBody is not entered: the literal runs later, under whatever
+// locks its caller then holds.
+func (p *part) goroutineBody() {
+	p.mu.Lock()
+	go func() { _ = p.tr.Flush() }()
+	p.mu.Unlock()
+}
+
+type pred struct{}
+
+func (pred) Flush() {}
+
+// predFlush: a Flush outside the transport layer (a predictor's
+// end-of-stream flush) is not a wire operation.
+func (p *part) predFlush() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	pred{}.Flush()
+}
+
+func (p *part) annotated() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	_ = p.tr.Flush() // em2:locksend-ok: fixture proves the annotation
+}

@@ -1,0 +1,10 @@
+// Package transport is the locksend fixtures' stand-in for the repo's
+// transport layer: what matters to the analyzer is the "transport" path
+// segment and the Send*/Flush method names.
+package transport
+
+type Transport interface {
+	SendMigration(dst int) error
+	SendEviction(dst int) error
+	Flush() error
+}

@@ -1,0 +1,33 @@
+// Package sim is a noclock fixture ("sim" segment: deterministic).
+package sim
+
+import (
+	"math/rand"
+	"time"
+)
+
+func bad() int64 {
+	t := time.Now()              // want `wall-clock call time.Now`
+	time.Sleep(time.Millisecond) // want `wall-clock call time.Sleep`
+	_ = time.Since(t)            // want `wall-clock call time.Since`
+	tick := time.NewTicker(1)    // want `wall-clock call time.NewTicker`
+	tick.Stop()
+	return int64(rand.Intn(10)) // want `global math/rand call rand.Intn`
+}
+
+// good draws from injected seeded state; rand.New/NewSource construct that
+// state and are allowed, and methods on *rand.Rand are never flagged.
+func good(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+
+// timer construction with an injected timeout is a failure-path tool, not
+// a wall-clock read: allowed.
+func timeout(d time.Duration) *time.Timer {
+	return time.NewTimer(d)
+}
+
+func annotatedOK() time.Time {
+	return time.Now() // em2:wallclock-ok: fixture proves the annotation
+}

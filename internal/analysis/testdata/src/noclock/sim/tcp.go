@@ -1,0 +1,16 @@
+package sim
+
+import "time"
+
+// dialRetry matches the embedded allowlist entry "tcp.go dialRetry" (file
+// base name + function): no diagnostic despite the wall-clock reads.
+func dialRetry() time.Time {
+	time.Sleep(time.Millisecond)
+	return time.Now()
+}
+
+// notAllowed is in tcp.go but not in the allowlist: still flagged — the
+// allowlist is per-function, not per-file.
+func notAllowed() time.Time {
+	return time.Now() // want `wall-clock call time.Now`
+}

@@ -1,0 +1,290 @@
+// Package unitchecker makes the em2lint suite runnable under
+// `go vet -vettool=em2lint`. It speaks cmd/go's (unpublished) vet tool
+// protocol with only the standard library — the shape of
+// golang.org/x/tools/go/analysis/unitchecker, reimplemented because this
+// repo vendors no dependencies:
+//
+//   - `em2lint -V=full` prints a single "<exe> version em2lint-<hash>" line;
+//     cmd/go folds it into the vet action's cache key, so rebuilding the
+//     tool invalidates cached vet results.
+//   - `em2lint -flags` prints a JSON description of the tool's flags;
+//     cmd/go queries it to validate user-supplied vet flags.
+//   - `em2lint <dir>/vet.cfg` analyzes one package unit: the config names
+//     the unit's Go files and maps each dependency's import path to its
+//     compiled export data, which go/importer's gc importer reads back via
+//     the lookup hook. Diagnostics go to stderr as file:line:col lines and
+//     the exit status is 2 when any were reported, so `go vet` fails the
+//     package.
+//
+// Dependency units arrive with VetxOnly set (cmd/go wants only analysis
+// facts from them); em2lint's analyzers are all package-local, so the tool
+// just writes the (empty) facts file — which also lets cmd/go cache the
+// unit and skip it entirely on the next run.
+package unitchecker
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Config is the JSON the go command writes to <objdir>/vet.cfg for each
+// package unit — the fields of cmd/go/internal/work.vetConfig that em2lint
+// consumes (unknown fields are ignored by encoding/json).
+type Config struct {
+	ID            string
+	Compiler      string
+	Dir           string
+	ImportPath    string
+	GoVersion     string
+	GoFiles       []string
+	ImportMap     map[string]string
+	PackageFile   map[string]string
+	VetxOnly      bool
+	VetxOutput    string
+	Standard      map[string]bool
+	ModulePath    string
+	ModuleVersion string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// Main runs the vet tool protocol for the given analyzers and exits. It is
+// the whole body of cmd/em2lint's main.
+func Main(analyzers ...*analysis.Analyzer) {
+	progname, _ := os.Executable()
+	flag.Var(versionFlag{}, "V", "print version and exit (go vet protocol)")
+	flagsJSON := flag.Bool("flags", false, "print the tool's flags as JSON and exit (go vet protocol)")
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: %s [-list] <vet.cfg>\n\n", progname)
+		fmt.Fprintf(os.Stderr, "em2lint is this repo's determinism/wire-invariant linter; run it via\n")
+		fmt.Fprintf(os.Stderr, "  go vet -vettool=$(command -v em2lint or a built path) ./...\n\nAnalyzers:\n")
+		printAnalyzers(os.Stderr, analyzers)
+	}
+	flag.Parse()
+
+	if *flagsJSON {
+		// cmd/go unmarshals [{Name,Bool,Usage}, ...]; em2lint adds no
+		// analyzer flags of its own, so advertise none (the protocol flags
+		// themselves must not be re-passed per package).
+		fmt.Println("[]")
+		os.Exit(0)
+	}
+	if *list {
+		printAnalyzers(os.Stdout, analyzers)
+		os.Exit(0)
+	}
+	args := flag.Args()
+	if len(args) != 1 || !strings.HasSuffix(args[0], ".cfg") {
+		flag.Usage()
+		os.Exit(1)
+	}
+	os.Exit(run(args[0], analyzers))
+}
+
+func printAnalyzers(w io.Writer, analyzers []*analysis.Analyzer) {
+	for _, a := range analyzers {
+		fmt.Fprintf(w, "  %-11s %s\n", a.Name, a.Doc)
+	}
+}
+
+// versionFlag implements the -V=full protocol: one line whose third field
+// embeds a content hash of the binary, so the go command's vet cache key
+// changes whenever the tool is rebuilt. (The field must not be the literal
+// "devel", which cmd/go reserves for toolchain builds carrying a buildID.)
+type versionFlag struct{}
+
+func (versionFlag) IsBoolFlag() bool { return true }
+func (versionFlag) String() string   { return "" }
+func (versionFlag) Set(s string) error {
+	if s != "full" {
+		return fmt.Errorf("unsupported flag value: -V=%s", s)
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return err
+	}
+	fmt.Printf("%s version em2lint-%x\n", exe, h.Sum(nil)[:12])
+	os.Exit(0)
+	return nil
+}
+
+// run analyzes the single package unit described by cfgPath and returns
+// the process exit code.
+func run(cfgPath string, analyzers []*analysis.Analyzer) int {
+	cfg, err := readConfig(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+
+	// The facts file doubles as cmd/go's cache token for this unit; em2lint
+	// has no cross-package facts, so it is always empty — written before
+	// analysis so even a diagnostic-bearing run caches.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	files, info, pkg, err := typecheck(fset, cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "%s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+
+	var diags []struct {
+		pos  token.Position
+		msg  string
+		name string
+	}
+	sorted := append([]*analysis.Analyzer(nil), analyzers...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+	for _, a := range sorted {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			Report: func(d analysis.Diagnostic) {
+				diags = append(diags, struct {
+					pos  token.Position
+					msg  string
+					name string
+				}{fset.Position(d.Pos), d.Message, a.Name})
+			},
+		}
+		if err := a.Run(pass); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: analyzer %s: %v\n", cfg.ImportPath, a.Name, err)
+			return 1
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.pos.Filename != b.pos.Filename {
+			return a.pos.Filename < b.pos.Filename
+		}
+		if a.pos.Line != b.pos.Line {
+			return a.pos.Line < b.pos.Line
+		}
+		return a.name < b.name
+	})
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s [em2lint/%s]\n", d.pos, d.msg, d.name)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+func readConfig(path string) (*Config, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	cfg := new(Config)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("parsing vet config %s: %w", path, err)
+	}
+	if cfg.Compiler != "gc" {
+		return nil, fmt.Errorf("em2lint supports only the gc compiler, got %q", cfg.Compiler)
+	}
+	return cfg, nil
+}
+
+// typecheck parses and type-checks the unit's Go files against the export
+// data of its dependencies.
+func typecheck(fset *token.FileSet, cfg *Config) ([]*ast.File, *types.Info, *types.Package, error) {
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types: make(map[ast.Expr]types.TypeAndValue),
+		Defs:  make(map[*ast.Ident]types.Object),
+		Uses:  make(map[*ast.Ident]types.Object),
+	}
+	goarch := os.Getenv("GOARCH")
+	if goarch == "" {
+		goarch = runtime.GOARCH
+	}
+	conf := types.Config{
+		Importer:  &cfgImporter{cfg: cfg, gc: importer.ForCompiler(fset, "gc", exportLookup(cfg))},
+		GoVersion: cfg.GoVersion,
+		Sizes:     types.SizesFor("gc", goarch),
+	}
+	pkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return files, info, pkg, nil
+}
+
+// cfgImporter maps source-level import paths through the unit's ImportMap
+// (vendoring/test-variant canonicalization) before delegating to the gc
+// export-data importer, which requires canonical paths.
+type cfgImporter struct {
+	cfg *Config
+	gc  types.Importer
+}
+
+func (ci *cfgImporter) Import(path string) (*types.Package, error) {
+	return ci.ImportFrom(path, "", 0)
+}
+
+func (ci *cfgImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if mapped, ok := ci.cfg.ImportMap[path]; ok {
+		path = mapped
+	}
+	return ci.gc.(types.ImporterFrom).ImportFrom(path, dir, 0)
+}
+
+// exportLookup opens the export data file the go command recorded for a
+// canonical package path. ("unsafe" never reaches the lookup: the gc
+// importer resolves it internally.)
+func exportLookup(cfg *Config) func(path string) (io.ReadCloser, error) {
+	return func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q in vet config %s", path, cfg.ID)
+		}
+		return os.Open(file)
+	}
+}

@@ -206,7 +206,9 @@ func ServeNode(man transport.Manifest, idx int, opts ...NodeOption) error {
 	// this process exits: "unknown scheme …" at the driver beats a bare
 	// connection death.
 	failLoad := func(err error) error {
-		tn.SendLoadAck(transport.LoadAck{Node: idx, Err: err.Error()})
+		if serr := tn.SendLoadAck(transport.LoadAck{Node: idx, Err: err.Error()}); serr != nil {
+			return fmt.Errorf("%w (and the load ack did not reach the coordinator: %v)", err, serr)
+		}
 		return err
 	}
 	cfg := Config{
@@ -226,10 +228,13 @@ func ServeNode(man transport.Manifest, idx int, opts ...NodeOption) error {
 	if err != nil {
 		return failLoad(err)
 	}
+	//em2:unordered-ok: Preload writes each address into its home shard's map; the final image is order-independent
 	for a, v := range spec.Mem {
 		part.Preload(a, v, 0) // keeps only the addresses this node homes
 	}
-	onHalt := func(h transport.HaltMsg) { tn.SendHalt(h) }
+	// A halt that cannot be sent means the coordinator link is already
+	// torn down; the coordinator's halt barrier times out and reports it.
+	onHalt := func(h transport.HaltMsg) { _ = tn.SendHalt(h) } //em2:errsink-ok: no error path out of the halt callback; link teardown surfaces at the coordinator's barrier
 	if spec.Serve {
 		// Job-serving mode: the slot pool starts empty and per-job specs
 		// arrive through JobSubmit frames, handled on the coordinator
@@ -334,6 +339,7 @@ func heartbeatSummary(co *transport.Coordinator, nodes int) string {
 	parts := make([]string, 0, nodes)
 	for i := 0; i < nodes; i++ {
 		if hi, ok := seen[i]; ok {
+			//em2:wallclock-ok: timeout diagnostics annotate real elapsed time; never feeds results
 			parts = append(parts, fmt.Sprintf("node %d seq %d %.1fs ago", i, hi.Seq, time.Since(hi.At).Seconds()))
 		} else {
 			parts = append(parts, fmt.Sprintf("node %d silent", i))
@@ -428,6 +434,7 @@ func RunCluster(man transport.Manifest, cfg ClusterConfig, threads []ThreadSpec,
 	cores := mesh.Cores()
 	for t := range threads {
 		ctx := transport.Context{Thread: int32(t), Native: int32(t % cores)}
+		//em2:unordered-ok: each register lands in its own array slot; the filled Regs array is order-independent
 		for r, v := range threads[t].Regs {
 			ctx.Arch.Regs[r] = v
 		}
@@ -489,6 +496,7 @@ func RunCluster(man transport.Manifest, cfg ClusterConfig, threads []ThreadSpec,
 		res.ContextFlits += rep.Counters["context_flits"]
 		res.Overcommits += rep.Counters["overcommits"]
 		res.Events = append(res.Events, rep.Events...)
+		//em2:unordered-ok: node memory images are address-disjoint (single-home invariant); merge order cannot matter
 		for a, v := range rep.Mem {
 			res.Mem[a] = v
 		}

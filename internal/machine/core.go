@@ -256,7 +256,9 @@ func (n *coreNode) evictOneGuest() *context {
 			// send never blocks (in-process) / never stalls the wire (TCP).
 			w := n.p.toWire(g)
 			n.ctr.contextFlits.Add(contextFlits(w))
-			n.p.tr.SendEviction(g.native, w)
+			// A send error means the transport was torn down mid-run; either
+			// way the context has left this core, exactly as for migrations.
+			_ = n.p.tr.SendEviction(g.native, w) //em2:errsink-ok: teardown mid-run; the run's failure surfaces at the halt barrier
 			n.checkGuestPool()
 			return g
 		}
@@ -328,7 +330,7 @@ func (n *coreNode) execute(c *context) {
 					n.ctr.contextFlits.Add(contextFlits(w))
 					// A send error means the transport was torn down mid-run;
 					// either way the context has left this core.
-					_ = n.p.tr.SendMigration(home, w)
+					_ = n.p.tr.SendMigration(home, w) //em2:errsink-ok: teardown mid-run; the run's failure surfaces at the halt barrier
 					n.guestDeparted(c)
 					return
 				}

@@ -57,6 +57,7 @@ func TestNodeDeathFailsLoudly(t *testing.T) {
 	}()
 
 	// Let the run dial, load and start spinning, then kill the far node.
+	//em2:wallclock-ok: failure-injection test waits on real process startup before killing it
 	time.Sleep(1 * time.Second)
 	cmds[1].Process.Kill()
 
@@ -102,9 +103,11 @@ func TestRunClusterRejectsBogusHalts(t *testing.T) {
 				spec := <-tn.Loads()
 				tn.Prepare(spec.NumThreads)
 				tn.Ready()
-				tn.SendLoadAck(transport.LoadAck{Node: 0}) // pass the ack barrier
+				// Stub node: a failed send just means the coordinator tore
+				// down first, which the barrier under test then reports.
+				_ = tn.SendLoadAck(transport.LoadAck{Node: 0}) //em2:errsink-ok: stub node; coordinator teardown is the condition under test
 				for _, th := range tc.halts {
-					tn.SendHalt(transport.HaltMsg{Thread: th})
+					_ = tn.SendHalt(transport.HaltMsg{Thread: th}) //em2:errsink-ok: stub node; coordinator teardown is the condition under test
 				}
 				<-tn.ShutdownC()
 			}()
@@ -251,7 +254,8 @@ func TestServeNodeAbortsMidRun(t *testing.T) {
 	if err := co.Flush(); err != nil {
 		t.Fatal(err)
 	}
-	time.Sleep(300 * time.Millisecond) // let the context start spinning
+	//em2:wallclock-ok: failure-injection test gives the remote context real time to start spinning
+	time.Sleep(300 * time.Millisecond)
 	co.Shutdown()
 	co.Close()
 

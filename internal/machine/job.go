@@ -69,6 +69,7 @@ func (p *Part) ApplyJob(js *transport.JobSpec) error {
 			return err
 		}
 	}
+	//em2:unordered-ok: Preload writes each address into its home shard's map; the final image is order-independent
 	for a, v := range js.Mem {
 		p.Preload(a, v, 0)
 	}

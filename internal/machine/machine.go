@@ -29,6 +29,8 @@ package machine
 
 import (
 	"fmt"
+	"maps"
+	"slices"
 	"sync"
 
 	"repro/internal/core"
@@ -76,7 +78,9 @@ type ThreadSpec struct {
 // validateSpecs checks every thread's initial register map.
 func validateSpecs(threads []ThreadSpec) error {
 	for t := range threads {
-		for r := range threads[t].Regs {
+		// Sorted so a spec with several bad registers always reports the
+		// same one.
+		for _, r := range slices.Sorted(maps.Keys(threads[t].Regs)) {
 			if r <= 0 || r >= isa.NumRegs {
 				return fmt.Errorf("machine: thread %d: bad initial register r%d", t, r)
 			}
@@ -190,12 +194,14 @@ func (m *Machine) Run(threads []ThreadSpec) (*Result, error) {
 	m.haltWG.Add(len(threads))
 	for t := range threads {
 		ctx := transport.Context{Thread: int32(t), Native: int32(t % cores)}
+		//em2:unordered-ok: each register lands in its own array slot; the filled Regs array is order-independent
 		for r, v := range threads[t].Regs {
 			ctx.Arch.Regs[r] = v
 		}
 		// Initial placement: the native context, via the eviction channel
-		// (a native arrival is always accepted).
-		m.tr.SendEviction(geom.CoreID(t%cores), ctx)
+		// (a native arrival is always accepted; the in-process transport's
+		// eviction inbox is sized for every thread, so this cannot fail).
+		_ = m.tr.SendEviction(geom.CoreID(t%cores), ctx) //em2:errsink-ok: local eviction send is infallible by inbox sizing
 	}
 	m.haltWG.Wait()
 	m.part.Stop()
@@ -214,6 +220,7 @@ func (m *Machine) Run(threads []ThreadSpec) (*Result, error) {
 		FinalRegs:    make([][isa.NumRegs]uint32, len(threads)),
 	}
 	m.mu.Lock()
+	//em2:unordered-ok: each thread's registers land in its own slice slot; order-independent
 	for t, regs := range m.finalRegs {
 		res.FinalRegs[t] = regs
 	}

@@ -302,6 +302,7 @@ func (p *Part) Collect(node int) transport.CollectReply {
 	for _, id := range p.tr.Owned() {
 		mem, events := p.shards[id].snapshot()
 		rep.Events = append(rep.Events, events...)
+		//em2:unordered-ok: shard images are address-disjoint (single-home invariant); merge order cannot matter
 		for a, v := range mem {
 			rep.Mem[a] = v
 		}
@@ -362,6 +363,7 @@ func (p *Part) ReclaimRegion(lo, hi uint32) ([]transport.Event, int) {
 func (p *Part) MemImage() map[uint32]uint32 {
 	out := make(map[uint32]uint32)
 	for _, id := range p.tr.Owned() {
+		//em2:unordered-ok: shard images are address-disjoint (single-home invariant); merge order cannot matter
 		for a, v := range p.shards[id].image() {
 			out[a] = v
 		}

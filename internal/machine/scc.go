@@ -2,6 +2,8 @@ package machine
 
 import (
 	"fmt"
+	"maps"
+	"slices"
 	"sort"
 )
 
@@ -37,7 +39,11 @@ func CheckSCFrom(init map[uint32]uint32, events []Event) error {
 	for _, e := range events {
 		byAddr[e.Addr] = append(byAddr[e.Addr], e)
 	}
-	for addr, evs := range byAddr {
+	// Addresses are checked in sorted order so an execution with several
+	// violations always reports the same one.
+	addrs := slices.Sorted(maps.Keys(byAddr))
+	for _, addr := range addrs {
+		evs := byAddr[addr]
 		sort.Slice(evs, func(i, j int) bool {
 			if evs[i].Home != evs[j].Home {
 				// A single address must have a single home.
@@ -90,7 +96,10 @@ func CheckSCFrom(init map[uint32]uint32, events []Event) error {
 	for _, e := range events {
 		byThread[e.Thread] = append(byThread[e.Thread], e)
 	}
-	for _, evs := range byThread {
+	// Sorted thread / address iteration keeps the edge insertion order —
+	// and with it Kahn's traversal — identical across runs.
+	for _, t := range slices.Sorted(maps.Keys(byThread)) {
+		evs := byThread[t]
 		sort.Slice(evs, func(i, j int) bool { return evs[i].TSeq < evs[j].TSeq })
 		for i := 1; i < len(evs); i++ {
 			a := idx[[2]int64{int64(evs[i-1].Thread), evs[i-1].TSeq}]
@@ -99,7 +108,8 @@ func CheckSCFrom(init map[uint32]uint32, events []Event) error {
 		}
 	}
 	// Witness orders (byAddr slices are already sorted by Seq).
-	for _, evs := range byAddr {
+	for _, addr := range addrs {
+		evs := byAddr[addr]
 		for i := 1; i < len(evs); i++ {
 			a := idx[[2]int64{int64(evs[i-1].Thread), evs[i-1].TSeq}]
 			b := idx[[2]int64{int64(evs[i].Thread), evs[i].TSeq}]

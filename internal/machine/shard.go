@@ -95,6 +95,7 @@ func (s *shard) reclaim(lo, hi uint32) ([]Event, int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	words := 0
+	//em2:unordered-ok: pure filter — each key is tested and deleted independently, nothing observes the order
 	for a := range s.mem {
 		if a >= lo && a < hi {
 			delete(s.mem, a)
@@ -146,6 +147,7 @@ func (s *shard) image() map[uint32]uint32 {
 
 func (s *shard) imageLocked() map[uint32]uint32 {
 	m := make(map[uint32]uint32, len(s.mem))
+	//em2:unordered-ok: map-to-map copy; the result is order-independent
 	for a, v := range s.mem {
 		m[a] = v
 	}

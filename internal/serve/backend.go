@@ -219,6 +219,7 @@ func (b *clusterBackend) Drain(timeout time.Duration) (*DrainResult, error) {
 	for _, rep := range reps {
 		dr.Events = append(dr.Events, rep.Events...)
 		dr.MemWords += len(rep.Mem)
+		//em2:unordered-ok: integer += accumulation is commutative; order cannot matter
 		for k, v := range rep.Counters {
 			dr.Counters[k] += v
 		}
@@ -240,6 +241,7 @@ func (b *clusterBackend) Close() {
 func injectJob(j *Job, cores int, send func(geom.CoreID, transport.Context) error) error {
 	for t := range j.Threads {
 		ctx := transport.Context{Thread: int32(t), Native: int32(t % cores)}
+		//em2:unordered-ok: each register lands in its own array slot; the filled Regs array is order-independent
 		for r, v := range j.Threads[t].Regs {
 			ctx.Arch.Regs[r] = v
 		}

@@ -2,6 +2,8 @@ package serve
 
 import (
 	"fmt"
+	"maps"
+	"slices"
 
 	"repro/internal/isa"
 	"repro/internal/machine"
@@ -185,6 +187,7 @@ func Rebase(lit machine.Litmus, base uint32) ([]machine.ThreadSpec, map[uint32]u
 			prog[i] = in
 		}
 		regs := make(map[int]uint32, len(spec.Regs)+1)
+		//em2:unordered-ok: keyed copy; the only error keys on the single baseReg, so firing is order-independent
 		for r, v := range spec.Regs {
 			if r == baseReg {
 				return nil, nil, fmt.Errorf("thread %d: initial register r%d collides with the reserved region base register", t, baseReg)
@@ -195,11 +198,13 @@ func Rebase(lit machine.Litmus, base uint32) ([]machine.ThreadSpec, map[uint32]u
 		threads[t] = machine.ThreadSpec{Program: prog, Regs: regs}
 	}
 	mem := make(map[uint32]uint32, len(lit.Mem))
-	for a, v := range lit.Mem {
+	// Sorted so a spec with several out-of-region words always reports the
+	// same one.
+	for _, a := range slices.Sorted(maps.Keys(lit.Mem)) {
 		if a >= RegionBytes {
 			return nil, nil, fmt.Errorf("initial memory word %#x outside the %d-byte job region", a, RegionBytes)
 		}
-		mem[base+a] = v
+		mem[base+a] = lit.Mem[a]
 	}
 	return threads, mem, nil
 }

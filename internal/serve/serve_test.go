@@ -343,6 +343,7 @@ func TestRebase(t *testing.T) {
 			}
 		}
 	}
+	//em2:unordered-ok: independent per-address assertions; any failing word is fatal
 	for a, v := range lit.Mem {
 		if mem[base+a] != v {
 			t.Fatalf("memory word %#x did not shift to %#x", a, base+a)
@@ -409,6 +410,7 @@ func TestRebasedJobMatchesOriginal(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		//em2:unordered-ok: Preload writes each address into its home shard's map; the final image is order-independent
 		for a, v := range image {
 			m.Preload(a, v, 0)
 		}

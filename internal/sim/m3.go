@@ -153,6 +153,7 @@ func m3RunChannel(scheme core.Scheme, lit machine.Litmus) (*machine.Result, erro
 	if err != nil {
 		return nil, err
 	}
+	//em2:unordered-ok: Preload writes each address into its home shard's map; the final image is order-independent
 	for a, v := range lit.Mem {
 		m.Preload(a, v, 0)
 	}

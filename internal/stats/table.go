@@ -160,6 +160,7 @@ func (c *Counters) Names() []string {
 
 // Merge adds every counter of other into c.
 func (c *Counters) Merge(other *Counters) {
+	//em2:unordered-ok: Inc is commutative integer accumulation; order cannot matter
 	for n, v := range other.m {
 		c.Inc(n, v)
 	}

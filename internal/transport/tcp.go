@@ -503,6 +503,7 @@ func (n *Node) finishRead(c *conn, err error, fromCoordinator, identified bool) 
 func (n *Node) failPending(c *conn) {
 	var lost []*pendingCall
 	n.mu.Lock()
+	//em2:unordered-ok: every matching call gets the same closed-channel fate; nothing observes the close order
 	for id, call := range n.pending {
 		if call.conn == c {
 			delete(n.pending, id)
@@ -1014,6 +1015,7 @@ func (co *Coordinator) readLoop(node int, c *conn) {
 				acc.PerCore = append(acc.PerCore, *ch.PerCore)
 			}
 			acc.Events = append(acc.Events, ch.Events...)
+			//em2:unordered-ok: chunk memory slices are address-disjoint (single-home invariant); merge order cannot matter
 			for a, v := range ch.Mem {
 				acc.Mem[a] = v
 			}
@@ -1119,6 +1121,7 @@ func (co *Coordinator) AwaitLoadAcks(timeout time.Duration) error {
 func (co *Coordinator) Heartbeats() []HeartbeatInfo {
 	co.hbMu.Lock()
 	infos := make([]HeartbeatInfo, 0, len(co.hb))
+	//em2:unordered-ok: the snapshot is sorted by node index immediately below
 	for _, hi := range co.hb {
 		infos = append(infos, hi)
 	}

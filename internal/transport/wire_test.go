@@ -27,6 +27,29 @@ func sampleFrames() []transport.Frame {
 		{Kind: transport.FrameCollect},
 		{Kind: transport.FrameCollectRep, Blob: []byte(`{}`)},
 		{Kind: transport.FrameShutdown},
+		{Kind: transport.FrameJobSubmit, Blob: []byte(`{"Job":7,"NumThreads":2}`)},
+		{Kind: transport.FrameJobAck, Blob: []byte(`{"Job":7}`)},
+		{Kind: transport.FrameJobDone, Blob: []byte(`{"Job":7,"Threads":[0,1]}`)},
+		{Kind: transport.FrameLoadAck, Blob: []byte(`{"Node":0,"Err":""}`)},
+		{Kind: transport.FrameHeartbeat, Blob: []byte(`{"Node":0,"Seq":3}`)},
+		{Kind: transport.FrameCollectChunk, Blob: []byte(`{"Node":0,"Done":true}`)},
+		{Kind: transport.FrameJobRetired, Blob: []byte(`{"Job":7}`)},
+	}
+}
+
+// TestSampleFramesCoverEveryKind keeps sampleFrames honest: every declared
+// FrameKind must appear in the round-trip corpus, so adding a kind without
+// extending the corpus fails here (and under em2lint's framecheck).
+func TestSampleFramesCoverEveryKind(t *testing.T) {
+	t.Parallel()
+	covered := make(map[transport.FrameKind]bool)
+	for _, f := range sampleFrames() {
+		covered[f.Kind] = true
+	}
+	for k := transport.FrameHello; k <= transport.FrameJobRetired; k++ {
+		if !covered[k] {
+			t.Errorf("frame kind %d missing from sampleFrames round-trip corpus", k)
+		}
 	}
 }
 
