@@ -37,6 +37,7 @@ import (
 
 	"repro/internal/machine"
 	"repro/internal/serve"
+	"repro/internal/telemetry"
 	"repro/internal/transport"
 )
 
@@ -65,6 +66,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	maxInflight := fs.Int("max-inflight", 8, "admission window: reject arrivals beyond this many in-flight jobs (0 = unbounded)")
 	timeout := fs.Duration("timeout", 60*time.Second, "per-job and drain guard")
 	out := fs.String("o", "", "write the report to this file instead of stdout")
+	telem := fs.String("telemetry", "", "stream line-protocol telemetry to this sink: a file path, '-' (stdout), udp:host:port, or mem:")
+	sampleEvery := fs.Uint64("sample-every", 10000, "telemetry sampling period in virtual cycles (with -telemetry)")
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
 			return 0
@@ -87,6 +90,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		MeanGap:     *meanGap,
 		MaxInflight: *maxInflight,
 		Timeout:     *timeout,
+	}
+	if *telem != "" {
+		sink, err := telemetry.Open(*telem, time.Second)
+		if err != nil {
+			return fail(err)
+		}
+		defer sink.Close()
+		cfg.Sink = sink
+		cfg.SampleEvery = *sampleEvery
 	}
 	if *trace != "" {
 		f, err := os.Open(*trace)

@@ -57,6 +57,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/oracle"
 	"repro/internal/placement"
+	"repro/internal/stats"
 	"repro/internal/transport"
 	"repro/internal/workload"
 	"repro/internal/wprog"
@@ -456,12 +457,17 @@ func runCluster(stdout io.Writer, nodes int, progName, compiledWL string, wcfg w
 	}
 	done := make(chan outcome, 1)
 	go func() {
-		res, err := machine.RunCluster(man, machine.ClusterConfig{
-			GuestContexts: guests,
-			Scheme:        scheme,
-			Placement:     place,
-			LogEvents:     true,
-		}, lit.Threads, lit.Mem)
+		res, err := machine.ClusterRun{
+			Manifest: man,
+			Config: machine.ClusterConfig{
+				GuestContexts: guests,
+				Scheme:        scheme,
+				Placement:     place,
+				LogEvents:     true,
+			},
+			Threads: lit.Threads,
+			Mem:     lit.Mem,
+		}.Run()
 		done <- outcome{res, err}
 	}()
 	var res *machine.ClusterResult
@@ -590,10 +596,9 @@ func runCluster(stdout io.Writer, nodes int, progName, compiledWL string, wcfg w
 				i, c["instructions"], c["migrations"], c["evictions"])
 		}
 		if statsOut {
-			fmt.Fprint(stdout, machine.MetricsTable(res.PerCore).String())
+			fmt.Fprint(stdout, stats.MetricsTable(res.PerCore).String())
 			for i, s := range res.NodeNet {
-				fmt.Fprintf(stdout, "wire %-4d: sent %d msgs in %d batches (%.2f msgs/batch, %d B), recv %d msgs in %d batches\n",
-					i, s.MsgsSent, s.BatchesSent, s.MsgsPerBatch(), s.BytesSent, s.MsgsRecv, s.BatchesRecv)
+				fmt.Fprintf(stdout, "wire %-4d: %s\n", i, stats.NetLine(s))
 			}
 			c := res.CoordNet
 			fmt.Fprintf(stdout, "wire coord: sent %d msgs in %d batches (%.2f msgs/batch; injections coalesce per node)\n",

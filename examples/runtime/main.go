@@ -83,11 +83,15 @@ func main() {
 	}
 	runDone := make(chan clusterOutcome, 1)
 	go func() {
-		res, err := machine.RunCluster(man, machine.ClusterConfig{
-			GuestContexts: 2,
-			Placement:     "striped:64",
-			LogEvents:     true,
-		}, threads, nil)
+		res, err := machine.ClusterRun{
+			Manifest: man,
+			Config: machine.ClusterConfig{
+				GuestContexts: 2,
+				Placement:     "striped:64",
+				LogEvents:     true,
+			},
+			Threads: threads,
+		}.Run()
 		runDone <- clusterOutcome{res, err}
 	}()
 	var cres *machine.ClusterResult

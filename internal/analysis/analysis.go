@@ -106,6 +106,7 @@ var deterministicSegments = map[string]bool{
 	"sim":       true,
 	"stats":     true,
 	"sweep":     true,
+	"telemetry": true,
 	"transport": true,
 	"wprog":     true,
 }

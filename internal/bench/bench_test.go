@@ -28,7 +28,7 @@ func TestSpecRegistry(t *testing.T) {
 	}
 	want := []string{
 		"codec/context-encode", "codec/context-decode", "codec/context-roundtrip",
-		"frame/batch-encode", "frame/batch-decode",
+		"frame/batch-encode", "frame/batch-decode", "telemetry/sample-encode",
 	}
 	if !reflect.DeepEqual(gated, want) {
 		t.Errorf("gated set %v, want %v", gated, want)

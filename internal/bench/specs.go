@@ -14,6 +14,7 @@ import (
 	"repro/internal/placement"
 	"repro/internal/serve"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/transport"
 	"repro/internal/workload"
 	"repro/internal/wprog"
@@ -183,13 +184,18 @@ func runTCP(w benchWorkload) (*machine.ClusterResult, error) {
 	for i := range man.Nodes {
 		go func(i int) { errs <- machine.ServeNode(man, i) }(i)
 	}
-	res, err := machine.RunCluster(man, machine.ClusterConfig{
-		GuestContexts: w.guests,
-		Quantum:       16,
-		Scheme:        w.schemeName,
-		Placement:     "striped:64",
-		Timeout:       60 * time.Second,
-	}, w.lit.Threads, w.lit.Mem)
+	res, err := machine.ClusterRun{
+		Manifest: man,
+		Config: machine.ClusterConfig{
+			GuestContexts: w.guests,
+			Quantum:       16,
+			Scheme:        w.schemeName,
+			Placement:     "striped:64",
+			Timeout:       60 * time.Second,
+		},
+		Threads: w.lit.Threads,
+		Mem:     w.lit.Mem,
+	}.Run()
 	for range man.Nodes {
 		if e := <-errs; e != nil && err == nil {
 			err = fmt.Errorf("bench: tcp node: %v", e)
@@ -407,6 +413,41 @@ func Specs() []Spec {
 				}
 				if n != 9 {
 					side.Failf(b, "decoded %d frames, want 9", n)
+				}
+			},
+		},
+		{
+			// The telemetry sampling hot path: a 64-core part's counters and
+			// gauges snapshotted into a reused Sample and rendered as
+			// line-protocol points into a reused buffer — exactly what one
+			// serve-loop telemetry tick costs the machine. Gated at zero
+			// allocations so periodic sampling can never become a per-tick
+			// allocation tax on a soak.
+			Name: "telemetry/sample-encode", Gated: true,
+			Run: func(b *testing.B, short bool, side *Side) {
+				mesh := geom.NewMesh(8, 8)
+				pl, err := machine.ParsePlacement("striped:64", mesh.Cores())
+				if err != nil {
+					side.Fail(b, err)
+				}
+				tr := transport.NewLocal(mesh.Cores(), 4)
+				part, err := machine.NewPart(machine.Config{Mesh: mesh, Placement: pl}, tr)
+				if err != nil {
+					side.Fail(b, err)
+				}
+				var s transport.Sample
+				var buf []byte
+				part.SampleInto(&s)
+				buf = telemetry.AppendSamplePoints(buf[:0], &s, 1)
+				b.SetBytes(int64(len(buf)))
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					part.SampleInto(&s)
+					buf = telemetry.AppendSamplePoints(buf[:0], &s, uint64(i))
+				}
+				if len(buf) == 0 {
+					side.Failf(b, "empty sample encoding")
 				}
 			},
 		},

@@ -91,12 +91,17 @@ func runTCP64(c *wprog.Compiled) (*machine.ClusterResult, error) {
 	for i := range man.Nodes {
 		go func(i int) { errs <- machine.ServeNode(man, i) }(i)
 	}
-	res, err := machine.RunCluster(man, machine.ClusterConfig{
-		Quantum:   16,
-		Scheme:    "history:2",
-		Placement: fmt.Sprintf("page-striped:%d", wprog.PageBytes),
-		Timeout:   120 * time.Second,
-	}, c.Threads, c.Mem)
+	res, err := machine.ClusterRun{
+		Manifest: man,
+		Config: machine.ClusterConfig{
+			Quantum:   16,
+			Scheme:    "history:2",
+			Placement: fmt.Sprintf("page-striped:%d", wprog.PageBytes),
+			Timeout:   120 * time.Second,
+		},
+		Threads: c.Threads,
+		Mem:     c.Mem,
+	}.Run()
 	for range man.Nodes {
 		if e := <-errs; e != nil && err == nil {
 			err = fmt.Errorf("bench: tcp64 node: %v", e)

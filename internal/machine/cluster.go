@@ -12,6 +12,8 @@ import (
 	"repro/internal/geom"
 	"repro/internal/isa"
 	"repro/internal/placement"
+	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/transport"
 )
 
@@ -188,11 +190,8 @@ func ServeNode(man transport.Manifest, idx int, opts ...NodeOption) error {
 	defer tn.Close()
 	if opt.wireStats != nil {
 		defer func() {
-			s := tn.NetStats()
-			fmt.Fprintf(opt.wireStats,
-				"em2node %d wire: sent %d msgs in %d batches (%.2f msgs/batch, %d bytes), recv %d msgs in %d batches (%d bytes)\n",
-				idx, s.MsgsSent, s.BatchesSent, s.MsgsPerBatch(), s.BytesSent,
-				s.MsgsRecv, s.BatchesRecv, s.BytesRecv)
+			s, _ := tn.Sample() //em2:errsink-ok: Node.Sample never fails locally; the MetricsSource signature carries the error for remote sources
+			fmt.Fprintf(opt.wireStats, "em2node %d wire: %s\n", idx, stats.NetLine(s.Net))
 		}()
 	}
 
@@ -228,6 +227,13 @@ func ServeNode(man transport.Manifest, idx int, opts ...NodeOption) error {
 	if err != nil {
 		return failLoad(err)
 	}
+	// The non-destructive sampling plane: sample requests and heartbeat
+	// piggybacks read the part's counters without touching Collect.
+	// Installed before Ready, like the job handlers.
+	tn.HandleSample(func() transport.Sample {
+		s, _ := part.Sample() //em2:errsink-ok: Part.Sample never fails; the MetricsSource signature carries the error for remote sources
+		return s
+	})
 	//em2:unordered-ok: Preload writes each address into its home shard's map; the final image is order-independent
 	for a, v := range spec.Mem {
 		part.Preload(a, v, 0) // keeps only the addresses this node homes
@@ -358,12 +364,42 @@ func mergePerCore(reps []transport.CollectReply) []transport.CoreMetrics {
 	return out
 }
 
+// ClusterRun is the spec for one cluster run — the named-field redesign
+// of RunCluster's positional argument list. Manifest, Config, Threads and
+// Mem are what RunCluster took; Sink optionally receives the run's
+// telemetry.
+type ClusterRun struct {
+	Manifest transport.Manifest
+	Config   ClusterConfig
+	// Threads is the full cluster-wide thread list; thread t starts at
+	// core t mod cores, as in Machine.Run.
+	Threads []ThreadSpec
+	// Mem is the initial memory image, broadcast with the LoadSpec (each
+	// node preloads the addresses it homes).
+	Mem map[uint32]uint32
+	// Sink, when set, receives one deterministic end-of-run telemetry
+	// sample: the collected per-core counters with quiescent gauges,
+	// stamped at the slowest thread's halt cycle. A closed-loop run has no
+	// virtual clock ticking between injection and the halt barrier, so one
+	// sample is all the determinism contract allows; open-loop serving
+	// (serve.Config.Sink) is where periodic virtual-time series come from.
+	Sink telemetry.Sink
+}
+
 // RunCluster drives an already-listening cluster through one run: load,
 // inject, await HALTs, collect, shut down. The node processes (ServeNode /
 // cmd/em2node) must be starting or started on the manifest's addresses;
-// dialing retries until Timeout. Thread t starts at core t mod cores, as
-// in Machine.Run.
+// dialing retries until Timeout.
+//
+// Deprecated: positional wrapper kept for older call sites; use
+// ClusterRun{...}.Run(), which also carries the telemetry sink.
 func RunCluster(man transport.Manifest, cfg ClusterConfig, threads []ThreadSpec, mem map[uint32]uint32) (*ClusterResult, error) {
+	return ClusterRun{Manifest: man, Config: cfg, Threads: threads, Mem: mem}.Run()
+}
+
+// Run executes the spec. See RunCluster for the protocol.
+func (r ClusterRun) Run() (*ClusterResult, error) {
+	man, cfg, threads, mem := r.Manifest, r.Config, r.Threads, r.Mem
 	if err := man.Validate(); err != nil {
 		return nil, err
 	}
@@ -457,6 +493,7 @@ func RunCluster(man transport.Manifest, cfg ClusterConfig, threads []ThreadSpec,
 	// that never finished, and the run would "complete" with garbage
 	// registers for the missing thread.
 	halted := make([]bool, len(threads))
+	var maxCycles uint64
 	for n := 0; n < len(threads); n++ {
 		select {
 		case h, ok := <-co.Halts():
@@ -471,6 +508,9 @@ func RunCluster(man transport.Manifest, cfg ClusterConfig, threads []ThreadSpec,
 			}
 			halted[h.Thread] = true
 			res.FinalRegs[h.Thread] = h.Regs
+			if h.Cycles > maxCycles {
+				maxCycles = h.Cycles
+			}
 		case err := <-co.Deaths():
 			// A node process died mid-run: every context and shard it held
 			// is gone. Fail loudly and immediately instead of letting the
@@ -509,5 +549,22 @@ func RunCluster(man transport.Manifest, cfg ClusterConfig, threads []ThreadSpec,
 	}
 	res.PerCore = mergePerCore(reps)
 	res.CoordNet = co.NetStats()
+	if r.Sink != nil {
+		// One deterministic end-of-run sample: the collected counters with
+		// quiescent gauges (every thread halted, nothing resident), stamped
+		// at the slowest thread's halt cycle. Built entirely from surfaces
+		// the differential tests already pin, so enabling the sink changes
+		// nothing and the stream matches byte-for-byte across transports.
+		s := transport.Sample{
+			Cycle:   maxCycles,
+			PerCore: res.PerCore,
+			Guests:  make([]int64, len(res.PerCore)),
+			Words:   int64(len(res.Mem)),
+			Events:  int64(len(res.Events)),
+		}
+		if _, err := telemetry.EmitSample(r.Sink, nil, &s, maxCycles); err != nil {
+			return nil, fmt.Errorf("machine: telemetry sink: %w", err)
+		}
+	}
 	return res, nil
 }

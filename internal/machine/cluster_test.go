@@ -74,7 +74,7 @@ func runOnProcesses(t *testing.T, nodes int, lit Litmus, start func(string, int)
 		t.Fatal(err)
 	}
 	spawnCluster(t, man, start)
-	res, err := RunCluster(man, ClusterConfig{LogEvents: true}, lit.Threads, lit.Mem)
+	res, err := ClusterRun{Manifest: man, Config: ClusterConfig{LogEvents: true}, Threads: lit.Threads, Mem: lit.Mem}.Run()
 	if err != nil {
 		t.Fatal(err)
 	}

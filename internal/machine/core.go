@@ -231,6 +231,7 @@ func (n *coreNode) acceptGuest(c *context) {
 		}
 	}
 	n.guests++
+	n.ctr.guests.Store(int64(n.guests))
 	n.runq = append(n.runq, c)
 	n.checkGuestPool()
 }
@@ -246,6 +247,7 @@ func (n *coreNode) evictOneGuest() *context {
 		if g.native != n.id {
 			n.runq = append(n.runq[:i], n.runq[i+1:]...)
 			n.guests--
+			n.ctr.guests.Store(int64(n.guests))
 			n.ctr.evictions.Add(1)
 			// The eviction traversal is charged to the evicted context (its
 			// thread caused the residency), before serialization so the wire
@@ -281,6 +283,7 @@ func (n *coreNode) requeue(c *context) {
 func (n *coreNode) guestDeparted(c *context) {
 	if c.native != n.id {
 		n.guests--
+		n.ctr.guests.Store(int64(n.guests))
 	}
 	n.execGuest = false
 	n.checkGuestPool()

@@ -25,7 +25,7 @@ func runOnTCP(t *testing.T, nodes, w, h int, cfg ClusterConfig, lit Litmus) *Clu
 	for i := 0; i < nodes; i++ {
 		go func(i int) { errs <- ServeNode(man, i) }(i)
 	}
-	res, err := RunCluster(man, cfg, lit.Threads, lit.Mem)
+	res, err := ClusterRun{Manifest: man, Config: cfg, Threads: lit.Threads, Mem: lit.Mem}.Run()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -258,6 +258,8 @@ func TestRunClusterValidation(t *testing.T) {
 		t.Fatal(err)
 	}
 	lit := MessagePassingLitmus(64)
+	// These stay on the deprecated positional wrapper deliberately: it must
+	// keep delegating to ClusterRun until every external caller migrates.
 	if _, err := RunCluster(man, ClusterConfig{}, nil, nil); err == nil {
 		t.Error("no threads accepted")
 	}

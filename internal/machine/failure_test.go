@@ -51,8 +51,8 @@ func TestNodeDeathFailsLoudly(t *testing.T) {
 
 	runErr := make(chan error, 1)
 	go func() {
-		_, err := RunCluster(man, ClusterConfig{Timeout: 60 * time.Second},
-			[]ThreadSpec{{Program: spinForever()}}, nil)
+		_, err := ClusterRun{Manifest: man, Config: ClusterConfig{Timeout: 60 * time.Second},
+			Threads: []ThreadSpec{{Program: spinForever()}}}.Run()
 		runErr <- err
 	}()
 
@@ -112,9 +112,9 @@ func TestRunClusterRejectsBogusHalts(t *testing.T) {
 				<-tn.ShutdownC()
 			}()
 			lit := StoreBufferingLitmus(64)
-			_, err = RunCluster(man, ClusterConfig{Timeout: 10 * time.Second}, lit.Threads, lit.Mem)
+			_, err = ClusterRun{Manifest: man, Config: ClusterConfig{Timeout: 10 * time.Second}, Threads: lit.Threads, Mem: lit.Mem}.Run()
 			if err == nil {
-				t.Fatal("RunCluster accepted bogus halt reports")
+				t.Fatal("ClusterRun accepted bogus halt reports")
 			}
 			if !strings.Contains(err.Error(), tc.want) {
 				t.Fatalf("got error %q, want it to mention %q", err, tc.want)

@@ -18,20 +18,11 @@ func ContextFlitsFor(s core.Scheme) int64 {
 	return wireFlits(transport.ContextWireBytes + s.NewPredictor(0).StateLen())
 }
 
-// MetricsTable renders per-core runtime metrics as a stats.Table — the
-// export format behind `em2sim -stats` and the M3 experiment. A final
-// "total" row sums every column.
+// MetricsTable renders per-core runtime metrics as a stats.Table.
+//
+// Deprecated: the renderer lives in the stats package with the other
+// shared metric formatters; this wrapper delegates to stats.MetricsTable
+// and produces byte-identical output.
 func MetricsTable(perCore []transport.CoreMetrics) *stats.Table {
-	t := stats.NewTable("per-core runtime metrics",
-		"core", "instructions", "local ops", "remote reads", "remote writes",
-		"migrations out", "evictions", "overcommits", "context flits")
-	var total transport.CoreMetrics
-	for _, m := range perCore {
-		t.AddRow(int(m.Core), m.Instructions, m.LocalOps, m.RemoteReads, m.RemoteWrites,
-			m.Migrations, m.Evictions, m.Overcommits, m.ContextFlits)
-		total = total.Add(m)
-	}
-	t.AddRow("total", total.Instructions, total.LocalOps, total.RemoteReads,
-		total.RemoteWrites, total.Migrations, total.Evictions, total.Overcommits, total.ContextFlits)
-	return t
+	return stats.MetricsTable(perCore)
 }

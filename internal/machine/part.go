@@ -10,6 +10,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/noc"
 	"repro/internal/placement"
+	"repro/internal/stats"
 	"repro/internal/transport"
 )
 
@@ -45,6 +46,11 @@ type coreCounters struct {
 	evictions    atomic.Int64
 	contextFlits atomic.Int64
 	overcommits  atomic.Int64
+	// guests mirrors coreNode.guests as a gauge the sampling path can read
+	// from another goroutine. Not part of CoreMetrics (it is a gauge, not a
+	// counter) — Sample carries it separately, and it must read zero
+	// whenever the machine is quiescent.
+	guests atomic.Int64
 }
 
 // metrics snapshots the counters for the Collect control plane.
@@ -275,6 +281,35 @@ func (p *Part) PerCoreMetrics() []transport.CoreMetrics {
 	return out
 }
 
+// SampleInto fills s with a non-destructive snapshot of this part's
+// metrics: per-core counters and guest gauges (ascending by core id) plus
+// the summed shard footprint. Unlike Collect it copies no memory and no
+// events — one atomic load per counter, one short lock per shard — so it
+// is cheap enough to take periodically while the machine runs. The slices
+// are reused via append(x[:0], ...), making repeated samples into the same
+// Sample allocation-free (the telemetry hot path; gated in bench).
+// s.Cycle and s.Net are left untouched: the caller owns the virtual-time
+// stamp and the transport owns the wire counters.
+func (p *Part) SampleInto(s *transport.Sample) {
+	s.PerCore = s.PerCore[:0]
+	s.Guests = s.Guests[:0]
+	s.Words, s.Events = 0, 0
+	for _, id := range p.tr.Owned() {
+		s.PerCore = append(s.PerCore, p.ctr[id].metrics(id))
+		s.Guests = append(s.Guests, p.ctr[id].guests.Load())
+		w, e := p.shards[id].gauges()
+		s.Words += w
+		s.Events += e
+	}
+}
+
+// Sample implements transport.MetricsSource for an in-process part.
+func (p *Part) Sample() (transport.Sample, error) {
+	var s transport.Sample
+	p.SampleInto(&s)
+	return s, nil
+}
+
 // Collect returns this part's post-run state: aggregate and per-core
 // counters, the event logs of its shards in core order, and its slice of
 // the memory image.
@@ -285,19 +320,10 @@ func (p *Part) Collect(node int) transport.CollectReply {
 		agg = agg.Add(m)
 	}
 	rep := transport.CollectReply{
-		Node: node,
-		Counters: map[string]int64{
-			"instructions":  agg.Instructions,
-			"migrations":    agg.Migrations,
-			"evictions":     agg.Evictions,
-			"remote_reads":  agg.RemoteReads,
-			"remote_writes": agg.RemoteWrites,
-			"local_ops":     agg.LocalOps,
-			"context_flits": agg.ContextFlits,
-			"overcommits":   agg.Overcommits,
-		},
-		PerCore: perCore,
-		Mem:     make(map[uint32]uint32),
+		Node:     node,
+		Counters: stats.CounterMap(agg),
+		PerCore:  perCore,
+		Mem:      make(map[uint32]uint32),
 	}
 	for _, id := range p.tr.Owned() {
 		mem, events := p.shards[id].snapshot()
@@ -328,18 +354,9 @@ func (p *Part) CollectChunked(node int, emit func(transport.CollectChunk) error)
 		}
 	}
 	return emit(transport.CollectChunk{
-		Node: node,
-		Done: true,
-		Counters: map[string]int64{
-			"instructions":  agg.Instructions,
-			"migrations":    agg.Migrations,
-			"evictions":     agg.Evictions,
-			"remote_reads":  agg.RemoteReads,
-			"remote_writes": agg.RemoteWrites,
-			"local_ops":     agg.LocalOps,
-			"context_flits": agg.ContextFlits,
-			"overcommits":   agg.Overcommits,
-		},
+		Node:     node,
+		Done:     true,
+		Counters: stats.CounterMap(agg),
 	})
 }
 

@@ -119,6 +119,15 @@ func (s *shard) reclaim(lo, hi uint32) ([]Event, int) {
 	return removed, words
 }
 
+// gauges reports the shard's live footprint — words of backing memory and
+// logged SC events — for the non-destructive sampling path. One lock-light
+// pair of lengths, no copying.
+func (s *shard) gauges() (words, events int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return int64(len(s.mem)), int64(len(s.events))
+}
+
 // peek reads a word for post-run inspection.
 func (s *shard) peek(addr uint32) uint32 {
 	s.mu.Lock()

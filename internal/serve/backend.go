@@ -23,6 +23,12 @@ type Backend interface {
 	// footprint bounded by the in-flight window instead of O(jobs). The
 	// returned events feed the job's own SC check.
 	Retire(j *Job, timeout time.Duration) ([]machine.Event, error)
+	// Sample implements transport.MetricsSource over the live machine: a
+	// non-destructive snapshot of per-core counters and gauges, mergeable
+	// across nodes. At serve's sampling points (arrival-processing
+	// boundaries) both backends return identical deterministic fields; only
+	// the advisory Net differs.
+	Sample() (transport.Sample, error)
 	// Drain ends the run and returns the machine's merged post-run state.
 	Drain(timeout time.Duration) (*DrainResult, error)
 	// Close releases the backend; safe after Drain and on error paths.
@@ -108,6 +114,10 @@ func (b *localBackend) Retire(j *Job, _ time.Duration) ([]machine.Event, error) 
 	b.part.ClearThreads(j.Slots())
 	events, _ := b.part.ReclaimRegion(j.Base, j.Base+RegionBytes)
 	return events, nil
+}
+
+func (b *localBackend) Sample() (transport.Sample, error) {
+	return b.part.Sample()
 }
 
 func (b *localBackend) Drain(time.Duration) (*DrainResult, error) {
@@ -208,6 +218,10 @@ func (b *clusterBackend) Retire(j *Job, timeout time.Duration) ([]machine.Event,
 		Size:    RegionBytes,
 		Reclaim: true,
 	}, timeout)
+}
+
+func (b *clusterBackend) Sample() (transport.Sample, error) {
+	return b.co.Sample()
 }
 
 func (b *clusterBackend) Drain(timeout time.Duration) (*DrainResult, error) {

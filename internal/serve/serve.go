@@ -31,6 +31,7 @@ import (
 
 	"repro/internal/machine"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/transport"
 )
 
@@ -57,6 +58,24 @@ type Config struct {
 
 	// Timeout guards each physical job execution and the final drain.
 	Timeout time.Duration
+
+	// Sink, with SampleEvery > 0, receives the run's telemetry stream: at
+	// every SampleEvery virtual cycles the backend is sampled and encoded as
+	// line-protocol points stamped with the virtual tick. Sampling happens
+	// only at arrival-processing boundaries — the machine is physically
+	// quiescent there — so the stream is deterministic: byte-identical
+	// across backends for the same Config, and enabling it changes nothing
+	// else about the run (the Report stays byte-identical with sampling on
+	// or off).
+	Sink telemetry.Sink
+	// SampleEvery is the telemetry sampling period in virtual cycles.
+	// 0 disables sampling even with a Sink installed.
+	SampleEvery uint64
+	// Observe, when non-nil, receives each telemetry sample (and its tick)
+	// before encoding — em2soak's invariant-checker hook. The machine is
+	// physically quiescent at every observation: all physically-run jobs
+	// are retired, so guest and footprint gauges must read zero.
+	Observe func(s *transport.Sample, cycle uint64)
 }
 
 func (c Config) withDefaults() Config {
@@ -145,6 +164,76 @@ func (h *completionHeap) Pop() interface{} {
 	return x
 }
 
+// sampler paces the run's telemetry on the virtual clock. Jobs execute
+// physically one at a time, so the machine is quiescent at every
+// arrival-processing boundary; emitThrough is called there to flush every
+// pending tick up to the boundary's virtual time. A nil sampler (no sink
+// configured) is valid and does nothing.
+type sampler struct {
+	sink    telemetry.Sink
+	be      Backend
+	observe func(*transport.Sample, uint64)
+	every   uint64
+	next    uint64
+	buf     []byte
+}
+
+func newSampler(cfg Config, be Backend) *sampler {
+	if cfg.SampleEvery == 0 || (cfg.Sink == nil && cfg.Observe == nil) {
+		return nil
+	}
+	return &sampler{
+		sink:    cfg.Sink,
+		be:      be,
+		observe: cfg.Observe,
+		every:   cfg.SampleEvery,
+		next:    cfg.SampleEvery,
+	}
+}
+
+// emitThrough emits every pending tick with virtual time <= t: one
+// backend sample rendered as line-protocol core/machine points plus one
+// "serve" point with the job gauges, all stamped with the tick's cycle.
+// The serve gauges are computed on the virtual clock — a job is in flight
+// at tick T iff it was admitted before T and its virtual completion is
+// after T — so the stream replays what a concurrent server would have
+// reported, deterministically.
+func (sm *sampler) emitThrough(t uint64, submitted, completed, rejected int, inflight *completionHeap) error {
+	if sm == nil {
+		return nil
+	}
+	for ; sm.next <= t; sm.next += sm.every {
+		s, err := sm.be.Sample()
+		if err != nil {
+			return fmt.Errorf("serve: telemetry sample at cycle %d: %v", sm.next, err)
+		}
+		if sm.observe != nil {
+			sm.observe(&s, sm.next)
+		}
+		if sm.sink == nil {
+			continue
+		}
+		live := 0
+		for _, fin := range *inflight {
+			if fin > sm.next {
+				live++
+			}
+		}
+		sm.buf = telemetry.AppendSamplePoints(sm.buf[:0], &s, sm.next)
+		p := telemetry.Point{Name: "serve", Cycle: sm.next, Fields: []telemetry.Field{
+			telemetry.Int("submitted", int64(submitted)),
+			telemetry.Int("completed", int64(completed)),
+			telemetry.Int("rejected", int64(rejected)),
+			telemetry.Int("inflight", int64(live)),
+		}}
+		sm.buf = telemetry.AppendPoint(sm.buf, &p)
+		if err := sm.sink.Write(sm.buf); err != nil {
+			return fmt.Errorf("serve: telemetry sink at cycle %d: %v", sm.next, err)
+		}
+	}
+	return nil
+}
+
 // Run drives one open-loop serving run against the backend: generate the
 // arrival sequence, admit or reject each job against the in-flight window,
 // execute admitted jobs on the machine, then drain, SC-check every
@@ -179,7 +268,13 @@ func Run(cfg Config, be Backend) (*Report, error) {
 		rejected   int
 		makespan   uint64
 	)
+	samp := newSampler(cfg, be)
 	for i, t := range arrivals {
+		// Telemetry ticks due before this arrival fire first, against the
+		// quiescent machine state left by the previous boundary.
+		if err := samp.emitThrough(t, i, completed, rejected, inflight); err != nil {
+			return nil, err
+		}
 		for inflight.Len() > 0 && (*inflight)[0] <= t {
 			heap.Pop(inflight)
 		}
@@ -230,6 +325,12 @@ func Run(cfg Config, be Backend) (*Report, error) {
 		if err := pool.Release(base); err != nil {
 			return nil, err
 		}
+	}
+
+	// Flush the tail of the stream: ticks between the last arrival and the
+	// latest virtual completion, ending with the fully-drained gauges.
+	if err := samp.emitThrough(makespan, len(arrivals), completed, rejected, inflight); err != nil {
+		return nil, err
 	}
 
 	dr, err := be.Drain(cfg.Timeout)

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/isa"
 	"repro/internal/machine"
+	"repro/internal/telemetry"
 	"repro/internal/transport"
 )
 
@@ -152,6 +153,99 @@ func TestServeDifferential8Node(t *testing.T) {
 	lb, cb := reportBytes(t, local), reportBytes(t, clustered)
 	if !bytes.Equal(lb, cb) {
 		t.Fatalf("channel and 8-node TCP produced different reports:\n--- channel\n%s\n--- 8-node tcp\n%s", lb, cb)
+	}
+}
+
+// TestServeReportUnchangedBySampling pins the advisory-plane guarantee:
+// turning telemetry on (sink + observer, aggressive cadence) changes not
+// one byte of the deterministic report.
+func TestServeReportUnchangedBySampling(t *testing.T) {
+	t.Parallel()
+	cfg := testCfg(12)
+	plain := runLocal(t, cfg)
+
+	var sink telemetry.MemorySink
+	var checker telemetry.Checker
+	cfg.Sink = &sink
+	cfg.SampleEvery = 1000
+	cfg.Observe = func(s *transport.Sample, cycle uint64) {
+		// Every serve sampling point is an arrival-processing boundary, so
+		// the machine is physically quiescent: gauges must read zero.
+		checker.Check(s, true)
+	}
+	sampled := runLocal(t, cfg)
+
+	pb, sb := reportBytes(t, plain), reportBytes(t, sampled)
+	if !bytes.Equal(pb, sb) {
+		t.Fatalf("sampling changed the report:\n--- off\n%s\n--- on\n%s", pb, sb)
+	}
+	if len(sink.Bytes()) == 0 || checker.Checked() == 0 {
+		t.Fatalf("sampling emitted %d bytes over %d observations; expected a live stream", len(sink.Bytes()), checker.Checked())
+	}
+	if v := checker.Violations(); len(v) != 0 {
+		t.Fatalf("telemetry invariants violated: %+v", v)
+	}
+	// The stream itself replays byte-identically at the same seed.
+	var again telemetry.MemorySink
+	cfg.Sink = &again
+	cfg.Observe = nil
+	runLocal(t, cfg)
+	if !bytes.Equal(sink.Bytes(), again.Bytes()) {
+		t.Fatal("same seed produced different telemetry streams")
+	}
+}
+
+// TestServeTelemetryDifferential8Node pins the tentpole telemetry
+// guarantee: the sampled stream at a fixed seed is byte-identical between
+// the in-process channel transport and a maximally sharded 8-node TCP
+// cluster — per-core counter attribution, merge ordering and virtual-time
+// stamping all agree, and nothing transport-dependent (NetStats, wire
+// batching, heartbeat traffic) leaks into the stream.
+func TestServeTelemetryDifferential8Node(t *testing.T) {
+	t.Parallel()
+	cfg := testCfg(9)
+	cfg.W, cfg.H = 4, 2
+	cfg.SampleEvery = 2000
+	var localSink telemetry.MemorySink
+	cfg.Sink = &localSink
+	local := runLocal(t, cfg)
+
+	man, err := transport.LocalManifest(8, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := range man.Nodes {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := machine.ServeNode(man, i); err != nil {
+				t.Errorf("serve node %d: %v", i, err)
+			}
+		}(i)
+	}
+	var tcpSink telemetry.MemorySink
+	cfg.Sink = &tcpSink
+	be, err := NewClusterBackend(cfg, man)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clustered, err := Run(cfg, be)
+	be.Close()
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	lb, cb := reportBytes(t, local), reportBytes(t, clustered)
+	if !bytes.Equal(lb, cb) {
+		t.Fatalf("channel and 8-node TCP produced different reports:\n--- channel\n%s\n--- tcp\n%s", lb, cb)
+	}
+	if len(localSink.Bytes()) == 0 {
+		t.Fatal("no telemetry emitted")
+	}
+	if !bytes.Equal(localSink.Bytes(), tcpSink.Bytes()) {
+		t.Fatalf("telemetry streams diverged:\n--- channel\n%s\n--- 8-node tcp\n%s", localSink.Bytes(), tcpSink.Bytes())
 	}
 }
 

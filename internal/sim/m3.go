@@ -184,12 +184,17 @@ func m3RunTCP(schemeName string, lit machine.Litmus) (*machine.ClusterResult, er
 	for i := range man.Nodes {
 		go func(i int) { errs <- machine.ServeNode(man, i) }(i)
 	}
-	res, err := machine.RunCluster(man, machine.ClusterConfig{
-		Quantum:   8,
-		Scheme:    schemeName,
-		Placement: "striped:64",
-		LogEvents: true,
-	}, lit.Threads, lit.Mem)
+	res, err := machine.ClusterRun{
+		Manifest: man,
+		Config: machine.ClusterConfig{
+			Quantum:   8,
+			Scheme:    schemeName,
+			Placement: "striped:64",
+			LogEvents: true,
+		},
+		Threads: lit.Threads,
+		Mem:     lit.Mem,
+	}.Run()
 	for range man.Nodes {
 		if e := <-errs; e != nil && err == nil {
 			err = fmt.Errorf("tcp node: %v", e)

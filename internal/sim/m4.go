@@ -90,12 +90,17 @@ func m4RunTCP(schemeName string, c *wprog.Compiled) (*machine.ClusterResult, err
 	for i := range man.Nodes {
 		go func(i int) { errs <- machine.ServeNode(man, i) }(i)
 	}
-	res, err := machine.RunCluster(man, machine.ClusterConfig{
-		Quantum:   16,
-		Scheme:    schemeName,
-		Placement: fmt.Sprintf("page-striped:%d", placement.DefaultPageBytes),
-		LogEvents: true,
-	}, c.Threads, c.Mem)
+	res, err := machine.ClusterRun{
+		Manifest: man,
+		Config: machine.ClusterConfig{
+			Quantum:   16,
+			Scheme:    schemeName,
+			Placement: fmt.Sprintf("page-striped:%d", placement.DefaultPageBytes),
+			LogEvents: true,
+		},
+		Threads: c.Threads,
+		Mem:     c.Mem,
+	}.Run()
 	for range man.Nodes {
 		if e := <-errs; e != nil && err == nil {
 			err = fmt.Errorf("tcp node: %v", e)

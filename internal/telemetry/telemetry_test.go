@@ -1,0 +1,307 @@
+package telemetry
+
+import (
+	"bytes"
+	"net"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/transport"
+)
+
+func TestAppendPointGolden(t *testing.T) {
+	cases := []struct {
+		name string
+		p    Point
+		want string
+	}{
+		{
+			name: "tags-and-mixed-fields",
+			p: Point{
+				Name:   "core",
+				Tags:   []Tag{{Key: "core", Value: "3"}},
+				Fields: []Field{Int("instructions", 42), Float("ipc", 0.5)},
+				Cycle:  1000,
+			},
+			want: "core,core=3 instructions=42i,ipc=0.5 1000\n",
+		},
+		{
+			name: "no-tags",
+			p: Point{
+				Name:   "machine",
+				Fields: []Field{Int("words", 0), Int("events", -1)},
+				Cycle:  7,
+			},
+			want: "machine words=0i,events=-1i 7\n",
+		},
+		{
+			name: "escaping",
+			p: Point{
+				Name:   "a b,c",
+				Tags:   []Tag{{Key: "k=1", Value: `v\2`}},
+				Fields: []Field{Int("f g", 1)},
+				Cycle:  0,
+			},
+			want: `a\ b\,c,k\=1=v\\2 f\ g=1i 0` + "\n",
+		},
+		{
+			name: "field-less-point-encodes-nothing",
+			p:    Point{Name: "empty", Cycle: 5},
+			want: "",
+		},
+	}
+	for _, tc := range cases {
+		if got := string(AppendPoint(nil, &tc.p)); got != tc.want {
+			t.Errorf("%s: got %q, want %q", tc.name, got, tc.want)
+		}
+	}
+}
+
+func testSample() transport.Sample {
+	return transport.Sample{
+		PerCore: []transport.CoreMetrics{
+			{Core: 0, Instructions: 100, LocalOps: 10, RemoteReads: 3, RemoteWrites: 2,
+				Migrations: 1, Evictions: 0, ContextFlits: 24, Overcommits: 0},
+			{Core: 1, Instructions: 50, LocalOps: 5, RemoteReads: 0, RemoteWrites: 0,
+				Migrations: 0, Evictions: 1, ContextFlits: 12, Overcommits: 1},
+		},
+		Guests: []int64{0, 2},
+		Words:  16,
+		Events: 4,
+	}
+}
+
+const testSampleLines = "core,core=0 instructions=100i,local_ops=10i,remote_reads=3i,remote_writes=2i,migrations=1i,evictions=0i,context_flits=24i,overcommits=0i,guests=0i 5000\n" +
+	"core,core=1 instructions=50i,local_ops=5i,remote_reads=0i,remote_writes=0i,migrations=0i,evictions=1i,context_flits=12i,overcommits=1i,guests=2i 5000\n" +
+	"machine words=16i,events=4i 5000\n"
+
+func TestAppendSamplePointsGolden(t *testing.T) {
+	s := testSample()
+	got := string(AppendSamplePoints(nil, &s, 5000))
+	if got != testSampleLines {
+		t.Errorf("got:\n%s\nwant:\n%s", got, testSampleLines)
+	}
+	// Net must never reach the encoded stream: a wildly different NetStats
+	// changes nothing.
+	s.Net = transport.NetStats{MsgsSent: 1 << 40, BytesRecv: 99}
+	if again := string(AppendSamplePoints(nil, &s, 5000)); again != got {
+		t.Error("NetStats leaked into the deterministic sample encoding")
+	}
+}
+
+func TestMemorySink(t *testing.T) {
+	var m MemorySink
+	s := testSample()
+	if _, err := EmitSample(&m, nil, &s, 5000); err != nil {
+		t.Fatal(err)
+	}
+	if string(m.Bytes()) != testSampleLines {
+		t.Errorf("memory sink holds %q", m.Bytes())
+	}
+	if lines := m.Lines(); len(lines) != 3 || lines[2] != "machine words=16i,events=4i 5000" {
+		t.Errorf("Lines() = %q", lines)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriterSink(t *testing.T) {
+	var buf bytes.Buffer
+	w := &WriterSink{W: &buf}
+	if err := w.Write([]byte("machine words=0i,events=0i 1\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != "machine words=0i,events=0i 1\n" {
+		t.Errorf("writer sink wrote %q", buf.String())
+	}
+}
+
+func TestFileSink(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "telemetry.lp")
+	// A fast periodic flusher so the test also exercises the flush loop.
+	fs, err := NewFileSink(path, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := testSample()
+	if _, err := EmitSample(fs, nil, &s, 5000); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(5 * time.Millisecond) //em2:wallclock-ok: gives the advisory flush loop a chance to run; correctness never depends on it
+	if err := fs.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != testSampleLines {
+		t.Errorf("file sink wrote:\n%s", got)
+	}
+}
+
+func TestUDPSink(t *testing.T) {
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pc.Close()
+	u, err := NewUDPSink(pc.LocalAddr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := testSample()
+	if _, err := EmitSample(u, nil, &s, 5000); err != nil {
+		t.Fatal(err)
+	}
+	// The sample fits one datagram, so nothing ships until Close flushes.
+	if err := u.Close(); err != nil {
+		t.Fatal(err)
+	}
+	pc.SetReadDeadline(time.Now().Add(5 * time.Second)) //em2:wallclock-ok: test-socket deadline guard, not encoded state
+	buf := make([]byte, 64<<10)
+	n, _, err := pc.ReadFrom(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(buf[:n]) != testSampleLines {
+		t.Errorf("udp sink shipped:\n%s", buf[:n])
+	}
+}
+
+func TestUDPSinkBatches(t *testing.T) {
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pc.Close()
+	u, err := NewUDPSink(pc.LocalAddr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	line := []byte("machine words=0i,events=0i 1\n")
+	writes := maxDatagramBytes/len(line) + 2 // guaranteed to overflow one datagram
+	for i := 0; i < writes; i++ {
+		if err := u.Write(line); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := u.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var total int
+	pc.SetReadDeadline(time.Now().Add(5 * time.Second)) //em2:wallclock-ok: test-socket deadline guard, not encoded state
+	buf := make([]byte, 64<<10)
+	for total < writes*len(line) {
+		n, _, err := pc.ReadFrom(buf)
+		if err != nil {
+			t.Fatalf("after %d bytes of %d: %v", total, writes*len(line), err)
+		}
+		if n > maxDatagramBytes {
+			t.Fatalf("datagram of %d bytes exceeds the %d-byte cap", n, maxDatagramBytes)
+		}
+		total += n
+	}
+}
+
+func TestOpen(t *testing.T) {
+	if _, err := Open("", 0); err == nil {
+		t.Error("empty spec accepted")
+	}
+	s, err := Open("mem:", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.(*MemorySink); !ok {
+		t.Errorf("mem: opened %T", s)
+	}
+	s, err = Open("-", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w, ok := s.(*WriterSink); !ok || w.W != os.Stdout {
+		t.Errorf("- opened %T", s)
+	}
+	path := filepath.Join(t.TempDir(), "out.lp")
+	s, err = Open(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.(*FileSink); !ok {
+		t.Errorf("path opened %T", s)
+	}
+	s.Close()
+}
+
+func TestCheckerCleanStream(t *testing.T) {
+	var c Checker
+	s := testSample()
+	s.Guests = []int64{0, 0}
+	s.Words, s.Events = 0, 0
+	c.Check(&s, true)
+	s.Cycle = 2
+	s.PerCore[0].Instructions += 10
+	c.Check(&s, true)
+	if v := c.Violations(); len(v) != 0 {
+		t.Fatalf("clean stream produced violations: %+v", v)
+	}
+	if c.Checked() != 2 {
+		t.Errorf("Checked() = %d", c.Checked())
+	}
+}
+
+func TestCheckerViolations(t *testing.T) {
+	kindsOf := func(c *Checker) []string {
+		var out []string
+		for _, v := range c.Violations() {
+			out = append(out, v.Kind)
+		}
+		return out
+	}
+
+	// Guest drift: negative gauge, and nonzero while quiescent.
+	var c Checker
+	s := transport.Sample{PerCore: []transport.CoreMetrics{{Core: 0}, {Core: 1}}, Guests: []int64{-1, 2}}
+	c.Check(&s, true)
+	if got := kindsOf(&c); !reflect.DeepEqual(got, []string{"guest-drift", "guest-drift"}) {
+		t.Errorf("guest violations = %v", got)
+	}
+
+	// Quiescent footprint leak and window bound.
+	c = Checker{MaxWords: 8}
+	s = transport.Sample{Words: 16, Events: 1}
+	c.Check(&s, true)
+	if got := kindsOf(&c); !reflect.DeepEqual(got, []string{"unbounded-memory", "unbounded-memory"}) {
+		t.Errorf("memory violations = %v", got)
+	}
+
+	// A counter moving backward between samples of the same core.
+	c = Checker{}
+	s = transport.Sample{Cycle: 1, PerCore: []transport.CoreMetrics{{Core: 0, Instructions: 100}}}
+	c.Check(&s, false)
+	s = transport.Sample{Cycle: 2, PerCore: []transport.CoreMetrics{{Core: 0, Instructions: 90}}}
+	c.Check(&s, false)
+	if got := kindsOf(&c); !reflect.DeepEqual(got, []string{"counter-regressed"}) {
+		t.Errorf("regression violations = %v", got)
+	}
+	if v := c.Violations()[0]; v.Cycle != 2 {
+		t.Errorf("violation stamped at cycle %d, want 2", v.Cycle)
+	}
+
+	// A merge that swaps core attribution between samples.
+	c = Checker{}
+	s = transport.Sample{PerCore: []transport.CoreMetrics{{Core: 0}, {Core: 1}}}
+	c.Check(&s, false)
+	s = transport.Sample{PerCore: []transport.CoreMetrics{{Core: 1}, {Core: 0}}}
+	c.Check(&s, false)
+	if got := kindsOf(&c); !reflect.DeepEqual(got, []string{"counter-misattributed", "counter-misattributed"}) {
+		t.Errorf("misattribution violations = %v", got)
+	}
+}

@@ -167,6 +167,19 @@ type Heartbeat struct {
 	Node int
 	Seq  uint64
 	Net  NetStats
+	// Sample piggybacks the node's latest metrics Sample on the liveness
+	// frame when a sampler is installed (HandleSample) — the cheap way to
+	// watch a live run without a sample round trip. Advisory like the rest
+	// of the heartbeat: wall-clock paced, so never deterministic.
+	Sample *Sample `json:",omitempty"`
+}
+
+// NodeSample is one node's reply to a FrameSampleReq: its metrics Sample,
+// or the reason it could not take one.
+type NodeSample struct {
+	Node   int
+	Sample Sample
+	Err    string `json:",omitempty"`
 }
 
 // CollectChunk is one increment of a node's post-run state: per-core
@@ -375,6 +388,7 @@ type Node struct {
 	handler  func(core geom.CoreID, req MemRequest) MemReply
 	jobH     func(*JobSpec) error
 	jobDoneH func(JobDone) JobRetired
+	sampleH  func() Sample
 	hbOnce   sync.Once
 	nextID   atomic.Uint64
 	pending  map[uint64]*pendingCall
@@ -597,6 +611,21 @@ func (n *Node) handleFrame(c *conn, f Frame) error {
 		// can reuse either.
 		ret := n.jobDoneH(d)
 		return c.sendJSON(FrameJobRetired, &ret)
+	case FrameSampleReq:
+		// Synchronous on the reader like the job frames: the reply is cheap
+		// (one lock-light snapshot) and per-connection FIFO pairs it with
+		// its request. Waiting for Ready guarantees the sampler installed
+		// by the node lifecycle is visible.
+		if !n.waitReady() {
+			return errStopRead
+		}
+		rep := NodeSample{Node: n.idx}
+		if s, err := n.Sample(); err != nil {
+			rep.Err = err.Error()
+		} else {
+			rep.Sample = s
+		}
+		return c.sendJSON(FrameSampleRep, &rep)
 	case FrameCollect:
 		select {
 		case n.collects <- struct{}{}:
@@ -764,6 +793,10 @@ func (n *Node) StartHeartbeat(interval time.Duration) {
 				}
 				seq++
 				hb := Heartbeat{Node: n.idx, Seq: seq, Net: n.nc.snapshot()}
+				if n.sampleH != nil {
+					s := n.sampleH()
+					hb.Sample = &s
+				}
 				if err := c.sendJSON(FrameHeartbeat, &hb); err != nil {
 					return
 				}
@@ -827,6 +860,23 @@ func (n *Node) HandleJob(h func(*JobSpec) error) { n.jobH = h }
 // its JobRetired reply — slot clearance plus any reclaimed events — goes
 // straight back on the same connection. Install before Ready.
 func (n *Node) HandleJobDone(h func(JobDone) JobRetired) { n.jobDoneH = h }
+
+// HandleSample installs the machine-side sampler behind Sample(): the
+// part's non-destructive snapshot. Install before Ready (like the job
+// handlers); FrameSampleReq waits for Ready before consulting it.
+func (n *Node) HandleSample(h func() Sample) { n.sampleH = h }
+
+// Sample implements MetricsSource for the node endpoint: the installed
+// machine sampler's snapshot with the node's own wire counters stamped in.
+// Without an installed sampler only the wire counters are reported.
+func (n *Node) Sample() (Sample, error) {
+	var s Sample
+	if n.sampleH != nil {
+		s = n.sampleH()
+	}
+	s.Net = n.nc.snapshot()
+	return s, nil
+}
 
 // SendMigration implements Transport: a channel push when dst is owned
 // locally, a deferred frame into the owning node's batch buffer otherwise —
@@ -928,6 +978,7 @@ type Coordinator struct {
 	jobAcks  chan JobAck
 	loadAcks chan LoadAck
 	retired  chan JobRetired
+	samples  chan NodeSample
 	deaths   chan error
 	down     atomic.Bool // set by Shutdown/Close: reader exits become orderly
 
@@ -961,6 +1012,7 @@ func DialCluster(man Manifest, timeout time.Duration) (*Coordinator, error) {
 		jobAcks:  make(chan JobAck, len(man.Nodes)),
 		loadAcks: make(chan LoadAck, len(man.Nodes)),
 		retired:  make(chan JobRetired, len(man.Nodes)),
+		samples:  make(chan NodeSample, len(man.Nodes)),
 		deaths:   make(chan error, len(man.Nodes)),
 		hb:       make(map[int]HeartbeatInfo),
 	}
@@ -1043,6 +1095,17 @@ func (co *Coordinator) readLoop(node int, c *conn) {
 				return malformedf("job retired: %v", err)
 			}
 			co.retired <- ret
+		case FrameSampleRep:
+			var ns NodeSample
+			if err := json.Unmarshal(f.Blob, &ns); err != nil {
+				return malformedf("sample reply: %v", err)
+			}
+			select {
+			case co.samples <- ns:
+			default:
+				// A reply for a SampleCluster that already timed out; drop it
+				// rather than wedging the reader.
+			}
 		case FrameHeartbeat:
 			var hb Heartbeat
 			if err := json.Unmarshal(f.Blob, &hb); err != nil {
@@ -1226,6 +1289,70 @@ func (co *Coordinator) RetireJob(d JobDone, timeout time.Duration) ([]Event, err
 		}
 	}
 	return events, nil
+}
+
+// SampleCluster broadcasts a sample request and merges one NodeSample per
+// node into a cluster-wide Sample: per-core rows sorted ascending by core,
+// gauges summed, wire counters summed across the nodes plus the
+// coordinator's own. Non-destructive and safe to call repeatedly while a
+// run is live — the nodes answer on their reader goroutines without
+// touching the data plane.
+func (co *Coordinator) SampleCluster(timeout time.Duration) (Sample, error) {
+	// Drop replies stranded by an earlier timed-out request; the ones being
+	// gathered below must all answer this broadcast.
+	for {
+		select {
+		case <-co.samples:
+			continue
+		default:
+		}
+		break
+	}
+	for _, c := range co.conns {
+		if err := c.w.appendKind(FrameSampleReq, 0); err != nil {
+			return Sample{}, err
+		}
+	}
+	var merged Sample
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	for got := 0; got < len(co.conns); got++ {
+		select {
+		case ns := <-co.samples:
+			if ns.Err != "" {
+				return Sample{}, fmt.Errorf("transport: node %d failed to sample: %s", ns.Node, ns.Err)
+			}
+			merged.Merge(ns.Sample)
+		case err := <-co.deaths:
+			return Sample{}, err
+		case <-timer.C:
+			return Sample{}, fmt.Errorf("transport: sample: %d of %d nodes replied before timeout", got, len(co.conns))
+		}
+	}
+	// Replies merge in arrival order; re-sort by core, carrying the aligned
+	// guest gauge along with its row.
+	order := make([]int, len(merged.PerCore))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool { return merged.PerCore[order[i]].Core < merged.PerCore[order[j]].Core })
+	perCore := make([]CoreMetrics, len(order))
+	guests := make([]int64, len(order))
+	for i, o := range order {
+		perCore[i] = merged.PerCore[o]
+		if o < len(merged.Guests) {
+			guests[i] = merged.Guests[o]
+		}
+	}
+	merged.PerCore, merged.Guests = perCore, guests
+	merged.Net = merged.Net.Add(co.nc.snapshot())
+	return merged, nil
+}
+
+// Sample implements MetricsSource for the whole cluster with a default
+// gather timeout.
+func (co *Coordinator) Sample() (Sample, error) {
+	return co.SampleCluster(30 * time.Second)
 }
 
 // Collect broadcasts the collect request and gathers one reply per node.

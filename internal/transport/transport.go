@@ -251,6 +251,84 @@ func (m CoreMetrics) Add(o CoreMetrics) CoreMetrics {
 	return m
 }
 
+// Sample is one non-destructive snapshot of a running machine's metrics:
+// the per-core counters Collect would gather at end of run, the live
+// guest-pool and shard-footprint gauges, and the endpoint's wire traffic.
+// Unlike Collect it leaves the machine running and the counters intact, so
+// a telemetry pipeline can take it periodically and turn the counters into
+// time series.
+//
+// Determinism contract: PerCore, Guests, Words and Events are deterministic
+// whenever the machine is quiescent (between serve jobs, or after the halt
+// barrier of a closed-loop run) — the same seed yields the same values on
+// every transport. Net is advisory only: batching and connection counts
+// differ across transports, so Net must never be folded into a
+// deterministic surface (the telemetry encoder excludes it from the
+// deterministic stream for exactly this reason).
+type Sample struct {
+	// Cycle is the virtual-time stamp the sampler assigns — the serve
+	// clock's cycle for open-loop sampling, the slowest thread's halt cycle
+	// for an end-of-run sample. Zero when the sampler has no virtual clock.
+	Cycle uint64 `json:"cycle"`
+	// PerCore holds the owned cores' counters, ascending by Core.
+	PerCore []CoreMetrics `json:"per_core"`
+	// Guests holds each owned core's resident guest-context count, aligned
+	// with PerCore. A gauge: it must return to zero whenever the machine is
+	// quiescent.
+	Guests []int64 `json:"guests"`
+	// Words and Events are the endpoint's shard footprint: words of backing
+	// memory and logged SC events across its shards. Gauges — region
+	// retirement reclaims both.
+	Words  int64 `json:"words"`
+	Events int64 `json:"events"`
+	// Net is the endpoint's wire traffic at the moment of the sample.
+	// Advisory only; see the type comment.
+	Net NetStats `json:"net"`
+}
+
+// Total returns the counter-wise sum over PerCore.
+func (s *Sample) Total() CoreMetrics {
+	var t CoreMetrics
+	for _, m := range s.PerCore {
+		t = t.Add(m)
+	}
+	return t
+}
+
+// GuestTotal returns the summed guest gauge.
+func (s *Sample) GuestTotal() int64 {
+	var t int64
+	for _, g := range s.Guests {
+		t += g
+	}
+	return t
+}
+
+// Merge folds o into s: per-core rows are concatenated (callers re-sort by
+// Core once all endpoints are merged), gauges and wire counters sum. The
+// coordinator uses it to assemble a cluster-wide sample from per-node
+// replies.
+func (s *Sample) Merge(o Sample) {
+	s.PerCore = append(s.PerCore, o.PerCore...)
+	s.Guests = append(s.Guests, o.Guests...)
+	s.Words += o.Words
+	s.Events += o.Events
+	s.Net = s.Net.Add(o.Net)
+}
+
+// MetricsSource is the common non-destructive metrics surface: anything
+// that can be sampled for telemetry. machine.Part (in-process cores),
+// Node (one cluster endpoint plus its wire counters) and Coordinator (a
+// whole cluster, via the sample control frames) all implement it, so the
+// stats renderers and the telemetry pipeline are written once against this
+// interface.
+type MetricsSource interface {
+	// Sample takes a snapshot. It must be cheap and lock-light — safe to
+	// call periodically while the machine runs — and must not disturb any
+	// counter (sampling is invisible to deterministic surfaces).
+	Sample() (Sample, error)
+}
+
 // Transport moves contexts and remote accesses between cores. A transport
 // instance serves one *endpoint* — the set of cores it owns locally — and
 // routes sends to any core in the system. Implementations must be safe for

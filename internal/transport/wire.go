@@ -57,6 +57,13 @@ const (
 	FrameHeartbeat
 	FrameCollectChunk
 	FrameJobRetired
+	// FrameSampleReq asks a node for one non-destructive metrics Sample
+	// (kind byte only); FrameSampleRep carries the NodeSample back. The
+	// sample plane is advisory — like heartbeats, its replies never enter a
+	// deterministic surface unless the sampler itself is deterministic (the
+	// serve loop's virtual-time ticks, where the machine is quiescent).
+	FrameSampleReq
+	FrameSampleRep
 )
 
 const (
@@ -176,9 +183,9 @@ func AppendFrame(b []byte, f Frame) []byte {
 	case FrameMemRep:
 		return appendMemRepFrame(b, f.ID, f.Rep)
 	case FrameLoad, FrameHalt, FrameCollectRep, FrameJobSubmit, FrameJobAck, FrameJobDone,
-		FrameLoadAck, FrameHeartbeat, FrameCollectChunk, FrameJobRetired:
+		FrameLoadAck, FrameHeartbeat, FrameCollectChunk, FrameJobRetired, FrameSampleRep:
 		return appendBlobFrame(b, f.Kind, f.Blob)
-	case FrameCollect, FrameShutdown:
+	case FrameCollect, FrameShutdown, FrameSampleReq:
 		return append(b, byte(f.Kind)) // kind byte only
 	default:
 		panic(fmt.Sprintf("transport: AppendFrame of unknown kind %d", f.Kind))
@@ -243,7 +250,7 @@ func parseFrame(b []byte) (Frame, int, error) {
 		f.Rep.Value = binary.BigEndian.Uint32(p[8:])
 		return f, 1 + memRepBody, nil
 	case FrameLoad, FrameHalt, FrameCollectRep, FrameJobSubmit, FrameJobAck, FrameJobDone,
-		FrameLoadAck, FrameHeartbeat, FrameCollectChunk, FrameJobRetired:
+		FrameLoadAck, FrameHeartbeat, FrameCollectChunk, FrameJobRetired, FrameSampleRep:
 		if err := need(4); err != nil {
 			return Frame{}, 0, err
 		}
@@ -253,7 +260,7 @@ func parseFrame(b []byte) (Frame, int, error) {
 		}
 		f.Blob = p[4 : 4+n]
 		return f, 1 + 4 + n, nil
-	case FrameCollect, FrameShutdown:
+	case FrameCollect, FrameShutdown, FrameSampleReq:
 		return f, 1, nil
 	default:
 		return Frame{}, 0, malformedf("unknown frame kind %d", f.Kind)

@@ -34,6 +34,8 @@ func sampleFrames() []transport.Frame {
 		{Kind: transport.FrameHeartbeat, Blob: []byte(`{"Node":0,"Seq":3}`)},
 		{Kind: transport.FrameCollectChunk, Blob: []byte(`{"Node":0,"Done":true}`)},
 		{Kind: transport.FrameJobRetired, Blob: []byte(`{"Job":7}`)},
+		{Kind: transport.FrameSampleReq},
+		{Kind: transport.FrameSampleRep, Blob: []byte(`{"Node":0,"Sample":{"cycle":0,"per_core":null,"guests":null,"words":0,"events":0,"net":{}}}`)},
 	}
 }
 
@@ -46,7 +48,7 @@ func TestSampleFramesCoverEveryKind(t *testing.T) {
 	for _, f := range sampleFrames() {
 		covered[f.Kind] = true
 	}
-	for k := transport.FrameHello; k <= transport.FrameJobRetired; k++ {
+	for k := transport.FrameHello; k <= transport.FrameSampleRep; k++ {
 		if !covered[k] {
 			t.Errorf("frame kind %d missing from sampleFrames round-trip corpus", k)
 		}

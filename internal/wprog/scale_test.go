@@ -82,13 +82,18 @@ func runScaleCluster(t *testing.T, c *Compiled, start func(t *testing.T, man tra
 		t.Fatal(err)
 	}
 	wait := start(t, man)
-	res, err := machine.RunCluster(man, machine.ClusterConfig{
-		Quantum:   16,
-		Scheme:    "history:2",
-		Placement: fmt.Sprintf("page-striped:%d", PageBytes),
-		LogEvents: true,
-		Timeout:   180 * time.Second,
-	}, c.Threads, c.Mem)
+	res, err := machine.ClusterRun{
+		Manifest: man,
+		Config: machine.ClusterConfig{
+			Quantum:   16,
+			Scheme:    "history:2",
+			Placement: fmt.Sprintf("page-striped:%d", PageBytes),
+			LogEvents: true,
+			Timeout:   180 * time.Second,
+		},
+		Threads: c.Threads,
+		Mem:     c.Mem,
+	}.Run()
 	if wait != nil {
 		err = wait(err)
 	}

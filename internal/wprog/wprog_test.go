@@ -113,14 +113,19 @@ func runTCP(t *testing.T, c *Compiled, schemeName, placeName string, guests int)
 	for i := range man.Nodes {
 		go func(i int) { errs <- machine.ServeNode(man, i) }(i)
 	}
-	res, err := machine.RunCluster(man, machine.ClusterConfig{
-		GuestContexts: guests,
-		Quantum:       16,
-		Scheme:        schemeName,
-		Placement:     placeName,
-		LogEvents:     true,
-		Timeout:       120 * time.Second,
-	}, c.Threads, c.Mem)
+	res, err := machine.ClusterRun{
+		Manifest: man,
+		Config: machine.ClusterConfig{
+			GuestContexts: guests,
+			Quantum:       16,
+			Scheme:        schemeName,
+			Placement:     placeName,
+			LogEvents:     true,
+			Timeout:       120 * time.Second,
+		},
+		Threads: c.Threads,
+		Mem:     c.Mem,
+	}.Run()
 	for range man.Nodes {
 		if e := <-errs; e != nil && err == nil {
 			err = fmt.Errorf("tcp node: %v", e)
