@@ -8,7 +8,7 @@
 //	em2node -manifest cluster.json -node 0
 //
 // The manifest is shared by every node and by the driver (see
-// `em2sim -cluster`, or machine.RunCluster for embedding):
+// `em2sim -cluster`, or machine.ClusterRun for embedding):
 //
 //	{
 //	  "w": 2, "h": 2,

@@ -139,7 +139,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		// Trace mode defaults to first-touch, which cannot run across
 		// nodes; in cluster mode an unset -placement means striped:64,
 		// while an explicit choice (including first-touch) is honored and
-		// validated by RunCluster.
+		// validated by ClusterRun.Run.
 		clusterPlace := "striped:64"
 		if set["placement"] {
 			clusterPlace = *placeName
@@ -278,6 +278,8 @@ var wireNameDescs = map[string]string{
 	"always-remote":            "remote-access-only baseline: execution never moves",
 	"distance:N":               "migrate when hops(cur,home) <= N",
 	"history:N":                "migrate when the page's last run >= N; per-thread state migrates with the context",
+	"cached-remote":            "pure caching: reads fill a per-core lease cache, writes stay remote, execution never moves",
+	"hybrid[:N]":               "leased reads (window N, default 64) + history-driven write migration",
 	"striped[:LINEBYTES]":      "home = (addr/LINEBYTES) mod cores (default line 64)",
 	"page-striped[:PAGEBYTES]": "home = (addr/PAGEBYTES) mod cores (default page 4096)",
 }
@@ -553,6 +555,9 @@ func runCluster(stdout io.Writer, nodes int, progName, compiledWL string, wcfg w
 			RemoteOps    int64                   `json:"remote_ops"`
 			LocalOps     int64                   `json:"local_ops"`
 			ContextFlits int64                   `json:"context_flits"`
+			LeaseHits    int64                   `json:"lease_hits"`
+			LeaseMisses  int64                   `json:"lease_misses"`
+			LeaseInvals  int64                   `json:"lease_invals"`
 			Overcommits  int64                   `json:"overcommits"`
 			Events       int                     `json:"events"`
 			SC           string                  `json:"sc"`
@@ -568,8 +573,10 @@ func runCluster(stdout io.Writer, nodes int, progName, compiledWL string, wcfg w
 			Nodes: nodes, Cores: mesh.Cores(), Threads: len(lit.Threads),
 			Instructions: res.Instructions, Migrations: res.Migrations, Evictions: res.Evictions,
 			RemoteOps: res.RemoteReads + res.RemoteWrites, LocalOps: res.LocalOps,
-			ContextFlits: res.ContextFlits, Overcommits: res.Overcommits,
-			Events: len(res.Events), SC: status(scErr), Check: status(checkErr),
+			ContextFlits: res.ContextFlits,
+			LeaseHits:    res.LeaseHits, LeaseMisses: res.LeaseMisses, LeaseInvals: res.LeaseInvals,
+			Overcommits: res.Overcommits,
+			Events:      len(res.Events), SC: status(scErr), Check: status(checkErr),
 			Model: modelWant, ModelCheck: modelCheck,
 			PerNode: res.NodeCounters, PerCore: res.PerCore,
 			Net: res.NodeNet, CoordNet: res.CoordNet,
@@ -583,13 +590,15 @@ func runCluster(stdout io.Writer, nodes int, progName, compiledWL string, wcfg w
 			fmt.Fprintf(stdout, "compiled : %d accesses over %d pages -> %d instructions\n",
 				comp.Trace.Len(), len(comp.Pages), comp.Instructions())
 		}
-		fmt.Fprintf(stdout, "result   : instructions=%d migrations=%d evictions=%d remote=%d local=%d ctxflits=%d overcommits=%d\n",
+		fmt.Fprintf(stdout, "result   : instructions=%d migrations=%d evictions=%d remote=%d local=%d ctxflits=%d lease=%d/%d/%d overcommits=%d\n",
 			res.Instructions, res.Migrations, res.Evictions,
-			res.RemoteReads+res.RemoteWrites, res.LocalOps, res.ContextFlits, res.Overcommits)
+			res.RemoteReads+res.RemoteWrites, res.LocalOps, res.ContextFlits,
+			res.LeaseHits, res.LeaseMisses, res.LeaseInvals, res.Overcommits)
 		if modelWant != nil {
-			fmt.Fprintf(stdout, "model    : migrations=%d evictions=%d remote=%d local=%d ctxflits=%d -> %s\n",
+			fmt.Fprintf(stdout, "model    : migrations=%d evictions=%d remote=%d local=%d ctxflits=%d lease=%d/%d/%d -> %s\n",
 				modelWant.Migrations, modelWant.Evictions, modelWant.RemoteOps,
-				modelWant.LocalOps, modelWant.ContextFlits, modelCheck)
+				modelWant.LocalOps, modelWant.ContextFlits,
+				modelWant.LeaseHits, modelWant.LeaseMisses, modelWant.LeaseInvals, modelCheck)
 		}
 		for i, c := range res.NodeCounters {
 			fmt.Fprintf(stdout, "node %-4d: instructions=%d migrations=%d evictions=%d\n",

@@ -79,6 +79,36 @@ func TestTraceModeHistoryJSON(t *testing.T) {
 	}
 }
 
+// TestTraceModeHybridJSON: trace mode accepts the lease-caching schemes
+// and exports their counters — a sharing workload under hybrid must show
+// lease traffic in the JSON counters map.
+func TestTraceModeHybridJSON(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-workload", "pingpong", "-cores", "4", "-threads", "4",
+		"-scale", "8", "-iters", "1", "-scheme", "hybrid:16", "-json"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	var res struct {
+		Scheme   string           `json:"scheme"`
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &res); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out.String())
+	}
+	if res.Scheme != "hybrid:16" {
+		t.Errorf("scheme = %q, want hybrid:16", res.Scheme)
+	}
+	for _, key := range []string{"lease_hits", "lease_misses", "lease_invals"} {
+		if _, ok := res.Counters[key]; !ok {
+			t.Errorf("counters missing %q: %v", key, res.Counters)
+		}
+	}
+	if res.Counters["lease_hits"]+res.Counters["lease_misses"] == 0 {
+		t.Errorf("hybrid run shows no lease traffic at all: %v", res.Counters)
+	}
+}
+
 // TestExplicitZeroFlagIsCleanError: an explicit -iters 0 (or a zero in the
 // workload suffix) must exit with the workload package's error message, not
 // a generator panic.
@@ -211,5 +241,46 @@ func TestClusterHistoryBinary(t *testing.T) {
 		if !strings.Contains(string(out), want) {
 			t.Errorf("cluster output missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestClusterHybridBinary drives the hybrid coherence scheme through the
+// real binary on a two-node cluster with -json: leases are granted and
+// invalidated across real sockets, the run is SC-clean, and the runtime's
+// lease counters match the trace model exactly. Skipped in -short.
+func TestClusterHybridBinary(t *testing.T) {
+	if testing.Short() {
+		t.Skip("building cmd/em2sim needs the go toolchain; skipped in -short")
+	}
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+	bin := filepath.Join(t.TempDir(), "em2sim")
+	build := exec.Command("go", "build", "-o", bin, "repro/cmd/em2sim")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build cmd/em2sim: %v\n%s", err, out)
+	}
+	cmd := exec.Command(bin, "-cluster", "2", "-workload", "fft:8,1,7",
+		"-cores", "4", "-threads", "4", "-scheme", "hybrid:16", "-json")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("em2sim -cluster 2 -workload fft -scheme hybrid:16: %v\n%s", err, out)
+	}
+	var res struct {
+		Scheme      string `json:"scheme"`
+		SC          string `json:"sc"`
+		ModelCheck  string `json:"model_check"`
+		LeaseHits   int64  `json:"lease_hits"`
+		LeaseMisses int64  `json:"lease_misses"`
+	}
+	if err := json.Unmarshal(out, &res); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out)
+	}
+	if res.Scheme != "hybrid:16" || res.SC != "ok" || res.ModelCheck != "exact" {
+		t.Errorf("scheme/sc/model_check = %q/%q/%q, want hybrid:16/ok/exact\n%s",
+			res.Scheme, res.SC, res.ModelCheck, out)
+	}
+	if res.LeaseHits+res.LeaseMisses == 0 {
+		t.Errorf("cluster hybrid run shows no lease traffic:\n%s", out)
 	}
 }

@@ -101,12 +101,16 @@ func All() []*Analyzer {
 // the bulk of the package — with tcp.go's legitimate wall-clock sites
 // carried by the noclock allowlist instead of a package-level exemption.
 var deterministicSegments = map[string]bool{
+	"cache":     true,
+	"core":      true,
+	"dircc":     true,
 	"machine":   true,
 	"serve":     true,
 	"sim":       true,
 	"stats":     true,
 	"sweep":     true,
 	"telemetry": true,
+	"trace":     true,
 	"transport": true,
 	"wprog":     true,
 }

@@ -29,6 +29,8 @@ func TestSpecRegistry(t *testing.T) {
 	want := []string{
 		"codec/context-encode", "codec/context-decode", "codec/context-roundtrip",
 		"frame/batch-encode", "frame/batch-decode", "telemetry/sample-encode",
+		"lease/lookup-hit",
+		"machine/channel/ocean-hybrid", "machine/tcp/ocean-hybrid",
 	}
 	if !reflect.DeepEqual(gated, want) {
 		t.Errorf("gated set %v, want %v", gated, want)

@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/geom"
 	"repro/internal/machine"
@@ -66,6 +67,7 @@ type benchWorkload struct {
 	scheme     core.Scheme // channel transport
 	schemeName string      // TCP transport (parsed on each node)
 	full       bool        // skipped under -short
+	gated      bool        // allocs/op is a CI invariant on both transports
 }
 
 // benchWorkloads returns the registry workloads, sized down under short.
@@ -103,19 +105,27 @@ func benchWorkloads(short bool) []benchWorkload {
 var compiledWorkloads = func() func(short bool) []benchWorkload {
 	compile := func(short bool) []benchWorkload {
 		specs := []struct {
-			name   string
+			name   string // workload to compile
+			bench  string // registry name ("" = workload name)
 			cfg    workload.Config
 			scheme core.Scheme
 			sname  string
+			gated  bool
 		}{
-			{"ocean", workload.Config{Threads: 4, Scale: 16, Iters: 1, Seed: 2011}, core.NewHistory(2), "history:2"},
-			{"fft", workload.Config{Threads: 4, Scale: 16, Iters: 1, Seed: 2011}, core.AlwaysMigrate{}, "always-migrate"},
-			{"barnes", workload.Config{Threads: 4, Scale: 8, Iters: 1, Seed: 2011}, core.AlwaysMigrate{}, "always-migrate"},
+			{"ocean", "", workload.Config{Threads: 4, Scale: 16, Iters: 1, Seed: 2011}, core.NewHistory(2), "history:2", false},
+			// The same trace under the hybrid coherence scheme: leased
+			// remote reads plus history-driven write migration. Gated —
+			// the lease path must never regress the run's allocation
+			// budget (both sides hold per-core caches and the shard
+			// lease table at fixed capacity).
+			{"ocean", "ocean-hybrid", workload.Config{Threads: 4, Scale: 16, Iters: 1, Seed: 2011}, core.NewHybrid(16), "hybrid:16", true},
+			{"fft", "", workload.Config{Threads: 4, Scale: 16, Iters: 1, Seed: 2011}, core.AlwaysMigrate{}, "always-migrate", false},
+			{"barnes", "", workload.Config{Threads: 4, Scale: 8, Iters: 1, Seed: 2011}, core.AlwaysMigrate{}, "always-migrate", false},
 		}
 		if short {
-			specs[0].cfg.Scale = 8
-			specs[1].cfg.Scale = 8
-			specs[2].cfg.Scale = 4
+			for i := range specs {
+				specs[i].cfg.Scale /= 2
+			}
 		}
 		var out []benchWorkload
 		for _, s := range specs {
@@ -123,7 +133,11 @@ var compiledWorkloads = func() func(short bool) []benchWorkload {
 			if err != nil {
 				panic(fmt.Sprintf("bench: compile %s: %v", s.name, err))
 			}
-			out = append(out, benchWorkload{lit: c.Litmus(), scheme: s.scheme, schemeName: s.sname})
+			lit := c.Litmus()
+			if s.bench != "" {
+				lit.Name = s.bench
+			}
+			out = append(out, benchWorkload{lit: lit, scheme: s.scheme, schemeName: s.sname, gated: s.gated})
 		}
 		return out
 	}
@@ -451,6 +465,37 @@ func Specs() []Spec {
 				}
 			},
 		},
+		{
+			// The per-core lease cache's read hot path: one Lookup hit —
+			// tag probe, virtual-time expiry check, LRU touch — at a
+			// valid lease. Every cached remote read under cached-remote
+			// or hybrid pays exactly this, so it is gated at zero
+			// allocations.
+			Name: "lease/lookup-hit", Gated: true,
+			Run: func(b *testing.B, short bool, side *Side) {
+				const entries = 64
+				lc := core.NewLeaseCache(entries, 1<<15)
+				addrs := make([]cache.Addr, entries)
+				for i := range addrs {
+					addrs[i] = cache.Addr(i * 64)
+					lc.Fill(addrs[i], uint32(i), 0)
+				}
+				var sum uint32
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					v, ok := lc.Lookup(addrs[i%entries], 1)
+					if !ok {
+						side.Failf(b, "hit path missed at %d", addrs[i%entries])
+					}
+					sum += v
+				}
+				b.StopTimer()
+				if lc.Len() != entries {
+					side.Failf(b, "hit loop changed occupancy: %d entries, want %d (sum %d)", lc.Len(), entries, sum)
+				}
+			},
+		},
 	}
 
 	specs = append(specs, serveSpecs()...)
@@ -469,7 +514,7 @@ func Specs() []Spec {
 	for _, w := range benchWorkloads(false) {
 		specs = append(specs,
 			Spec{
-				Name: "machine/channel/" + w.lit.Name, FullOnly: w.full,
+				Name: "machine/channel/" + w.lit.Name, FullOnly: w.full, Gated: w.gated,
 				Run: func(b *testing.B, short bool, side *Side) {
 					ws := w
 					if short {
@@ -492,7 +537,7 @@ func Specs() []Spec {
 				},
 			},
 			Spec{
-				Name: "machine/tcp/" + w.lit.Name, FullOnly: w.full,
+				Name: "machine/tcp/" + w.lit.Name, FullOnly: w.full, Gated: w.gated,
 				Run: func(b *testing.B, short bool, side *Side) {
 					ws := w
 					if short {

@@ -29,6 +29,12 @@ const (
 	// OutcomeRemote: the thread sent a remote request and got a data/ack
 	// reply without moving (Figure 3, "send remote request to home core").
 	OutcomeRemote
+	// OutcomeCachedHit: a read served from the thread's lease cache —
+	// no network traffic at all (lease.go).
+	OutcomeCachedHit
+	// OutcomeRemoteCached: a remote read that also requested a lease, so
+	// the reply filled the thread's lease cache.
+	OutcomeRemoteCached
 )
 
 // String implements fmt.Stringer.
@@ -42,6 +48,10 @@ func (o Outcome) String() string {
 		return "migrated+evict"
 	case OutcomeRemote:
 		return "remote"
+	case OutcomeCachedHit:
+		return "cached-hit"
+	case OutcomeRemoteCached:
+		return "remote+lease"
 	}
 	return fmt.Sprintf("outcome(%d)", int(o))
 }
@@ -59,7 +69,14 @@ type Result struct {
 
 	Migrations     int64
 	Evictions      int64
-	RemoteAccesses int64
+	RemoteAccesses int64 // includes the lease-requesting remote reads (LeaseMisses)
+
+	// The lease-layer counters (zero for non-caching schemes): reads
+	// served from the lease cache, lease-requesting remote-read fills,
+	// and self-invalidations on the holder's own writes.
+	LeaseHits   int64
+	LeaseMisses int64
+	LeaseInvals int64
 
 	Cycles       int64 // network + overhead cycles (the §3 model cost)
 	MemoryCycles int64 // cache/DRAM cycles (full fidelity only)
@@ -107,6 +124,11 @@ type Engine struct {
 	runHome []geom.CoreID
 	runLen  []int
 
+	// lease[t] is thread t's lease cache — allocated only when the
+	// scheme implements Leaser. This is the same LeaseCache the runtime
+	// uses, which is what makes the oracle exact for caching schemes.
+	lease []*LeaseCache
+
 	res *Result
 }
 
@@ -150,6 +172,12 @@ func (e *Engine) Run(tr *trace.Trace, callback func(i int, info AccessInfo, o Ou
 		e.runHome[t] = geom.None
 		e.preds[t] = e.scheme.NewPredictor(t)
 	}
+	if lz, ok := e.scheme.(Leaser); ok {
+		e.lease = make([]*LeaseCache, n)
+		for t := range e.lease {
+			e.lease[t] = NewLeaseCache(DefaultLeaseEntries, lz.LeaseWindow())
+		}
+	}
 	if e.cfg.ChargeMemory {
 		e.hier = make([]*cache.Hierarchy, cores)
 		for c := range e.hier {
@@ -182,6 +210,13 @@ func (e *Engine) Run(tr *trace.Trace, callback func(i int, info AccessInfo, o Ou
 			Native: e.native[t],
 			Access: a,
 		}
+		// The lease clock is the thread's own completed-access count —
+		// exactly the runtime's per-thread memSeq, so expiry happens at
+		// the same own-op on both sides.
+		now := uint64(info.Index)
+		if e.lease != nil {
+			info.Lease = NewLeaseView(e.lease[t], now)
+		}
 		perThreadIndex[t]++
 
 		var outcome Outcome
@@ -199,6 +234,27 @@ func (e *Engine) Run(tr *trace.Trace, callback func(i int, info AccessInfo, o Ou
 				outcome = OutcomeRemote
 				e.remoteAccess(t, home, a.Write)
 				e.chargeMemory(t, home, a)
+				// The holder's own write to a leased word removes the
+				// lease (the one counted removal; see lease.go).
+				if e.lease != nil && a.Write && e.lease[t].InvalidateOwn(cache.Addr(a.Addr)) {
+					e.res.LeaseInvals++
+				}
+			case CachedRead:
+				if _, ok := e.lease[t].Lookup(cache.Addr(a.Addr), now); !ok {
+					return nil, fmt.Errorf("core: scheme %q answered cached-read for a lease miss", e.scheme.Name())
+				}
+				outcome = OutcomeCachedHit
+				e.res.LeaseHits++
+				// Served entirely from the thread's cache: no network,
+				// no home-side memory charge.
+			case RemoteReadCached:
+				outcome = OutcomeRemoteCached
+				e.remoteAccess(t, home, a.Write)
+				e.chargeMemory(t, home, a)
+				e.res.LeaseMisses++
+				// The trace model carries no data values; the runtime
+				// fills the real word here.
+				e.lease[t].Fill(cache.Addr(a.Addr), 0, now)
 			default:
 				return nil, fmt.Errorf("core: scheme %q returned invalid decision", e.scheme.Name())
 			}
@@ -255,9 +311,14 @@ func (e *Engine) migrate(t int, home geom.CoreID) Outcome {
 	e.res.BitsMoved += int64(e.cfg.ContextBits)
 	e.res.Traffic += e.cfg.MigrationTraffic(from, home, e.cfg.ContextBits)
 
-	// Leave the old core: free the guest slot if we held one.
+	// Leave the old core: free the guest slot if we held one, and drop
+	// every lease (the cache stays behind conceptually; a new one fills
+	// at the destination).
 	if from != e.native[t] {
 		e.releaseGuest(from, t)
+	}
+	if e.lease != nil {
+		e.lease[t].DropAll()
 	}
 	e.loc[t] = home
 
@@ -300,6 +361,9 @@ func (e *Engine) evict(victim int, from geom.CoreID) {
 	e.res.Evictions++
 	e.res.BitsMoved += int64(e.cfg.ContextBits)
 	e.res.Traffic += e.cfg.MigrationTraffic(from, dst, e.cfg.ContextBits)
+	if e.lease != nil {
+		e.lease[victim].DropAll()
+	}
 	e.loc[victim] = dst
 }
 
@@ -356,6 +420,9 @@ func (e *Engine) collectCounters() {
 	c.Inc("migrations", e.res.Migrations)
 	c.Inc("evictions", e.res.Evictions)
 	c.Inc("remote_accesses", e.res.RemoteAccesses)
+	c.Inc("lease_hits", e.res.LeaseHits)
+	c.Inc("lease_misses", e.res.LeaseMisses)
+	c.Inc("lease_invals", e.res.LeaseInvals)
 	if e.cfg.ChargeMemory {
 		for i, h := range e.hier {
 			_ = i

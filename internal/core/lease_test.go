@@ -1,0 +1,247 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/geom"
+	"repro/internal/trace"
+)
+
+// TestLeaseExpiryBoundary pins the exact expiry arithmetic the
+// runtime==model contract depends on: a fill at own-op count m serves
+// cached reads while now <= m+window, and the first probe past the
+// boundary misses AND removes the entry.
+func TestLeaseExpiryBoundary(t *testing.T) {
+	const window = 4
+	c := NewLeaseCache(8, window)
+	c.Fill(100, 42, 10) // expire = 14
+
+	for now := uint64(10); now <= 14; now++ {
+		if !c.Valid(100, now) {
+			t.Fatalf("Valid(now=%d) = false inside the window", now)
+		}
+		if v, ok := c.Lookup(100, now); !ok || v != 42 {
+			t.Fatalf("Lookup(now=%d) = %d, %v; want 42 hit", now, v, ok)
+		}
+	}
+	if c.Valid(100, 15) {
+		t.Error("Valid(now=expire+1) = true; the boundary is inclusive of expire only")
+	}
+	if _, ok := c.Lookup(100, 15); ok {
+		t.Error("Lookup one past the boundary hit")
+	}
+	if c.Len() != 0 {
+		t.Errorf("expired entry not removed by the missing Lookup: Len = %d", c.Len())
+	}
+	// A re-fill after expiry restarts the window from the new fill time.
+	c.Fill(100, 43, 20)
+	if v, ok := c.Lookup(100, 24); !ok || v != 43 {
+		t.Errorf("re-filled Lookup = %d, %v; want 43 hit at new expire", v, ok)
+	}
+}
+
+// TestLeaseValidNeverMutates: Decide probes through Valid, so an expired
+// entry must survive a Valid call (only Lookup removes it) — otherwise a
+// probe-only path would perturb LRU/occupancy state the oracle replays.
+func TestLeaseValidNeverMutates(t *testing.T) {
+	c := NewLeaseCache(4, 2)
+	c.Fill(8, 1, 0) // expire = 2
+	if c.Valid(8, 3) {
+		t.Fatal("expired entry reported valid")
+	}
+	if c.Len() != 1 {
+		t.Errorf("Valid mutated the cache: Len = %d, want 1", c.Len())
+	}
+}
+
+// TestLeaseOwnWriteAndForeignUpdate pins the two write behaviors: the
+// holder's own write removes the entry (counted), a foreign write-update
+// replaces the value in place without touching presence or expiry.
+func TestLeaseOwnWriteAndForeignUpdate(t *testing.T) {
+	c := NewLeaseCache(4, 10)
+	c.Fill(4, 7, 0)
+
+	// Foreign update: value replaced, expiry untouched, still present.
+	if !c.Update(4, 9) {
+		t.Fatal("Update missed a held entry")
+	}
+	if v, ok := c.Lookup(4, 10); !ok || v != 9 {
+		t.Fatalf("after update Lookup = %d, %v; want 9 at the original expiry", v, ok)
+	}
+	// Foreign update of an unheld word never installs anything.
+	if c.Update(16, 1) {
+		t.Error("Update installed an entry on miss")
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d after missed update, want 1", c.Len())
+	}
+
+	// Own write: removed, and the removal is reported for the counter.
+	if !c.InvalidateOwn(4) {
+		t.Error("InvalidateOwn missed a held entry")
+	}
+	if c.InvalidateOwn(4) {
+		t.Error("InvalidateOwn reported a removal twice")
+	}
+	if _, ok := c.Lookup(4, 1); ok {
+		t.Error("entry survived its holder's own write")
+	}
+}
+
+// TestLeaseCapacityLRU: filling past capacity evicts the least recently
+// used entry deterministically.
+func TestLeaseCapacityLRU(t *testing.T) {
+	c := NewLeaseCache(2, 100)
+	c.Fill(0, 10, 0)
+	c.Fill(4, 11, 0)
+	c.Lookup(0, 1) // touch 0: 4 becomes LRU
+	c.Fill(8, 12, 2)
+	if _, ok := c.Lookup(4, 3); ok {
+		t.Error("LRU entry 4 survived a capacity fill")
+	}
+	if v, ok := c.Lookup(0, 3); !ok || v != 10 {
+		t.Errorf("recently-used entry 0 evicted: Lookup = %d, %v", v, ok)
+	}
+	if v, ok := c.Lookup(8, 3); !ok || v != 12 {
+		t.Errorf("fresh fill lost: Lookup = %d, %v", v, ok)
+	}
+}
+
+// TestLeaseDropAllAndDropRange covers the departure and region-reclaim
+// removals.
+func TestLeaseDropAllAndDropRange(t *testing.T) {
+	c := NewLeaseCache(8, 100)
+	for _, a := range []cache.Addr{0, 64, 128, 192} {
+		c.Fill(a, uint32(a), 0)
+	}
+	if n := c.DropRange(64, 192); n != 2 {
+		t.Errorf("DropRange removed %d, want 2", n)
+	}
+	if _, ok := c.Lookup(64, 1); ok {
+		t.Error("in-range lease survived DropRange")
+	}
+	if _, ok := c.Lookup(0, 1); !ok {
+		t.Error("out-of-range lease dropped by DropRange")
+	}
+	c.DropAll()
+	if c.Len() != 0 {
+		t.Errorf("DropAll left %d entries", c.Len())
+	}
+	// The tag store was reset too: a full set of fresh fills must not
+	// evict against stale tags.
+	c.Fill(0, 1, 0)
+	if v, ok := c.Lookup(0, 1); !ok || v != 1 {
+		t.Errorf("fill after DropAll: Lookup = %d, %v", v, ok)
+	}
+}
+
+// TestLeaseViewZeroValue: the zero view is never valid, so non-caching
+// paths need no nil checks.
+func TestLeaseViewZeroValue(t *testing.T) {
+	var v LeaseView
+	if v.Valid(0) {
+		t.Error("zero LeaseView reported a valid lease")
+	}
+}
+
+// TestCachedRemoteDecide pins the stateless pure-caching predictor:
+// writes are remote, reads hit the lease or request one; it never
+// migrates.
+func TestCachedRemoteDecide(t *testing.T) {
+	s := NewCachedRemote()
+	if s.Name() != "cached-remote" {
+		t.Errorf("Name = %q", s.Name())
+	}
+	if s.LeaseWindow() != DefaultLeaseWindow {
+		t.Errorf("default window = %d", s.LeaseWindow())
+	}
+	if (CachedRemote{Window: 8}).LeaseWindow() != 8 {
+		t.Error("explicit window ignored")
+	}
+	p := s.NewPredictor(0)
+	lc := NewLeaseCache(4, 8)
+	lc.Fill(64, 5, 0)
+
+	mk := func(addr trace.Addr, write bool, now uint64) AccessInfo {
+		info := AccessInfo{Lease: NewLeaseView(lc, now)}
+		info.Access.Addr = addr
+		info.Access.Write = write
+		return info
+	}
+	if d := p.Decide(mk(64, true, 1)); d != RemoteAccess {
+		t.Errorf("write decided %v, want remote-access", d)
+	}
+	if d := p.Decide(mk(64, false, 1)); d != CachedRead {
+		t.Errorf("held read decided %v, want cached-read", d)
+	}
+	if d := p.Decide(mk(64, false, 9)); d != RemoteReadCached {
+		t.Errorf("expired read decided %v, want remote-read-cached", d)
+	}
+	if d := p.Decide(mk(128, false, 1)); d != RemoteReadCached {
+		t.Errorf("unheld read decided %v, want remote-read-cached", d)
+	}
+	if p.StateLen() != 0 {
+		t.Errorf("stateless predictor carries %d state bytes", p.StateLen())
+	}
+}
+
+// TestHybridDecideAndState: reads take the lease path, writes delegate to
+// the embedded history predictor, and the wire state is exactly the
+// history state (fixed-size, round-trips through Append/Set).
+func TestHybridDecideAndState(t *testing.T) {
+	h := NewHybrid(16)
+	if h.Name() != "hybrid:16" {
+		t.Errorf("Name = %q", h.Name())
+	}
+	if NewHybrid(0).LeaseWindow() != DefaultLeaseWindow {
+		t.Error("zero window did not default")
+	}
+	p := h.NewPredictor(0)
+	lc := NewLeaseCache(4, 16)
+	lc.Fill(64, 5, 0)
+
+	mk := func(addr trace.Addr, write bool, now uint64) AccessInfo {
+		info := AccessInfo{Lease: NewLeaseView(lc, now)}
+		info.Access.Addr = addr
+		info.Access.Write = write
+		info.Home = 1
+		return info
+	}
+	if d := p.Decide(mk(64, false, 1)); d != CachedRead {
+		t.Errorf("held read decided %v, want cached-read", d)
+	}
+	if d := p.Decide(mk(128, false, 1)); d != RemoteReadCached {
+		t.Errorf("unheld read decided %v, want remote-read-cached", d)
+	}
+	// Writes follow the history predictor: a long enough observed run to
+	// one home must flip the write decision to Migrate.
+	wrote := p.Decide(mk(64, true, 1))
+	if wrote != RemoteAccess && wrote != Migrate {
+		t.Fatalf("write decided %v, want a history decision", wrote)
+	}
+	for i := 0; i < 8; i++ {
+		p.Observe(geom.CoreID(1), 64)
+	}
+	p.Observe(geom.CoreID(0), 1<<20) // end the run so the table records it
+	if d := p.Decide(mk(64, true, 2)); d != Migrate {
+		t.Errorf("write after a run of same-home observations decided %v, want migrate", d)
+	}
+
+	// State round-trip: hybrid state == history state, byte for byte.
+	hist := NewHistory(DefaultHybridMinRun).NewPredictor(0)
+	if p.StateLen() != hist.StateLen() {
+		t.Fatalf("hybrid state %d bytes, history state %d", p.StateLen(), hist.StateLen())
+	}
+	b := p.AppendState(nil)
+	if len(b) != p.StateLen() {
+		t.Fatalf("AppendState wrote %d bytes, StateLen says %d", len(b), p.StateLen())
+	}
+	fresh := h.NewPredictor(0)
+	if err := fresh.SetState(b); err != nil {
+		t.Fatal(err)
+	}
+	if got := fresh.AppendState(nil); string(got) != string(b) {
+		t.Error("state did not round-trip")
+	}
+}

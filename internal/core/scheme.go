@@ -13,10 +13,17 @@ import (
 // word-granular remote cache access.
 type Decision int
 
-// The two decisions.
+// The decisions. Migrate and RemoteAccess are the paper's two moves;
+// CachedRead and RemoteReadCached are the lease layer's (lease.go):
+// serve a read from the thread's lease cache, or perform a remote read
+// that also requests a lease so the reply fills the cache. Schemes may
+// return the cached decisions only for reads whose AccessInfo.Lease
+// probe they consulted.
 const (
 	Migrate Decision = iota
 	RemoteAccess
+	CachedRead
+	RemoteReadCached
 )
 
 // String implements fmt.Stringer.
@@ -26,6 +33,10 @@ func (d Decision) String() string {
 		return "migrate"
 	case RemoteAccess:
 		return "remote-access"
+	case CachedRead:
+		return "cached-read"
+	case RemoteReadCached:
+		return "remote-read-cached"
 	}
 	return fmt.Sprintf("decision(%d)", int(d))
 }
@@ -40,6 +51,10 @@ type AccessInfo struct {
 	Home   geom.CoreID
 	Native geom.CoreID
 	Access trace.Access
+	// Lease is the non-mutating probe of the thread's lease cache at
+	// this access (lease.go); the zero view is never valid, so schemes
+	// that ignore it and engines that run without caching need no setup.
+	Lease LeaseView
 }
 
 // Scheme is a migrate-vs-remote-access decision scheme. A scheme is a

@@ -252,6 +252,7 @@ func (e *Engine) Run(tr *trace.Trace) (*Result, error) {
 					worstInval = f
 				}
 			} else {
+				//em2:unordered-ok: per-sharer invalidations are independent; the counter is a sum and worstInval a max, both commutative
 				for s := range d.sharers {
 					if s == c {
 						continue
@@ -272,6 +273,7 @@ func (e *Engine) Run(tr *trace.Trace) (*Result, error) {
 				worstInval += e.msg(home, c, e.cfg.lineBits())
 			}
 			lat += worstInval
+			//em2:unordered-ok: clearing the sharer set; deletion order is unobservable
 			for s := range d.sharers {
 				delete(d.sharers, s)
 			}

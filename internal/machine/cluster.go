@@ -26,7 +26,7 @@ func PlacementNames() []string {
 // SchemeNames lists the decision-scheme wire names ParseScheme accepts, in
 // presentation order, with their argument shapes.
 func SchemeNames() []string {
-	return []string{"always-migrate", "always-remote", "distance:N", "history:N"}
+	return []string{"always-migrate", "always-remote", "distance:N", "history:N", "cached-remote", "hybrid[:N]"}
 }
 
 // ParsePlacement builds a placement policy from its wire name. Cluster
@@ -104,6 +104,19 @@ func ParseScheme(spec string, mesh geom.Mesh) (core.Scheme, error) {
 			return nil, fmt.Errorf("machine: history run threshold must be positive in %q", spec)
 		}
 		return core.NewHistory(n), nil
+	case spec == "cached-remote":
+		return core.NewCachedRemote(), nil
+	case spec == "hybrid":
+		return core.NewHybrid(0), nil
+	case strings.HasPrefix(spec, "hybrid:"):
+		n, err := arg("hybrid:")
+		if err != nil {
+			return nil, err
+		}
+		if n <= 0 {
+			return nil, fmt.Errorf("machine: hybrid lease window must be positive in %q", spec)
+		}
+		return core.NewHybrid(uint64(n)), nil
 	default:
 		return nil, fmt.Errorf("machine: unknown scheme %q (valid schemes: %s)",
 			spec, strings.Join(SchemeNames(), ", "))
@@ -364,10 +377,9 @@ func mergePerCore(reps []transport.CollectReply) []transport.CoreMetrics {
 	return out
 }
 
-// ClusterRun is the spec for one cluster run — the named-field redesign
-// of RunCluster's positional argument list. Manifest, Config, Threads and
-// Mem are what RunCluster took; Sink optionally receives the run's
-// telemetry.
+// ClusterRun is the spec for one cluster run. Manifest names the node
+// processes, Config the run parameters, Threads and Mem the program and
+// initial image; Sink optionally receives the run's telemetry.
 type ClusterRun struct {
 	Manifest transport.Manifest
 	Config   ClusterConfig
@@ -386,18 +398,10 @@ type ClusterRun struct {
 	Sink telemetry.Sink
 }
 
-// RunCluster drives an already-listening cluster through one run: load,
-// inject, await HALTs, collect, shut down. The node processes (ServeNode /
+// Run drives an already-listening cluster through one run: load, inject,
+// await HALTs, collect, shut down. The node processes (ServeNode /
 // cmd/em2node) must be starting or started on the manifest's addresses;
-// dialing retries until Timeout.
-//
-// Deprecated: positional wrapper kept for older call sites; use
-// ClusterRun{...}.Run(), which also carries the telemetry sink.
-func RunCluster(man transport.Manifest, cfg ClusterConfig, threads []ThreadSpec, mem map[uint32]uint32) (*ClusterResult, error) {
-	return ClusterRun{Manifest: man, Config: cfg, Threads: threads, Mem: mem}.Run()
-}
-
-// Run executes the spec. See RunCluster for the protocol.
+// dialing retries until Config.Timeout.
 func (r ClusterRun) Run() (*ClusterResult, error) {
 	man, cfg, threads, mem := r.Manifest, r.Config, r.Threads, r.Mem
 	if err := man.Validate(); err != nil {
@@ -534,6 +538,9 @@ func (r ClusterRun) Run() (*ClusterResult, error) {
 		res.RemoteWrites += rep.Counters["remote_writes"]
 		res.LocalOps += rep.Counters["local_ops"]
 		res.ContextFlits += rep.Counters["context_flits"]
+		res.LeaseHits += rep.Counters["lease_hits"]
+		res.LeaseMisses += rep.Counters["lease_misses"]
+		res.LeaseInvals += rep.Counters["lease_invals"]
 		res.Overcommits += rep.Counters["overcommits"]
 		res.Events = append(res.Events, rep.Events...)
 		//em2:unordered-ok: node memory images are address-disjoint (single-home invariant); merge order cannot matter

@@ -3,6 +3,7 @@ package machine
 import (
 	"fmt"
 	"os"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/cache"
@@ -38,6 +39,12 @@ type context struct {
 	// context (transport.Context.Sched), so stateful schemes work across
 	// cores and across node processes without any shared tables.
 	pred core.Predictor
+	// lease is the thread's read cache for remote words under a caching
+	// scheme (nil otherwise). It is machine state, not predictor state: it
+	// is dropped on every departure and starts empty on every arrival, so
+	// it never rides the wire. Guarded by the residing core's leaseMu —
+	// the home shard's write-updates arrive on handler goroutines.
+	lease *core.LeaseCache
 	// observed marks a context shipped mid-instruction: the access at pc
 	// was fed to pred.Observe before the migration, and the re-execution at
 	// the home core must not observe it a second time.
@@ -66,6 +73,15 @@ type coreNode struct {
 	// execution slice of another guest.
 	guests    int
 	execGuest bool // the currently executing context is a guest
+
+	// leaseMu guards the lease caches of every resident context (the
+	// leases registry and the caches themselves): the core goroutine
+	// probes and fills them while the home shards' write-updates arrive on
+	// transport handler goroutines. Never held across a blocking transport
+	// call — two cores mid-remote-access would deadlock delivering each
+	// other's updates.
+	leaseMu sync.Mutex
+	leases  map[int]*core.LeaseCache // by thread, while resident here
 
 	flushFailed bool // a flush error was already reported for this core
 }
@@ -112,6 +128,65 @@ func (n *coreNode) shipCost(c *context, hops int) uint64 {
 func remoteCost(hops int) uint64 {
 	return uint64(wireNoC.Latency(hops, 8*transport.MemReqFrameBytes) +
 		wireNoC.Latency(hops, 8*transport.MemRepFrameBytes))
+}
+
+// leasedRemoteCost is remoteCost for a lease-requesting read: the reply
+// comes back as the slightly larger FrameLeaseRep.
+func leasedRemoteCost(hops int) uint64 {
+	return uint64(wireNoC.Latency(hops, 8*transport.MemReqFrameBytes) +
+		wireNoC.Latency(hops, 8*transport.LeaseRepFrameBytes))
+}
+
+// adoptLease registers an arriving context's lease cache for foreign
+// write-update delivery. No-op for non-caching schemes (nil cache).
+func (n *coreNode) adoptLease(c *context) {
+	if c.lease == nil {
+		return
+	}
+	n.leaseMu.Lock()
+	if n.leases == nil {
+		n.leases = make(map[int]*core.LeaseCache)
+	}
+	n.leases[c.thread] = c.lease
+	n.leaseMu.Unlock()
+}
+
+// dropLease retires a departing context's lease cache: migration,
+// eviction, halt, or transport teardown. The cache is discarded with the
+// registration — a re-arrival starts empty, which is the determinism
+// contract (lease state never rides the wire).
+func (n *coreNode) dropLease(c *context) {
+	if c.lease == nil {
+		return
+	}
+	n.leaseMu.Lock()
+	delete(n.leases, c.thread)
+	n.leaseMu.Unlock()
+	c.lease = nil
+}
+
+// applyLeaseUpdate delivers one home-shard write-update to every resident
+// lease cache. Updates replace values in place and never add or remove
+// entries, so delivery order and timing cannot perturb any hit/miss
+// count — the same value lands whichever cache holds the word.
+func (n *coreNode) applyLeaseUpdate(inv transport.LeaseInval) {
+	n.leaseMu.Lock()
+	//em2:unordered-ok: updates are value replacements with one shared value; the resulting caches are order-independent
+	for _, lc := range n.leases {
+		lc.Update(cache.Addr(inv.Addr), inv.Value)
+	}
+	n.leaseMu.Unlock()
+}
+
+// dropLeaseRange removes every resident lease in [lo, hi) — serve-mode
+// region reclamation (Part.ReclaimRegion).
+func (n *coreNode) dropLeaseRange(lo, hi uint32) {
+	n.leaseMu.Lock()
+	//em2:unordered-ok: per-cache range drops are independent
+	for _, lc := range n.leases {
+		lc.DropRange(cache.Addr(lo), cache.Addr(hi))
+	}
+	n.leaseMu.Unlock()
 }
 
 // flush pushes the transport's coalesced sends out at this core's flush
@@ -200,6 +275,7 @@ func (n *coreNode) acceptNative(c *context) {
 		panic(fmt.Sprintf("machine: context of thread %d (native %d) on eviction channel of core %d",
 			c.thread, c.native, n.id))
 	}
+	n.adoptLease(c)
 	n.runq = append(n.runq, c)
 	n.checkGuestPool()
 }
@@ -215,6 +291,7 @@ func (n *coreNode) acceptGuest(c *context) {
 	if c.native == n.id {
 		// A migration can target the thread's own native core (returning
 		// home): that lands in the reserved native context.
+		n.adoptLease(c)
 		n.runq = append(n.runq, c)
 		n.checkGuestPool()
 		return
@@ -232,6 +309,7 @@ func (n *coreNode) acceptGuest(c *context) {
 	}
 	n.guests++
 	n.ctr.guests.Store(int64(n.guests))
+	n.adoptLease(c)
 	n.runq = append(n.runq, c)
 	n.checkGuestPool()
 }
@@ -249,6 +327,7 @@ func (n *coreNode) evictOneGuest() *context {
 			n.guests--
 			n.ctr.guests.Store(int64(n.guests))
 			n.ctr.evictions.Add(1)
+			n.dropLease(g)
 			// The eviction traversal is charged to the evicted context (its
 			// thread caused the residency), before serialization so the wire
 			// carries the updated accumulators.
@@ -281,6 +360,7 @@ func (n *coreNode) requeue(c *context) {
 // away, halted, or was lost to transport teardown. Guests leave the
 // resident count here.
 func (n *coreNode) guestDeparted(c *context) {
+	n.dropLease(c)
 	if c.native != n.id {
 		n.guests--
 		n.ctr.guests.Store(int64(n.guests))
@@ -311,6 +391,7 @@ func (n *coreNode) execute(c *context) {
 				c.pred.Observe(home, cache.Addr(addr))
 				c.observed = true
 			}
+			leased := false
 			if home != n.id {
 				info := core.AccessInfo{
 					Thread: c.thread,
@@ -320,7 +401,48 @@ func (n *coreNode) execute(c *context) {
 				}
 				info.Access.Addr = cache.Addr(addr)
 				info.Access.Write = in.IsWrite()
-				if c.pred.Decide(info) == core.Migrate {
+				var dec core.Decision
+				if c.lease != nil {
+					// Probe and decide under leaseMu (foreign write-updates
+					// arrive on handler goroutines), but never hold it across
+					// the transport calls below — two cores mid-remote-access
+					// would deadlock delivering each other's updates.
+					n.leaseMu.Lock()
+					info.Lease = core.NewLeaseView(c.lease, uint64(c.memSeq))
+					dec = c.pred.Decide(info)
+					if dec == core.CachedRead {
+						// Served from the lease: no shard op, no logged event
+						// — the SC-checked history sees only home-serialized
+						// accesses, and the cached value is bounded-staleness
+						// by the lease window (DESIGN.md §10).
+						v, ok := c.lease.Lookup(cache.Addr(addr), uint64(c.memSeq))
+						n.leaseMu.Unlock()
+						if !ok {
+							panic(fmt.Sprintf("machine: scheme %q answered cached-read for a lease miss", n.p.cfg.Scheme.Name()))
+						}
+						writeReg(c, in.Rd, v)
+						n.ctr.leaseHits.Add(1)
+						c.memSeq++
+						c.observed = false
+						c.pc++
+						n.ctr.instructions.Add(1)
+						c.cycles++
+						continue
+					}
+					// A remotely-performed write drops the holder's own lease
+					// — the one deterministic removal a write can cause (the
+					// home shard's updates to other holders replace values
+					// only). A migrating write is NOT counted: the whole
+					// cache is dropped on departure, matching the trace
+					// model's migrate arm.
+					if in.IsWrite() && dec != core.Migrate && c.lease.InvalidateOwn(cache.Addr(addr)) {
+						n.ctr.leaseInvals.Add(1)
+					}
+					n.leaseMu.Unlock()
+				} else {
+					dec = c.pred.Decide(info)
+				}
+				if dec == core.Migrate {
 					// Ship the context; the instruction re-executes at home,
 					// where the access will be local. Either way (sent or
 					// transport torn down mid-run) the context has left this
@@ -342,12 +464,21 @@ func (n *coreNode) execute(c *context) {
 				} else {
 					n.ctr.remoteReads.Add(1)
 				}
-				c.cycles += remoteCost(n.p.cfg.Mesh.Hops(n.id, home))
+				if dec == core.RemoteReadCached {
+					// A lease-requesting read: counted as a remote read AND a
+					// lease miss; the reply travels as the slightly larger
+					// FrameLeaseRep.
+					leased = true
+					n.ctr.leaseMisses.Add(1)
+					c.cycles += leasedRemoteCost(n.p.cfg.Mesh.Hops(n.id, home))
+				} else {
+					c.cycles += remoteCost(n.p.cfg.Mesh.Hops(n.id, home))
+				}
 				c.msgs += 2 // request out, reply back
 			} else {
 				n.ctr.localOps.Add(1)
 			}
-			if !n.applyMem(c, in, addr, home) {
+			if !n.applyMem(c, in, addr, home, leased) {
 				n.guestDeparted(c) // run lost to transport teardown
 				return
 			}
@@ -375,9 +506,16 @@ func (n *coreNode) execute(c *context) {
 // applyMem performs the memory instruction against addr's home shard via
 // the transport: a direct locked call when this endpoint owns home, a wire
 // round trip otherwise. Either way the home shard's lock is the
-// serialization point. Returns false if the transport failed (teardown).
-func (n *coreNode) applyMem(c *context, in isa.Instr, addr uint32, home geom.CoreID) bool {
-	req := transport.MemRequest{Thread: int32(c.thread), TSeq: c.memSeq, Addr: addr}
+// serialization point. A leased read additionally asks the home for a
+// lease grant and fills the thread's cache from the reply. Returns false
+// if the transport failed (teardown).
+func (n *coreNode) applyMem(c *context, in isa.Instr, addr uint32, home geom.CoreID, leased bool) bool {
+	req := transport.MemRequest{Thread: int32(c.thread), TSeq: c.memSeq, Addr: addr, From: uint32(n.id)}
+	if leased {
+		// The window fits u16 by NewPart's validation; the home does not
+		// interpret it beyond nonzero-means-grant.
+		req.Lease = uint16(c.lease.Window())
+	}
 	switch in.Op {
 	case isa.LW:
 		req.Op = transport.OpRead
@@ -393,6 +531,14 @@ func (n *coreNode) applyMem(c *context, in isa.Instr, addr uint32, home geom.Cor
 	rep, err := n.p.tr.Remote(home, req)
 	if err != nil {
 		return false
+	}
+	if leased {
+		// Fill at the PRE-access op count (req.TSeq): the same virtual
+		// fill time the trace-model oracle uses, so expiry boundaries land
+		// on identical own-stream indices.
+		n.leaseMu.Lock()
+		c.lease.Fill(cache.Addr(addr), rep.Value, uint64(req.TSeq))
+		n.leaseMu.Unlock()
 	}
 	c.memSeq++
 	switch in.Op {

@@ -250,26 +250,28 @@ func TestClusterRemoteAccessScheme(t *testing.T) {
 	}
 }
 
-// TestRunClusterValidation: coordinator-side fail-fast paths.
-func TestRunClusterValidation(t *testing.T) {
+// TestClusterRunValidation: coordinator-side fail-fast paths.
+func TestClusterRunValidation(t *testing.T) {
 	t.Parallel()
 	man, err := transport.LocalManifest(2, 2, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
 	lit := MessagePassingLitmus(64)
-	// These stay on the deprecated positional wrapper deliberately: it must
-	// keep delegating to ClusterRun until every external caller migrates.
-	if _, err := RunCluster(man, ClusterConfig{}, nil, nil); err == nil {
+	run := func(cfg ClusterConfig, threads []ThreadSpec) error {
+		_, err := ClusterRun{Manifest: man, Config: cfg, Threads: threads}.Run()
+		return err
+	}
+	if err := run(ClusterConfig{}, nil); err == nil {
 		t.Error("no threads accepted")
 	}
-	if _, err := RunCluster(man, ClusterConfig{Placement: "first-touch"}, lit.Threads, nil); err == nil {
+	if err := run(ClusterConfig{Placement: "first-touch"}, lit.Threads); err == nil {
 		t.Error("first-touch accepted")
 	}
-	if _, err := RunCluster(man, ClusterConfig{Scheme: "nope"}, lit.Threads, nil); err == nil {
+	if err := run(ClusterConfig{Scheme: "nope"}, lit.Threads); err == nil {
 		t.Error("unknown scheme accepted")
 	}
-	if _, err := RunCluster(man, ClusterConfig{GuestContexts: -1}, lit.Threads, nil); err == nil {
+	if err := run(ClusterConfig{GuestContexts: -1}, lit.Threads); err == nil {
 		t.Error("negative guest contexts accepted (nodes would all reject the load)")
 	}
 	// An atomic with an immediate too wide for its 11-bit field would
@@ -279,11 +281,11 @@ func TestRunClusterValidation(t *testing.T) {
 		{Op: isa.FAA, Rd: 4, Rs: 0, Rt: 3, Imm: 5000},
 		{Op: isa.HALT},
 	}}}
-	if _, err := RunCluster(man, ClusterConfig{}, wide, nil); err == nil {
+	if err := run(ClusterConfig{}, wide); err == nil {
 		t.Error("wire-unsafe immediate accepted")
 	}
 	bad := ThreadSpec{Program: lit.Threads[0].Program, Regs: map[int]uint32{0: 1}}
-	if _, err := RunCluster(man, ClusterConfig{}, []ThreadSpec{bad}, nil); err == nil {
+	if err := run(ClusterConfig{}, []ThreadSpec{bad}); err == nil {
 		t.Error("write to r0 accepted")
 	}
 }

@@ -25,7 +25,7 @@ func spinForever() []isa.Instr {
 }
 
 // TestNodeDeathFailsLoudly kills one node process mid-run and requires
-// RunCluster to fail promptly via the death channel, not bleed out into
+// ClusterRun.Run to fail promptly via the death channel, not bleed out into
 // its timeout: the old halt loop only selected on halts and the timer, so
 // a dead node meant a full-timeout silent hang.
 func TestNodeDeathFailsLoudly(t *testing.T) {
@@ -64,21 +64,21 @@ func TestNodeDeathFailsLoudly(t *testing.T) {
 	select {
 	case err := <-runErr:
 		if err == nil {
-			t.Fatal("RunCluster succeeded with a dead node and a thread that never halts")
+			t.Fatal("ClusterRun.Run succeeded with a dead node and a thread that never halts")
 		}
 		if !strings.Contains(err.Error(), "cluster run failed") {
 			t.Fatalf("node death surfaced as %q, want a loud cluster-run failure", err)
 		}
 	case <-time.After(15 * time.Second):
-		t.Fatal("RunCluster did not notice the dead node within 15s (timeout bleed-out)")
+		t.Fatal("ClusterRun.Run did not notice the dead node within 15s (timeout bleed-out)")
 	}
 }
 
-// TestRunClusterRejectsBogusHalts drives RunCluster against a fake node
+// TestClusterRunRejectsBogusHalts drives ClusterRun.Run against a fake node
 // (a bare transport endpoint) that reports malformed HALTs. A duplicate
 // report must not satisfy the halt count on behalf of a thread that never
 // finished, and an out-of-range thread id must be rejected outright.
-func TestRunClusterRejectsBogusHalts(t *testing.T) {
+func TestClusterRunRejectsBogusHalts(t *testing.T) {
 	t.Parallel()
 	for _, tc := range []struct {
 		name  string

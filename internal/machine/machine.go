@@ -8,7 +8,7 @@
 //
 //   - In one process (Machine): cores are goroutines and the migration and
 //     eviction virtual networks are Go channels (transport.Local).
-//   - Across processes (ServeNode/RunCluster): each node process runs the
+//   - Across processes (ServeNode/ClusterRun): each node process runs the
 //     cores of its manifest entry, and contexts cross real TCP sockets in
 //     their fixed wire encoding (transport.Node).
 //
@@ -98,6 +98,9 @@ type Result struct {
 	RemoteWrites int64
 	LocalOps     int64
 	ContextFlits int64 // flits of context wire (incl. predictor state) shipped
+	LeaseHits    int64 // remote reads served from a valid lease (no shard op)
+	LeaseMisses  int64 // lease-requesting remote reads (also counted in RemoteReads)
+	LeaseInvals  int64 // leases dropped by the holder's own write
 	Overcommits  int64 // guest acceptances beyond GuestContexts (see CoreMetrics)
 
 	// PerCore breaks the counters down by core, ascending by core id.
@@ -215,6 +218,9 @@ func (m *Machine) Run(threads []ThreadSpec) (*Result, error) {
 		RemoteWrites: coll.Counters["remote_writes"],
 		LocalOps:     coll.Counters["local_ops"],
 		ContextFlits: coll.Counters["context_flits"],
+		LeaseHits:    coll.Counters["lease_hits"],
+		LeaseMisses:  coll.Counters["lease_misses"],
+		LeaseInvals:  coll.Counters["lease_invals"],
 		Overcommits:  coll.Counters["overcommits"],
 		PerCore:      coll.PerCore,
 		FinalRegs:    make([][isa.NumRegs]uint32, len(threads)),

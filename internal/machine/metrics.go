@@ -2,7 +2,6 @@ package machine
 
 import (
 	"repro/internal/core"
-	"repro/internal/stats"
 	"repro/internal/transport"
 )
 
@@ -16,13 +15,4 @@ func ContextFlitsFor(s core.Scheme) int64 {
 		s = defaultScheme()
 	}
 	return wireFlits(transport.ContextWireBytes + s.NewPredictor(0).StateLen())
-}
-
-// MetricsTable renders per-core runtime metrics as a stats.Table.
-//
-// Deprecated: the renderer lives in the stats package with the other
-// shared metric formatters; this wrapper delegates to stats.MetricsTable
-// and produces byte-identical output.
-func MetricsTable(perCore []transport.CoreMetrics) *stats.Table {
-	return stats.MetricsTable(perCore)
 }

@@ -45,6 +45,9 @@ type coreCounters struct {
 	migrations   atomic.Int64
 	evictions    atomic.Int64
 	contextFlits atomic.Int64
+	leaseHits    atomic.Int64
+	leaseMisses  atomic.Int64
+	leaseInvals  atomic.Int64
 	overcommits  atomic.Int64
 	// guests mirrors coreNode.guests as a gauge the sampling path can read
 	// from another goroutine. Not part of CoreMetrics (it is a gauge, not a
@@ -64,6 +67,9 @@ func (c *coreCounters) metrics(core geom.CoreID) transport.CoreMetrics {
 		Migrations:   c.migrations.Load(),
 		Evictions:    c.evictions.Load(),
 		ContextFlits: c.contextFlits.Load(),
+		LeaseHits:    c.leaseHits.Load(),
+		LeaseMisses:  c.leaseMisses.Load(),
+		LeaseInvals:  c.leaseInvals.Load(),
 		Overcommits:  c.overcommits.Load(),
 	}
 }
@@ -97,6 +103,15 @@ type Part struct {
 	// ctr is indexed by core id; only owned cores' slots are ever written.
 	ctr   []coreCounters
 	nodes []*coreNode
+	// nodeOf is indexed by core id and routes inbound lease write-updates
+	// to the owning core's lease registry. Atomic because the transport's
+	// reader goroutine may consult it while start() is still publishing
+	// nodes (FrameLeaseInval waits for Ready, but the Local transport has
+	// no such gate).
+	nodeOf []atomic.Pointer[coreNode]
+	// leaseWindow is the scheme's lease validity window when the scheme
+	// caches remote reads (core.Leaser); 0 for every other scheme.
+	leaseWindow uint64
 	// specs is the per-slot thread table. Slots are atomic pointers because
 	// serve mode rewrites them between jobs (SetThread/ClearThreads) while
 	// the core goroutines are live; the atomics make the handoff visible and
@@ -136,13 +151,25 @@ func NewPart(cfg Config, tr transport.Transport) (*Part, error) {
 		return nil, fmt.Errorf("machine: scheme %q carries %d bytes of predictor state, above the %d-byte wire field",
 			cfg.Scheme.Name(), n, transport.MaxSchedBytes)
 	}
+	var leaseWindow uint64
+	if lz, ok := cfg.Scheme.(core.Leaser); ok {
+		leaseWindow = lz.LeaseWindow()
+		// The grant request carries the window in MemRequest.Lease (u16),
+		// and zero there means "no grant".
+		if leaseWindow == 0 || leaseWindow > 1<<16-1 {
+			return nil, fmt.Errorf("machine: scheme %q lease window %d outside [1, %d]",
+				cfg.Scheme.Name(), leaseWindow, 1<<16-1)
+		}
+	}
 	p := &Part{
-		cfg:    cfg,
-		tr:     tr,
-		place:  &lockedPolicy{p: cfg.Placement},
-		shards: make([]*shard, tr.Cores()),
-		ctr:    make([]coreCounters, tr.Cores()),
-		done:   make(chan struct{}),
+		cfg:         cfg,
+		tr:          tr,
+		place:       &lockedPolicy{p: cfg.Placement},
+		shards:      make([]*shard, tr.Cores()),
+		ctr:         make([]coreCounters, tr.Cores()),
+		nodeOf:      make([]atomic.Pointer[coreNode], tr.Cores()),
+		leaseWindow: leaseWindow,
+		done:        make(chan struct{}),
 	}
 	for _, id := range tr.Owned() {
 		p.shards[id] = newShard(id, cfg.LogEvents)
@@ -151,7 +178,23 @@ func NewPart(cfg Config, tr transport.Transport) (*Part, error) {
 		if int(core) < 0 || int(core) >= len(p.shards) || p.shards[core] == nil {
 			panic(fmt.Sprintf("machine: memory request for core %d not owned by this part", core))
 		}
-		return p.shards[core].apply(req)
+		rep, invals := p.shards[core].apply(req)
+		// The shard lock is released; ship the write-updates now. A failed
+		// send means the holder's connection is dying — the update is
+		// advisory (holders expire on their own virtual clocks), so the
+		// write itself must not fail with it.
+		for _, inv := range invals {
+			tr.SendLeaseInval(inv) //em2:errsink-ok: advisory update; a dead link surfaces through the data plane
+		}
+		return rep
+	})
+	tr.HandleLeaseInval(func(inv transport.LeaseInval) {
+		if int(inv.Dst) < 0 || int(inv.Dst) >= len(p.nodeOf) {
+			return
+		}
+		if n := p.nodeOf[inv.Dst].Load(); n != nil {
+			n.applyLeaseUpdate(inv)
+		}
 	})
 	return p, nil
 }
@@ -220,6 +263,7 @@ func (p *Part) start(onHalt func(transport.HaltMsg)) error {
 			evictIn: p.tr.EvictionIn(id),
 		}
 		p.nodes = append(p.nodes, n)
+		p.nodeOf[id].Store(n)
 		p.wg.Add(1)
 		go n.loop()
 	}
@@ -371,6 +415,12 @@ func (p *Part) ReclaimRegion(lo, hi uint32) ([]transport.Event, int) {
 		ev, w := p.shards[id].reclaim(lo, hi)
 		events = append(events, ev...)
 		words += w
+		// Resident threads' lease caches may hold words of the reclaimed
+		// region; drop them so a recycled region can never serve a stale
+		// lease to the next job.
+		if n := p.nodeOf[id].Load(); n != nil {
+			n.dropLeaseRange(lo, hi)
+		}
 	}
 	return events, words
 }
@@ -433,7 +483,7 @@ func (p *Part) fromWire(w transport.Context) *context {
 			panic(fmt.Sprintf("machine: thread %d predictor state: %v", t, err))
 		}
 	}
-	return &context{
+	c := &context{
 		thread:   t,
 		pc:       w.Arch.PC,
 		regs:     w.Arch.Regs,
@@ -445,4 +495,11 @@ func (p *Part) fromWire(w transport.Context) *context {
 		pred:     pred,
 		observed: w.Flags&transport.FlagObserved != 0,
 	}
+	if p.leaseWindow != 0 {
+		// Every arrival starts with an empty lease cache (lease state never
+		// rides the wire) — the trace-model oracle drops the cache at the
+		// same points, which is what keeps hit/miss sequences identical.
+		c.lease = core.NewLeaseCache(core.DefaultLeaseEntries, p.leaseWindow)
+	}
+	return c
 }

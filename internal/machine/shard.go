@@ -37,6 +37,12 @@ type shard struct {
 	seq    int64
 	log    bool
 	events []Event
+	// leases maps an address to the cores holding a read lease on it.
+	// Records are added when a read requests a grant (req.Lease != 0) and
+	// cleared by the first subsequent write, which returns one write-update
+	// per holder. Nil until the first grant: non-caching schemes never pay
+	// for the table.
+	leases map[uint32][]geom.CoreID
 }
 
 func newShard(home geom.CoreID, log bool) *shard {
@@ -45,34 +51,44 @@ func newShard(home geom.CoreID, log bool) *shard {
 
 // apply performs one memory request under the shard lock — the home-core
 // serialization point — and logs it against (req.Thread, req.TSeq). A
-// negative Thread marks a preload: applied, never logged.
-func (s *shard) apply(req transport.MemRequest) transport.MemReply {
+// negative Thread marks a preload: applied, never logged. The returned
+// invalidation list carries one write-update per lease holder of a
+// written word; the CALLER sends them, after this lock is released.
+func (s *shard) apply(req transport.MemRequest) (transport.MemReply, []transport.LeaseInval) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	old := s.mem[req.Addr]
 	var rep transport.MemReply
+	var invals []transport.LeaseInval
 	e := Event{Addr: req.Addr}
 	switch req.Op {
 	case transport.OpRead:
 		e.Kind, e.Read = EvRead, old
 		rep.Value = old
+		if req.Lease != 0 {
+			s.grantLocked(req.Addr, geom.CoreID(req.From))
+			rep.Lease = req.Lease
+		}
 	case transport.OpWrite:
 		s.mem[req.Addr] = req.Arg
 		e.Kind, e.Wrote = EvWrite, req.Arg
+		invals = s.closeLeasesLocked(req, req.Arg)
 	case transport.OpFAA:
 		s.mem[req.Addr] = old + req.Arg
 		e.Kind, e.Read, e.Wrote = EvRMW, old, old+req.Arg
 		rep.Value = old
+		invals = s.closeLeasesLocked(req, old+req.Arg)
 	case transport.OpSwap:
 		s.mem[req.Addr] = req.Arg
 		e.Kind, e.Read, e.Wrote = EvRMW, old, req.Arg
 		rep.Value = old
+		invals = s.closeLeasesLocked(req, req.Arg)
 	default:
 		panic(fmt.Sprintf("machine: unknown memory op %d", req.Op))
 	}
 	s.seq++
 	if req.Thread < 0 {
-		return rep
+		return rep, invals
 	}
 	if s.log {
 		e.Thread = int(req.Thread)
@@ -81,7 +97,40 @@ func (s *shard) apply(req transport.MemRequest) transport.MemReply {
 		e.Home = s.home
 		s.events = append(s.events, e)
 	}
-	return rep
+	return rep, invals
+}
+
+// grantLocked records core as a lease holder of addr.
+func (s *shard) grantLocked(addr uint32, core geom.CoreID) {
+	if s.leases == nil {
+		s.leases = make(map[uint32][]geom.CoreID)
+	}
+	for _, h := range s.leases[addr] {
+		if h == core {
+			return
+		}
+	}
+	s.leases[addr] = append(s.leases[addr], core)
+}
+
+// closeLeasesLocked clears addr's lease records on a write and returns one
+// write-update per holder core — including the writer's own core: the
+// writing thread's entry was already dropped by its own-write
+// invalidation (Update then no-ops), but other threads resident there may
+// still hold the word. Clearing on the first write keeps traffic at one
+// update per holder per write burst; holders expire remaining staleness
+// on their own virtual clocks.
+func (s *shard) closeLeasesLocked(req transport.MemRequest, newVal uint32) []transport.LeaseInval {
+	holders := s.leases[req.Addr]
+	if len(holders) == 0 {
+		return nil
+	}
+	delete(s.leases, req.Addr)
+	invals := make([]transport.LeaseInval, 0, len(holders))
+	for _, h := range holders {
+		invals = append(invals, transport.LeaseInval{Dst: h, Addr: req.Addr, Value: newVal})
+	}
+	return invals
 }
 
 // reclaim deletes every word homed here in [lo, hi) and removes (and
@@ -100,6 +149,12 @@ func (s *shard) reclaim(lo, hi uint32) ([]Event, int) {
 		if a >= lo && a < hi {
 			delete(s.mem, a)
 			words++
+		}
+	}
+	//em2:unordered-ok: pure filter — in-range lease records are dropped independently
+	for a := range s.leases {
+		if a >= lo && a < hi {
+			delete(s.leases, a)
 		}
 	}
 	var removed []Event

@@ -271,6 +271,37 @@ func TestServeSoakBounded(t *testing.T) {
 	}
 }
 
+// TestServeHybridSoakReclaimsLeases is the lease-lifecycle companion to
+// TestServeSoakBounded: the same recycled-region soak under the hybrid
+// caching scheme. Job retirement reclaims each region from the shards
+// (dropping its lease records) and from every resident lease cache
+// (Part.ReclaimRegion → dropLeaseRange), so a recycled region can never
+// serve a stale lease to a later job. Run enforces boundedness on every
+// retirement, and the seeded-replay check pins that lease traffic —
+// grants, write-updates, expiries — never perturbs the byte-identical
+// report.
+func TestServeHybridSoakReclaimsLeases(t *testing.T) {
+	t.Parallel()
+	cfg := testCfg(300)
+	cfg.W, cfg.H = 4, 4
+	cfg.Scheme = "hybrid:16"
+	a := runLocal(t, cfg)
+	if a.Submitted != 300 || a.Completed+a.Rejected != 300 {
+		t.Fatalf("admission accounting: submitted=%d completed=%d rejected=%d", a.Submitted, a.Completed, a.Rejected)
+	}
+	if a.Completed < 150 {
+		t.Fatalf("only %d of 300 jobs completed under hybrid (window stuck?)", a.Completed)
+	}
+	if a.SCChecked != a.Completed {
+		t.Fatalf("SC-checked %d of %d completed jobs", a.SCChecked, a.Completed)
+	}
+	b := runLocal(t, cfg)
+	ab, bb := reportBytes(t, a), reportBytes(t, b)
+	if !bytes.Equal(ab, bb) {
+		t.Fatalf("hybrid serving broke seeded replay:\n--- run A\n%s\n--- run B\n%s", ab, bb)
+	}
+}
+
 // TestRegionPool pins the allocator the soak relies on: lowest-free
 // deterministic ordering, recycling, and a loud error on exhaustion —
 // the old Base(i) allocator silently wrapped the address space at job

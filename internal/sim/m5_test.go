@@ -1,0 +1,64 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestM5HybridMatchesModel is the acceptance test for the M5 experiment:
+// on every compiled workload, under always-migrate, cached-remote and
+// hybrid, the runtime's counters — including the lease hit / miss /
+// own-write-invalidation counters — must equal the §3 trace-model
+// predictions exactly on the channel transport AND across a TCP cluster,
+// and the two transports must agree bit-for-bit on every deterministic
+// surface. The table must also be byte-deterministic (it is part of the
+// sweep registry).
+func TestM5HybridMatchesModel(t *testing.T) {
+	p := SmallPlatform()
+	table := M5(p)
+	if table.NumRows() == 0 {
+		t.Fatal("M5 produced no rows")
+	}
+	schemes := make(map[string]bool)
+	sawLeaseTraffic := false
+	for _, row := range table.Rows() {
+		verdict := row[len(row)-1]
+		schemes[row[1]] = true
+		if verdict != "exact" {
+			t.Errorf("%s/%s: %s", row[0], row[1], verdict)
+		}
+		if row[1] != "always-migrate" && row[len(row)-2] != "0-0-0" {
+			sawLeaseTraffic = true
+		}
+	}
+	for _, want := range m5Schemes {
+		if !schemes[want] {
+			t.Errorf("scheme %s missing from M5 rows", want)
+		}
+	}
+	if !sawLeaseTraffic {
+		t.Error("no caching scheme produced any lease traffic; the battery is vacuous")
+	}
+	if !testing.Short() {
+		if again := M5(p).String(); again != table.String() {
+			t.Error("M5 table is not deterministic across runs")
+		}
+	}
+}
+
+// TestM5TableShape pins the header contract downstream tooling reads.
+func TestM5TableShape(t *testing.T) {
+	cs := M5Cells(SmallPlatform())
+	if cs.Name != "m5" {
+		t.Errorf("cell set name %q", cs.Name)
+	}
+	if len(cs.Cells) != 3 {
+		t.Errorf("cells = %d, want one per compiled workload", len(cs.Cells))
+	}
+	joined := strings.Join(cs.Headers, "|")
+	for _, want := range []string{"workload", "scheme", "migrations", "remote ops", "lease h-m-i", "check"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("headers %v missing %q", cs.Headers, want)
+		}
+	}
+}

@@ -18,15 +18,18 @@ import (
 func MetricsTable(perCore []transport.CoreMetrics) *Table {
 	t := NewTable("per-core runtime metrics",
 		"core", "instructions", "local ops", "remote reads", "remote writes",
-		"migrations out", "evictions", "overcommits", "context flits")
+		"migrations out", "evictions", "overcommits", "context flits",
+		"lease hits", "lease misses", "lease invals")
 	var total transport.CoreMetrics
 	for _, m := range perCore {
 		t.AddRow(int(m.Core), m.Instructions, m.LocalOps, m.RemoteReads, m.RemoteWrites,
-			m.Migrations, m.Evictions, m.Overcommits, m.ContextFlits)
+			m.Migrations, m.Evictions, m.Overcommits, m.ContextFlits,
+			m.LeaseHits, m.LeaseMisses, m.LeaseInvals)
 		total = total.Add(m)
 	}
 	t.AddRow("total", total.Instructions, total.LocalOps, total.RemoteReads,
-		total.RemoteWrites, total.Migrations, total.Evictions, total.Overcommits, total.ContextFlits)
+		total.RemoteWrites, total.Migrations, total.Evictions, total.Overcommits, total.ContextFlits,
+		total.LeaseHits, total.LeaseMisses, total.LeaseInvals)
 	return t
 }
 
@@ -36,7 +39,8 @@ func MetricsTable(perCore []transport.CoreMetrics) *Table {
 func SampleTable(s *transport.Sample) *Table {
 	t := NewTable("per-core sample",
 		"core", "instructions", "local ops", "remote reads", "remote writes",
-		"migrations out", "evictions", "overcommits", "context flits", "guests")
+		"migrations out", "evictions", "overcommits", "context flits",
+		"lease hits", "lease misses", "lease invals", "guests")
 	var total transport.CoreMetrics
 	var guests int64
 	for i, m := range s.PerCore {
@@ -45,12 +49,14 @@ func SampleTable(s *transport.Sample) *Table {
 			g = s.Guests[i]
 		}
 		t.AddRow(int(m.Core), m.Instructions, m.LocalOps, m.RemoteReads, m.RemoteWrites,
-			m.Migrations, m.Evictions, m.Overcommits, m.ContextFlits, g)
+			m.Migrations, m.Evictions, m.Overcommits, m.ContextFlits,
+			m.LeaseHits, m.LeaseMisses, m.LeaseInvals, g)
 		total = total.Add(m)
 		guests += g
 	}
 	t.AddRow("total", total.Instructions, total.LocalOps, total.RemoteReads,
-		total.RemoteWrites, total.Migrations, total.Evictions, total.Overcommits, total.ContextFlits, guests)
+		total.RemoteWrites, total.Migrations, total.Evictions, total.Overcommits, total.ContextFlits,
+		total.LeaseHits, total.LeaseMisses, total.LeaseInvals, guests)
 	return t
 }
 
@@ -82,6 +88,9 @@ func CounterMap(t transport.CoreMetrics) map[string]int64 {
 		"remote_writes": t.RemoteWrites,
 		"local_ops":     t.LocalOps,
 		"context_flits": t.ContextFlits,
+		"lease_hits":    t.LeaseHits,
+		"lease_misses":  t.LeaseMisses,
+		"lease_invals":  t.LeaseInvals,
 		"overcommits":   t.Overcommits,
 	}
 }

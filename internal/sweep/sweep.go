@@ -135,6 +135,13 @@ var registry = []Experiment{
 			return sim.M4Cells(p)
 		},
 	},
+	{
+		Name: "m5",
+		Desc: "M5: hybrid coherence (lease caching) vs trace-model predictions, bit-identical across transports",
+		Cells: func(p sim.Platform, _ Params) sim.CellSet {
+			return sim.M5Cells(p)
+		},
+	},
 }
 
 // All returns every registered experiment in presentation order.

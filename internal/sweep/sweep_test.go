@@ -18,7 +18,7 @@ import (
 var update = flag.Bool("update", false, "rewrite the golden files under testdata/")
 
 func TestRegistryNamesAndOrder(t *testing.T) {
-	want := []string{"fig1", "fig2", "fig3", "t1", "t2", "t3", "t4", "t5", "m3", "m4"}
+	want := []string{"fig1", "fig2", "fig3", "t1", "t2", "t3", "t4", "t5", "m3", "m4", "m5"}
 	got := sweep.Names()
 	if len(got) != len(want) {
 		t.Fatalf("Names() = %v, want %v", got, want)
@@ -47,7 +47,7 @@ func TestMatch(t *testing.T) {
 		pattern string
 		want    int
 	}{
-		{"", 10},
+		{"", 11},
 		{"fig.", 3},
 		{"t2|t4", 2},
 		{"t1", 1},

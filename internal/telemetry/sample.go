@@ -7,7 +7,7 @@ import (
 )
 
 // AppendSamplePoints appends the deterministic line-protocol rendering of
-// s to b: one "core" point per sampled core carrying its eight runtime
+// s to b: one "core" point per sampled core carrying its runtime
 // counters and the guest gauge, then one "machine" point with the shard
 // footprint gauges, all stamped with cycle. The encoding is hand-rolled
 // appends (no Point construction, no fmt), so sampling into a reused
@@ -36,6 +36,12 @@ func AppendSamplePoints(b []byte, s *transport.Sample, cycle uint64) []byte {
 		b = strconv.AppendInt(b, m.Evictions, 10)
 		b = append(b, "i,context_flits="...)
 		b = strconv.AppendInt(b, m.ContextFlits, 10)
+		b = append(b, "i,lease_hits="...)
+		b = strconv.AppendInt(b, m.LeaseHits, 10)
+		b = append(b, "i,lease_misses="...)
+		b = strconv.AppendInt(b, m.LeaseMisses, 10)
+		b = append(b, "i,lease_invals="...)
+		b = strconv.AppendInt(b, m.LeaseInvals, 10)
 		b = append(b, "i,overcommits="...)
 		b = strconv.AppendInt(b, m.Overcommits, 10)
 		b = append(b, "i,guests="...)

@@ -66,7 +66,8 @@ func testSample() transport.Sample {
 			{Core: 0, Instructions: 100, LocalOps: 10, RemoteReads: 3, RemoteWrites: 2,
 				Migrations: 1, Evictions: 0, ContextFlits: 24, Overcommits: 0},
 			{Core: 1, Instructions: 50, LocalOps: 5, RemoteReads: 0, RemoteWrites: 0,
-				Migrations: 0, Evictions: 1, ContextFlits: 12, Overcommits: 1},
+				Migrations: 0, Evictions: 1, ContextFlits: 12,
+				LeaseHits: 7, LeaseMisses: 4, LeaseInvals: 1, Overcommits: 1},
 		},
 		Guests: []int64{0, 2},
 		Words:  16,
@@ -74,8 +75,8 @@ func testSample() transport.Sample {
 	}
 }
 
-const testSampleLines = "core,core=0 instructions=100i,local_ops=10i,remote_reads=3i,remote_writes=2i,migrations=1i,evictions=0i,context_flits=24i,overcommits=0i,guests=0i 5000\n" +
-	"core,core=1 instructions=50i,local_ops=5i,remote_reads=0i,remote_writes=0i,migrations=0i,evictions=1i,context_flits=12i,overcommits=1i,guests=2i 5000\n" +
+const testSampleLines = "core,core=0 instructions=100i,local_ops=10i,remote_reads=3i,remote_writes=2i,migrations=1i,evictions=0i,context_flits=24i,lease_hits=0i,lease_misses=0i,lease_invals=0i,overcommits=0i,guests=0i 5000\n" +
+	"core,core=1 instructions=50i,local_ops=5i,remote_reads=0i,remote_writes=0i,migrations=0i,evictions=1i,context_flits=12i,lease_hits=7i,lease_misses=4i,lease_invals=1i,overcommits=1i,guests=2i 5000\n" +
 	"machine words=16i,events=4i 5000\n"
 
 func TestAppendSamplePointsGolden(t *testing.T) {

@@ -125,6 +125,7 @@ func (t *Trace) Summarize() Summary {
 	}
 	s.UniqueAddrs = len(addrs)
 	s.UniquePages = len(pages)
+	//em2:unordered-ok: counting shared addresses; the sum is commutative
 	for _, info := range addrs {
 		if info.shared {
 			s.SharedAddrs++

@@ -16,6 +16,7 @@ type Local struct {
 	evict []chan Context
 	owned []geom.CoreID
 	h     func(core geom.CoreID, req MemRequest) MemReply
+	invH  func(inv LeaseInval)
 }
 
 // NewLocal builds an in-process transport for the given core count. Both
@@ -76,3 +77,17 @@ func (l *Local) Remote(dst geom.CoreID, req MemRequest) (MemReply, error) {
 
 // HandleMem implements Transport.
 func (l *Local) HandleMem(h func(core geom.CoreID, req MemRequest) MemReply) { l.h = h }
+
+// SendLeaseInval implements Transport as a direct handler call: every
+// core is in-process, so the write-update lands before the sender's shard
+// op returns to the writer.
+func (l *Local) SendLeaseInval(inv LeaseInval) error {
+	if l.invH == nil {
+		return fmt.Errorf("transport: no lease-invalidation handler installed")
+	}
+	l.invH(inv)
+	return nil
+}
+
+// HandleLeaseInval implements Transport.
+func (l *Local) HandleLeaseInval(h func(inv LeaseInval)) { l.invH = h }

@@ -386,6 +386,7 @@ type Node struct {
 	mig      map[geom.CoreID]chan Context
 	evict    map[geom.CoreID]chan Context
 	handler  func(core geom.CoreID, req MemRequest) MemReply
+	invH     func(inv LeaseInval)
 	jobH     func(*JobSpec) error
 	jobDoneH func(JobDone) JobRetired
 	sampleH  func() Sample
@@ -567,15 +568,26 @@ func (n *Node) handleFrame(c *conn, f Frame) error {
 		}
 		go func(dst geom.CoreID, id uint64, req MemRequest) {
 			rep := n.handler(dst, req)
-			c.w.appendMemRep(id, rep)
+			if rep.Lease != 0 {
+				c.w.appendLeaseRep(id, rep)
+			} else {
+				c.w.appendMemRep(id, rep)
+			}
 		}(f.Dst, f.ID, f.Req)
-	case FrameMemRep:
+	case FrameMemRep, FrameLeaseRep:
 		n.mu.Lock()
 		call := n.pending[f.ID]
 		delete(n.pending, f.ID)
 		n.mu.Unlock()
 		if call != nil {
 			call.ch <- f.Rep
+		}
+	case FrameLeaseInval:
+		if !n.waitReady() {
+			return errStopRead
+		}
+		if n.invH != nil {
+			n.invH(f.Inv)
 		}
 	case FrameJobSubmit:
 		spec := new(JobSpec)
@@ -849,6 +861,11 @@ func (n *Node) EvictionIn(core geom.CoreID) <-chan Context { return n.inbox(n.ev
 // HandleMem implements Transport.
 func (n *Node) HandleMem(h func(core geom.CoreID, req MemRequest) MemReply) { n.handler = h }
 
+// HandleLeaseInval implements Transport. Install before Ready; inbound
+// FrameLeaseInval waits for Ready and drops silently with no handler
+// (write-updates are advisory — holders expire on their own clocks).
+func (n *Node) HandleLeaseInval(h func(inv LeaseInval)) { n.invH = h }
+
 // HandleJob installs the serve-mode job installer, called synchronously on
 // the coordinator link's reader for every JobSubmit (so injections that
 // follow on the same connection find the specs in place). Install before
@@ -959,6 +976,24 @@ func (n *Node) Remote(dst geom.CoreID, req MemRequest) (MemReply, error) {
 	case <-n.shutdown:
 		return MemReply{}, fmt.Errorf("transport: shut down awaiting reply from core %d", dst)
 	}
+}
+
+// SendLeaseInval implements Transport: a direct handler call when the
+// holder's core is owned locally, an eager one-way frame to the owning
+// node otherwise. There is no reply — the update is advisory and the
+// writer's shard op has already committed.
+func (n *Node) SendLeaseInval(inv LeaseInval) error {
+	if n.Owns(inv.Dst) {
+		if n.invH != nil {
+			n.invH(inv)
+		}
+		return nil
+	}
+	pc, err := n.peers[n.route[inv.Dst]].get(n.shutdown)
+	if err != nil {
+		return err
+	}
+	return pc.w.appendLeaseInval(inv)
 }
 
 // --- coordinator ---------------------------------------------------------

@@ -180,11 +180,33 @@ type MemRequest struct {
 	Op     MemOp
 	Addr   uint32
 	Arg    uint32 // store value, FAA delta, or SWAP operand
+	// From is the requesting core — the shard records it as the lease
+	// holder when Lease is set.
+	From uint32
+	// Lease, nonzero on an OpRead, asks the home shard to grant a read
+	// lease to From (the value is the requester's validity window, for
+	// the wire trace; the home does not interpret it).
+	Lease uint16
 }
 
 // MemReply carries the value half of the round trip: the loaded word for
 // OpRead, the old word for OpFAA/OpSwap, zero for OpWrite.
 type MemReply struct {
+	Value uint32
+	// Lease echoes the request's Lease field when the home shard granted
+	// a lease on the read. Granted replies travel as FrameLeaseRep; plain
+	// replies keep the original FrameMemRep encoding.
+	Lease uint16
+}
+
+// LeaseInval is the home shard's write-update notification: Addr was
+// written with Value while Dst held a lease on it. The holder replaces
+// its cached value in place — it never removes the entry, so lease
+// hit/miss counts stay a pure function of each thread's own access
+// stream (see core.LeaseCache).
+type LeaseInval struct {
+	Dst   geom.CoreID
+	Addr  uint32
 	Value uint32
 }
 
@@ -228,6 +250,9 @@ type CoreMetrics struct {
 	Migrations   int64 // contexts this core shipped toward a home
 	Evictions    int64 // guests this core evicted to their native cores
 	ContextFlits int64 // flits of context wire (incl. predictor state) sent
+	LeaseHits    int64 // reads served from a resident thread's lease cache
+	LeaseMisses  int64 // lease-requesting remote reads issued from this core
+	LeaseInvals  int64 // leases a resident thread dropped by its own write
 	// Overcommits counts guest acceptances that pushed the core's resident
 	// guest population above GuestContexts because no queued guest was
 	// evictable (the only displaceable guest was mid-instruction). The
@@ -247,6 +272,9 @@ func (m CoreMetrics) Add(o CoreMetrics) CoreMetrics {
 	m.Migrations += o.Migrations
 	m.Evictions += o.Evictions
 	m.ContextFlits += o.ContextFlits
+	m.LeaseHits += o.LeaseHits
+	m.LeaseMisses += o.LeaseMisses
+	m.LeaseInvals += o.LeaseInvals
 	m.Overcommits += o.Overcommits
 	return m
 }
@@ -370,4 +398,13 @@ type Transport interface {
 	// HandleMem installs the function that serves MemRequests against
 	// locally owned shards. It must be installed before any traffic flows.
 	HandleMem(h func(core geom.CoreID, req MemRequest) MemReply)
+
+	// SendLeaseInval delivers a write-update notification to the endpoint
+	// owning inv.Dst. Updates are advisory value refreshes (never entry
+	// removals), so delivery timing cannot affect deterministic counters;
+	// remote sends flush eagerly rather than waiting for a batch.
+	SendLeaseInval(inv LeaseInval) error
+	// HandleLeaseInval installs the function that applies lease updates
+	// to locally owned cores. It must be installed before traffic flows.
+	HandleLeaseInval(h func(inv LeaseInval))
 }

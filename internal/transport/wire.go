@@ -64,6 +64,15 @@ const (
 	// serve loop's virtual-time ticks, where the machine is quiescent).
 	FrameSampleReq
 	FrameSampleRep
+	// FrameLeaseRep is a remote-read reply that also grants a read lease:
+	// the same id/value as FrameMemRep plus the granted window, so plain
+	// replies keep their compact encoding. FrameLeaseInval carries a
+	// write-update to a lease holder: the new value of a held word. It is
+	// advisory for correctness (holders expire on their own virtual
+	// clocks) but keeps cached values within one lease window of the home
+	// copy.
+	FrameLeaseRep
+	FrameLeaseInval
 )
 
 const (
@@ -79,18 +88,27 @@ const (
 
 	// memReqBody is the fixed body size of a FrameMemReq after the kind
 	// byte: dst u32 + id u64 + thread u32 + tseq u64 + op u8 + addr u32 +
-	// arg u32.
-	memReqBody = 4 + 8 + 4 + 8 + 1 + 4 + 4
+	// arg u32 + from u32 + lease u16.
+	memReqBody = 4 + 8 + 4 + 8 + 1 + 4 + 4 + 4 + 2
 	// memRepBody is the fixed body size of a FrameMemRep: id u64 + value u32.
 	memRepBody = 8 + 4
+	// leaseRepBody is the fixed body size of a FrameLeaseRep: id u64 +
+	// value u32 + lease u16.
+	leaseRepBody = 8 + 4 + 2
+	// leaseInvalBody is the fixed body size of a FrameLeaseInval: dst u32 +
+	// addr u32 + value u32.
+	leaseInvalBody = 4 + 4 + 4
 
 	// MemReqFrameBytes and MemRepFrameBytes are the full on-wire sizes
 	// (kind byte included) of one remote-access request and reply frame —
 	// the payloads the cost model charges for a remote round trip, exported
 	// so the machine's per-thread cycle accounting bills exactly what the
-	// wire would carry.
-	MemReqFrameBytes = 1 + memReqBody
-	MemRepFrameBytes = 1 + memRepBody
+	// wire would carry. LeaseRepFrameBytes is the reply size when the home
+	// grants a lease; LeaseInvalFrameBytes is one write-update to a holder.
+	MemReqFrameBytes     = 1 + memReqBody
+	MemRepFrameBytes     = 1 + memRepBody
+	LeaseRepFrameBytes   = 1 + leaseRepBody
+	LeaseInvalFrameBytes = 1 + leaseInvalBody
 
 	// flushThreshold force-flushes a batch buffer that grows past this many
 	// bytes even between explicit Flush calls, bounding buffer memory.
@@ -125,7 +143,8 @@ type Frame struct {
 	ID   uint64      // FrameMemReq, FrameMemRep
 	Ctx  []byte      // FrameMigration, FrameEviction: canonical Context bytes
 	Req  MemRequest  // FrameMemReq
-	Rep  MemReply    // FrameMemRep
+	Rep  MemReply    // FrameMemRep, FrameLeaseRep
+	Inv  LeaseInval  // FrameLeaseInval
 	Blob []byte      // control-plane kinds (Load, Halt, CollectRep, job/ack/heartbeat/chunk frames): JSON body
 }
 
@@ -156,13 +175,29 @@ func appendMemReqFrame(b []byte, dst geom.CoreID, id uint64, r MemRequest) []byt
 	b = binary.BigEndian.AppendUint64(b, uint64(r.TSeq))
 	b = append(b, byte(r.Op))
 	b = binary.BigEndian.AppendUint32(b, r.Addr)
-	return binary.BigEndian.AppendUint32(b, r.Arg)
+	b = binary.BigEndian.AppendUint32(b, r.Arg)
+	b = binary.BigEndian.AppendUint32(b, r.From)
+	return binary.BigEndian.AppendUint16(b, r.Lease)
 }
 
 func appendMemRepFrame(b []byte, id uint64, rep MemReply) []byte {
 	b = append(b, byte(FrameMemRep))
 	b = binary.BigEndian.AppendUint64(b, id)
 	return binary.BigEndian.AppendUint32(b, rep.Value)
+}
+
+func appendLeaseRepFrame(b []byte, id uint64, rep MemReply) []byte {
+	b = append(b, byte(FrameLeaseRep))
+	b = binary.BigEndian.AppendUint64(b, id)
+	b = binary.BigEndian.AppendUint32(b, rep.Value)
+	return binary.BigEndian.AppendUint16(b, rep.Lease)
+}
+
+func appendLeaseInvalFrame(b []byte, inv LeaseInval) []byte {
+	b = append(b, byte(FrameLeaseInval))
+	b = binary.BigEndian.AppendUint32(b, uint32(inv.Dst))
+	b = binary.BigEndian.AppendUint32(b, inv.Addr)
+	return binary.BigEndian.AppendUint32(b, inv.Value)
 }
 
 func appendBlobFrame(b []byte, kind FrameKind, blob []byte) []byte {
@@ -182,6 +217,10 @@ func AppendFrame(b []byte, f Frame) []byte {
 		return appendMemReqFrame(b, f.Dst, f.ID, f.Req)
 	case FrameMemRep:
 		return appendMemRepFrame(b, f.ID, f.Rep)
+	case FrameLeaseRep:
+		return appendLeaseRepFrame(b, f.ID, f.Rep)
+	case FrameLeaseInval:
+		return appendLeaseInvalFrame(b, f.Inv)
 	case FrameLoad, FrameHalt, FrameCollectRep, FrameJobSubmit, FrameJobAck, FrameJobDone,
 		FrameLoadAck, FrameHeartbeat, FrameCollectChunk, FrameJobRetired, FrameSampleRep:
 		return appendBlobFrame(b, f.Kind, f.Blob)
@@ -241,6 +280,8 @@ func parseFrame(b []byte) (Frame, int, error) {
 		f.Req.Op = MemOp(p[24])
 		f.Req.Addr = binary.BigEndian.Uint32(p[25:])
 		f.Req.Arg = binary.BigEndian.Uint32(p[29:])
+		f.Req.From = binary.BigEndian.Uint32(p[33:])
+		f.Req.Lease = binary.BigEndian.Uint16(p[37:])
 		return f, 1 + memReqBody, nil
 	case FrameMemRep:
 		if err := need(memRepBody); err != nil {
@@ -249,6 +290,22 @@ func parseFrame(b []byte) (Frame, int, error) {
 		f.ID = binary.BigEndian.Uint64(p)
 		f.Rep.Value = binary.BigEndian.Uint32(p[8:])
 		return f, 1 + memRepBody, nil
+	case FrameLeaseRep:
+		if err := need(leaseRepBody); err != nil {
+			return Frame{}, 0, err
+		}
+		f.ID = binary.BigEndian.Uint64(p)
+		f.Rep.Value = binary.BigEndian.Uint32(p[8:])
+		f.Rep.Lease = binary.BigEndian.Uint16(p[12:])
+		return f, 1 + leaseRepBody, nil
+	case FrameLeaseInval:
+		if err := need(leaseInvalBody); err != nil {
+			return Frame{}, 0, err
+		}
+		f.Inv.Dst = geom.CoreID(binary.BigEndian.Uint32(p))
+		f.Inv.Addr = binary.BigEndian.Uint32(p[4:])
+		f.Inv.Value = binary.BigEndian.Uint32(p[8:])
+		return f, 1 + leaseInvalBody, nil
 	case FrameLoad, FrameHalt, FrameCollectRep, FrameJobSubmit, FrameJobAck, FrameJobDone,
 		FrameLoadAck, FrameHeartbeat, FrameCollectChunk, FrameJobRetired, FrameSampleRep:
 		if err := need(4); err != nil {
@@ -568,6 +625,28 @@ func (w *batchWriter) appendMemRep(id uint64, rep MemReply) error {
 		return err
 	}
 	w.buf = appendMemRepFrame(w.buf, id, rep)
+	return w.finish(true)
+}
+
+// appendLeaseRep enqueues a lease-granting remote-access reply and
+// flushes (the requester is blocked on it, exactly like appendMemRep).
+func (w *batchWriter) appendLeaseRep(id uint64, rep MemReply) error {
+	if err := w.begin(); err != nil {
+		return err
+	}
+	w.buf = appendLeaseRepFrame(w.buf, id, rep)
+	return w.finish(true)
+}
+
+// appendLeaseInval enqueues a write-update to a lease holder and flushes:
+// the writer's shard op has already completed, so the update must not sit
+// behind the next machine Flush or the holder could serve a value more
+// than one window stale.
+func (w *batchWriter) appendLeaseInval(inv LeaseInval) error {
+	if err := w.begin(); err != nil {
+		return err
+	}
+	w.buf = appendLeaseInvalFrame(w.buf, inv)
 	return w.finish(true)
 }
 

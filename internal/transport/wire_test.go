@@ -20,8 +20,12 @@ func sampleFrames() []transport.Frame {
 		{Kind: transport.FrameMigration, Dst: 2, Ctx: ctx.EncodeWire()},
 		{Kind: transport.FrameEviction, Dst: 1, Ctx: transport.Context{}.EncodeWire()},
 		{Kind: transport.FrameMemReq, Dst: 3, ID: 99,
-			Req: transport.MemRequest{Thread: 7, TSeq: -1, Op: transport.OpSwap, Addr: 128, Arg: 5}},
+			Req: transport.MemRequest{Thread: 7, TSeq: -1, Op: transport.OpSwap, Addr: 128, Arg: 5, From: 3}},
+		{Kind: transport.FrameMemReq, Dst: 3, ID: 100,
+			Req: transport.MemRequest{Thread: 7, TSeq: 9, Op: transport.OpRead, Addr: 128, From: 2, Lease: 64}},
 		{Kind: transport.FrameMemRep, ID: 99, Rep: transport.MemReply{Value: 42}},
+		{Kind: transport.FrameLeaseRep, ID: 100, Rep: transport.MemReply{Value: 42, Lease: 64}},
+		{Kind: transport.FrameLeaseInval, Inv: transport.LeaseInval{Dst: 2, Addr: 128, Value: 43}},
 		{Kind: transport.FrameLoad, Blob: []byte(`{"NumThreads":2}`)},
 		{Kind: transport.FrameHalt, Blob: []byte(`{"Thread":1}`)},
 		{Kind: transport.FrameCollect},
@@ -48,7 +52,7 @@ func TestSampleFramesCoverEveryKind(t *testing.T) {
 	for _, f := range sampleFrames() {
 		covered[f.Kind] = true
 	}
-	for k := transport.FrameHello; k <= transport.FrameSampleRep; k++ {
+	for k := transport.FrameHello; k <= transport.FrameLeaseInval; k++ {
 		if !covered[k] {
 			t.Errorf("frame kind %d missing from sampleFrames round-trip corpus", k)
 		}
@@ -78,6 +82,7 @@ func TestBatchRoundTrip(t *testing.T) {
 		if got[i].Kind != frames[i].Kind || got[i].From != frames[i].From ||
 			got[i].Dst != frames[i].Dst || got[i].ID != frames[i].ID ||
 			got[i].Req != frames[i].Req || got[i].Rep != frames[i].Rep ||
+			got[i].Inv != frames[i].Inv ||
 			!bytes.Equal(got[i].Ctx, frames[i].Ctx) {
 			t.Errorf("frame %d: got %+v, want %+v", i, got[i], frames[i])
 		}

@@ -80,7 +80,7 @@ type Compiled struct {
 	Cores int
 	// Threads holds one machine program per trace thread. Every instruction
 	// survives the 32-bit wire encoding, so the same specs load into
-	// machine.Run and RunCluster unchanged.
+	// machine.Run and ClusterRun unchanged.
 	Threads []machine.ThreadSpec
 	// Mem is the preload image: each compacted page's base word carries a
 	// distinguishable marker. It doubles as the CheckSCFrom init image.
@@ -309,6 +309,9 @@ type Counts struct {
 	RemoteOps    int64 `json:"remote_ops"`
 	LocalOps     int64 `json:"local_ops"`
 	ContextFlits int64 `json:"context_flits"`
+	LeaseHits    int64 `json:"lease_hits"`
+	LeaseMisses  int64 `json:"lease_misses"`
+	LeaseInvals  int64 `json:"lease_invals"`
 }
 
 // ModelCounts derives the runtime-comparable counters from a model result
@@ -320,6 +323,9 @@ func ModelCounts(res *core.Result, scheme core.Scheme) Counts {
 		RemoteOps:    res.RemoteAccesses,
 		LocalOps:     res.Local + res.Migrations,
 		ContextFlits: (res.Migrations + res.Evictions) * machine.ContextFlitsFor(scheme),
+		LeaseHits:    res.LeaseHits,
+		LeaseMisses:  res.LeaseMisses,
+		LeaseInvals:  res.LeaseInvals,
 	}
 }
 
@@ -331,6 +337,9 @@ func RuntimeCounts(res *machine.Result) Counts {
 		RemoteOps:    res.RemoteReads + res.RemoteWrites,
 		LocalOps:     res.LocalOps,
 		ContextFlits: res.ContextFlits,
+		LeaseHits:    res.LeaseHits,
+		LeaseMisses:  res.LeaseMisses,
+		LeaseInvals:  res.LeaseInvals,
 	}
 }
 
@@ -347,6 +356,9 @@ func (a Counts) Diff(b Counts) []string {
 	d("remote ops", a.RemoteOps, b.RemoteOps)
 	d("local ops", a.LocalOps, b.LocalOps)
 	d("context flits", a.ContextFlits, b.ContextFlits)
+	d("lease hits", a.LeaseHits, b.LeaseHits)
+	d("lease misses", a.LeaseMisses, b.LeaseMisses)
+	d("lease invals", a.LeaseInvals, b.LeaseInvals)
 	return out
 }
 

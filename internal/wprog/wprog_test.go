@@ -364,7 +364,7 @@ func TestDifferentialChannelVsTCP(t *testing.T) {
 }
 
 // TestCompiledProgramsSurviveWire: every compiled instruction must
-// round-trip the 32-bit ISA encoding (the property RunCluster enforces
+// round-trip the 32-bit ISA encoding (the property ClusterRun.Run enforces
 // before shipping programs to nodes).
 func TestCompiledProgramsSurviveWire(t *testing.T) {
 	t.Parallel()
